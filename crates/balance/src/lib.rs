@@ -1,0 +1,73 @@
+//! Adaptive sparsity-aware load balancing (§3.5).
+//!
+//! Without balancing, one thread block processes all TC blocks of one
+//! RowWindow — power-law matrices then leave most TBs nearly idle while a
+//! few grind through hundreds of blocks. The paper's method:
+//!
+//! 1. measure imbalance with the **IBD** metric (Equation 3) and only
+//!    rebalance when `IBD > 8` (balancing has real costs: cross-window
+//!    write-backs and extra B/C traffic);
+//! 2. when rebalancing, chunk the *global* TC-block list into uniform
+//!    spans (Figure 6b: a TB may take blocks from several RowWindows, and
+//!    a big RowWindow is split across TBs), choosing the chunk size with
+//!    the **Equation (4)** performance model — which includes the
+//!    write-back cost the DTC-SpMM model ignores — capped at 32 blocks
+//!    per TB.
+
+pub mod model;
+pub mod plan;
+
+pub use model::{ModelParams, PerfModel};
+pub use plan::{plan, plan_with_params, BalancePlan, BalanceStrategy, Segment, TbAssignment};
+
+use spmm_common::stats::mean_abs_deviation;
+
+/// IBD threshold above which the paper applies load balancing.
+pub const IBD_THRESHOLD: f64 = 8.0;
+
+/// Maximum TC blocks per thread block after redistribution.
+pub const MAX_BLOCKS_PER_TB: usize = 32;
+
+/// The IBD imbalance metric (Equation 3): mean absolute deviation of
+/// TC-blocks-per-RowWindow around its mean.
+pub fn ibd(blocks_per_window: &[usize]) -> f64 {
+    let v: Vec<f64> = blocks_per_window.iter().map(|&b| b as f64).collect();
+    mean_abs_deviation(&v)
+}
+
+/// Should balancing be applied to this distribution?
+pub fn needs_balancing(blocks_per_window: &[usize]) -> bool {
+    ibd(blocks_per_window) > IBD_THRESHOLD
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_windows_have_zero_ibd() {
+        assert_eq!(ibd(&[4, 4, 4, 4]), 0.0);
+        assert!(!needs_balancing(&[4, 4, 4, 4]));
+    }
+
+    #[test]
+    fn ibd_matches_hand_computation() {
+        // Mean of [1, 9] is 5; |1-5| + |9-5| = 8; / 2 windows = 4.
+        assert_eq!(ibd(&[1, 9]), 4.0);
+    }
+
+    #[test]
+    fn skewed_distribution_triggers_balancing() {
+        // One hub window with 100 blocks among tiny windows.
+        let mut v = vec![1usize; 10];
+        v.push(100);
+        assert!(needs_balancing(&v), "ibd = {}", ibd(&v));
+    }
+
+    #[test]
+    fn type1_matrices_do_not_trigger() {
+        // Road/molecule-like: 1-2 blocks per window everywhere.
+        let v: Vec<usize> = (0..1000).map(|i| 1 + (i % 2)).collect();
+        assert!(!needs_balancing(&v));
+    }
+}

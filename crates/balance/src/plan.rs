@@ -1,0 +1,296 @@
+//! TC-block → thread-block assignment planning (Figure 6).
+
+use crate::model::PerfModel;
+use crate::{ibd, IBD_THRESHOLD, MAX_BLOCKS_PER_TB};
+
+/// A contiguous span of TC blocks from one RowWindow assigned to a TB.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Segment {
+    /// RowWindow index.
+    pub window: u32,
+    /// First global TC-block id of the span.
+    pub block_start: u32,
+    /// One past the last global TC-block id.
+    pub block_end: u32,
+}
+
+impl Segment {
+    /// Blocks in this segment.
+    pub fn len(&self) -> usize {
+        (self.block_end - self.block_start) as usize
+    }
+
+    /// True when the segment is empty (never produced by planning).
+    pub fn is_empty(&self) -> bool {
+        self.block_end == self.block_start
+    }
+}
+
+/// The work of one thread block: one or more window segments.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TbAssignment {
+    /// Window segments in processing order.
+    pub segments: Vec<Segment>,
+}
+
+impl TbAssignment {
+    /// Total TC blocks assigned.
+    pub fn num_blocks(&self) -> usize {
+        self.segments.iter().map(|s| s.len()).sum()
+    }
+}
+
+/// Balancing strategies compared in Figure 14 / the ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BalanceStrategy {
+    /// One TB per RowWindow (no balancing).
+    None,
+    /// DTC-SpMM style: split oversized windows into fixed-size chunks,
+    /// never merge windows (small windows still waste TBs; Figure 6a).
+    DtcStyle,
+    /// The paper's adaptive method: IBD gate, Equation-4-driven uniform
+    /// chunking of the global block list, 32-block cap (Figure 6b).
+    AccAdaptive,
+}
+
+/// A finished plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BalancePlan {
+    /// Per-TB assignments, launch order.
+    pub tbs: Vec<TbAssignment>,
+    /// The measured IBD of the input distribution.
+    pub ibd: f64,
+    /// Whether rebalancing was actually applied (the adaptive strategy
+    /// declines balanced inputs).
+    pub applied: bool,
+    /// The chunk size chosen (blocks per TB), when applied.
+    pub chunk: usize,
+}
+
+/// Plan the TC-block → TB assignment.
+///
+/// `blocks_per_window[w]` is the number of TC blocks of RowWindow `w`;
+/// global block ids are assigned window-major (the layout every format in
+/// `spmm-format` uses).
+pub fn plan(
+    blocks_per_window: &[usize],
+    strategy: BalanceStrategy,
+    model: &PerfModel,
+) -> BalancePlan {
+    plan_with_params(
+        blocks_per_window,
+        strategy,
+        model,
+        IBD_THRESHOLD,
+        MAX_BLOCKS_PER_TB,
+    )
+}
+
+/// [`plan`] with explicit IBD threshold and per-TB block cap — used by
+/// the design-choice ablation to justify the paper's constants (8 and
+/// 32).
+pub fn plan_with_params(
+    blocks_per_window: &[usize],
+    strategy: BalanceStrategy,
+    model: &PerfModel,
+    ibd_threshold: f64,
+    max_blocks_per_tb: usize,
+) -> BalancePlan {
+    let measured_ibd = ibd(blocks_per_window);
+    // Window-major global block offsets.
+    let mut offsets = Vec::with_capacity(blocks_per_window.len() + 1);
+    offsets.push(0u32);
+    for &b in blocks_per_window {
+        offsets.push(offsets.last().unwrap() + b as u32);
+    }
+    let total_blocks = *offsets.last().unwrap() as usize;
+
+    match strategy {
+        BalanceStrategy::None => BalancePlan {
+            tbs: one_tb_per_window(blocks_per_window, &offsets),
+            ibd: measured_ibd,
+            applied: false,
+            chunk: 0,
+        },
+        BalanceStrategy::DtcStyle => {
+            let mut tbs = Vec::new();
+            for (w, &b) in blocks_per_window.iter().enumerate() {
+                if b == 0 {
+                    continue;
+                }
+                let start = offsets[w];
+                let mut s = 0usize;
+                while s < b {
+                    let e = (s + max_blocks_per_tb).min(b);
+                    tbs.push(TbAssignment {
+                        segments: vec![Segment {
+                            window: w as u32,
+                            block_start: start + s as u32,
+                            block_end: start + e as u32,
+                        }],
+                    });
+                    s = e;
+                }
+            }
+            BalancePlan {
+                tbs,
+                ibd: measured_ibd,
+                applied: true,
+                chunk: max_blocks_per_tb,
+            }
+        }
+        BalanceStrategy::AccAdaptive => {
+            if measured_ibd <= ibd_threshold || total_blocks == 0 {
+                return BalancePlan {
+                    tbs: one_tb_per_window(blocks_per_window, &offsets),
+                    ibd: measured_ibd,
+                    applied: false,
+                    chunk: 0,
+                };
+            }
+            // Pick the chunk minimizing the Equation-4 makespan estimate.
+            let nonzero = blocks_per_window.iter().filter(|&&b| b > 0).count().max(1);
+            let mean_bpw = total_blocks as f64 / nonzero as f64;
+            let mut best = (f64::INFINITY, 1usize);
+            for chunk in 1..=max_blocks_per_tb {
+                let t = model.makespan_for_chunk(total_blocks, chunk, mean_bpw);
+                if t < best.0 {
+                    best = (t, chunk);
+                }
+            }
+            let chunk = best.1;
+            // Chunk the global block list; record window segments.
+            let mut tbs = Vec::with_capacity(total_blocks.div_ceil(chunk));
+            let mut w = 0usize;
+            let mut cursor = 0u32;
+            while (cursor as usize) < total_blocks {
+                let end = ((cursor as usize + chunk).min(total_blocks)) as u32;
+                let mut segments = Vec::new();
+                let mut pos = cursor;
+                while pos < end {
+                    while offsets[w + 1] <= pos {
+                        w += 1;
+                    }
+                    let seg_end = end.min(offsets[w + 1]);
+                    segments.push(Segment {
+                        window: w as u32,
+                        block_start: pos,
+                        block_end: seg_end,
+                    });
+                    pos = seg_end;
+                }
+                tbs.push(TbAssignment { segments });
+                cursor = end;
+            }
+            BalancePlan {
+                tbs,
+                ibd: measured_ibd,
+                applied: true,
+                chunk,
+            }
+        }
+    }
+}
+
+fn one_tb_per_window(blocks_per_window: &[usize], offsets: &[u32]) -> Vec<TbAssignment> {
+    blocks_per_window
+        .iter()
+        .enumerate()
+        .filter(|&(_, &b)| b > 0)
+        .map(|(w, _)| TbAssignment {
+            segments: vec![Segment {
+                window: w as u32,
+                block_start: offsets[w],
+                block_end: offsets[w + 1],
+            }],
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ModelParams;
+
+    fn model() -> PerfModel {
+        PerfModel::new(ModelParams {
+            feature_dim: 128,
+            bandwidth: 1935.0e9,
+            flops: 156.0e12,
+            num_sms: 108,
+        })
+    }
+
+    /// Every plan must cover each TC block exactly once, in order.
+    fn assert_covers(plan: &BalancePlan, total: u32) {
+        let mut next = 0u32;
+        for tb in &plan.tbs {
+            for s in &tb.segments {
+                assert_eq!(s.block_start, next, "gap or overlap at block {next}");
+                assert!(!s.is_empty());
+                next = s.block_end;
+            }
+        }
+        assert_eq!(next, total);
+    }
+
+    #[test]
+    fn none_gives_one_tb_per_nonempty_window() {
+        let bpw = vec![2usize, 0, 5, 1];
+        let p = plan(&bpw, BalanceStrategy::None, &model());
+        assert_eq!(p.tbs.len(), 3);
+        assert!(!p.applied);
+        assert_covers(&p, 8);
+        assert_eq!(p.tbs[1].segments[0].window, 2);
+    }
+
+    #[test]
+    fn adaptive_declines_balanced_input() {
+        let bpw = vec![3usize; 100];
+        let p = plan(&bpw, BalanceStrategy::AccAdaptive, &model());
+        assert!(!p.applied, "IBD 0 must not trigger balancing");
+        assert_eq!(p.tbs.len(), 100);
+    }
+
+    #[test]
+    fn adaptive_balances_skew_and_respects_cap() {
+        let mut bpw = vec![1usize; 50];
+        bpw.push(500); // hub window
+        let p = plan(&bpw, BalanceStrategy::AccAdaptive, &model());
+        assert!(p.applied);
+        assert!(p.chunk >= 1 && p.chunk <= MAX_BLOCKS_PER_TB);
+        assert_covers(&p, 550);
+        for tb in &p.tbs {
+            assert!(tb.num_blocks() <= MAX_BLOCKS_PER_TB);
+        }
+        // The hub window must now be split across multiple TBs.
+        let hub_tbs = p
+            .tbs
+            .iter()
+            .filter(|tb| tb.segments.iter().any(|s| s.window == 50))
+            .count();
+        assert!(hub_tbs > 1, "hub split across {hub_tbs} TBs");
+        // And some TB should span multiple windows (Fig 6b concatenation).
+        assert!(p.tbs.iter().any(|tb| tb.segments.len() > 1));
+    }
+
+    #[test]
+    fn dtc_style_splits_but_never_merges() {
+        let bpw = vec![1usize, 100, 2];
+        let p = plan(&bpw, BalanceStrategy::DtcStyle, &model());
+        assert_covers(&p, 103);
+        for tb in &p.tbs {
+            assert_eq!(tb.segments.len(), 1, "DTC never concatenates windows");
+        }
+        // 1 + ceil(100/32) + 1 TBs.
+        assert_eq!(p.tbs.len(), 1 + 4 + 1);
+    }
+
+    #[test]
+    fn empty_input() {
+        let p = plan(&[], BalanceStrategy::AccAdaptive, &model());
+        assert!(p.tbs.is_empty());
+        let p = plan(&[0, 0], BalanceStrategy::None, &model());
+        assert!(p.tbs.is_empty());
+    }
+}

@@ -1,0 +1,67 @@
+//! Internal calibration scratchpad (not part of the figure index).
+
+use acc_spmm::matrix::Dataset;
+use acc_spmm::reorder::{metrics::mean_nnz_tc, reorder_apply, Algorithm};
+use acc_spmm::sim::Arch;
+use acc_spmm::{AccConfig, KernelKind};
+use spmm_bench::sim_options_for;
+use spmm_kernels::PreparedKernel;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let abbr = args.first().map(|s| s.as_str()).unwrap_or("reddit");
+    let d = Dataset::by_abbr(abbr).expect("dataset");
+    let m = d.build();
+    println!(
+        "{}: rows {} nnz {} avgL {:.2}",
+        d.abbr,
+        m.nrows(),
+        m.nnz(),
+        m.avg_row_len()
+    );
+    for alg in [Algorithm::Identity, Algorithm::DtcLsh, Algorithm::Rabbit, Algorithm::Affinity] {
+        let t0 = std::time::Instant::now();
+        let (pm, _) = reorder_apply(&m, alg);
+        println!(
+            "  {:<12} MeanNNZTC {:.2}  ({:.2}s)",
+            alg.name(),
+            mean_nnz_tc(&pm, 8),
+            t0.elapsed().as_secs_f64()
+        );
+    }
+    let opts = sim_options_for(d);
+    for kind in [KernelKind::DtcSpmm, KernelKind::AccSpmm] {
+        let k = PreparedKernel::prepare(kind, &m, Arch::A800, 128).unwrap();
+        let plan = k.plan().unwrap();
+        let r = k.profile(Arch::A800, &opts);
+        println!(
+            "  {:<10} tbs {:>6} ibd {:>8.2} applied {} chunk {:>3} | t {:.3e}s gflops {:>8.1} dram {:>10} l1 {:.3} l2 {:.3} bubbles {:.2e} busy {:.2e} util {:.2}",
+            kind.name(),
+            plan.tbs.len(),
+            plan.ibd,
+            plan.applied,
+            plan.chunk,
+            r.time_s,
+            r.gflops,
+            r.dram_bytes,
+            r.l1_hit_rate,
+            r.l2_hit_rate,
+            r.bubble_s,
+            r.busy_s,
+            r.sm_utilization,
+        );
+    }
+    // Acc with balancing off, for isolation.
+    let mut cfg = AccConfig::full();
+    cfg.balance = spmm_balance::BalanceStrategy::None;
+    let k =
+        PreparedKernel::prepare_with_config(KernelKind::AccSpmm, &m, Arch::A800, 128, cfg).unwrap();
+    let r = k.profile(Arch::A800, &opts);
+    println!(
+        "  Acc(noLB)  tbs {:>6} | t {:.3e}s gflops {:>8.1} util {:.2}",
+        k.plan().unwrap().tbs.len(),
+        r.time_s,
+        r.gflops,
+        r.sm_utilization
+    );
+}

@@ -1,0 +1,74 @@
+//! Extension experiment: the m16n8k8 vs m16n8k4 choice.
+//!
+//! §3.4: "Only the m16n8k8 and m16n8k4 shapes of the mma api support
+//! tf32 ... We choose m16n8k8 due to its lower synchronization cost."
+//! With k4, every 8-deep reduction needs two MMA issues and twice the
+//! inter-issue synchronization. This sweep reruns the Acc kernel with
+//! the per-iteration sync cost doubled (the k4 model) and reports the
+//! slowdown per dataset — quantifying the claim.
+
+use acc_spmm::matrix::TABLE2;
+use acc_spmm::sim::Arch;
+use acc_spmm::{AccConfig, KernelKind};
+use serde::Serialize;
+use spmm_bench::{f2, print_table, save_json, sim_options_for, DETAIL_DIM};
+use spmm_kernels::PreparedKernel;
+
+#[derive(Serialize)]
+struct Record {
+    dataset: String,
+    k8_us: f64,
+    k4_us: f64,
+    k8_over_k4: f64,
+}
+
+fn main() {
+    let arch = Arch::A800;
+    let mut rows = Vec::new();
+    let mut records = Vec::new();
+    let mut gains = Vec::new();
+    for d in &TABLE2 {
+        let m = spmm_bench::build_dataset(d);
+        let k = PreparedKernel::prepare_with_config(
+            KernelKind::AccSpmm,
+            &m,
+            arch,
+            DETAIL_DIM,
+            AccConfig::full(),
+        )
+        .expect("prepare");
+        let desc = k.trace();
+        let spec = arch.spec();
+        let k8_opts = sim_options_for(d);
+        // k4 model: two issues per 8-deep reduction -> double the
+        // per-iteration synchronization cost.
+        let mut k4_opts = k8_opts;
+        k4_opts.sync_s *= 2.0;
+        let k8 = spmm_sim::simulate(&spec, &desc, &k8_opts).time_s;
+        let k4 = spmm_sim::simulate(&spec, &desc, &k4_opts).time_s;
+        let gain = k4 / k8;
+        gains.push(gain);
+        rows.push(vec![
+            d.abbr.to_string(),
+            format!("{:.1}", k8 * 1e6),
+            format!("{:.1}", k4 * 1e6),
+            f2(gain),
+        ]);
+        records.push(Record {
+            dataset: d.abbr.into(),
+            k8_us: k8 * 1e6,
+            k4_us: k4 * 1e6,
+            k8_over_k4: gain,
+        });
+    }
+    print_table(
+        "Extension: m16n8k8 vs m16n8k4 (modeled kernel us on A800, N=128)",
+        &["dataset", "k8 (us)", "k4 (us)", "k4/k8"],
+        &rows,
+    );
+    println!(
+        "\nmean k4 slowdown: {:.2}x — the §3.4 'lower synchronization cost' rationale",
+        spmm_common::stats::mean(&gains)
+    );
+    save_json("ext_mma_shape", &records);
+}

@@ -1,0 +1,66 @@
+//! Figure 11 — L1 and L2 cache hit rates on A800, original order vs
+//! data-affinity reordering, N = 128.
+
+use acc_spmm::matrix::TABLE2;
+use acc_spmm::sim::Arch;
+use acc_spmm::{AccConfig, KernelKind};
+use acc_spmm::reorder::Algorithm;
+use serde::Serialize;
+use spmm_bench::{build_dataset, print_table, save_json, sim_options_for, DETAIL_DIM};
+use spmm_kernels::PreparedKernel;
+
+#[derive(Serialize)]
+struct Record {
+    dataset: String,
+    l1_original: f64,
+    l1_reordered: f64,
+    l2_original: f64,
+    l2_reordered: f64,
+}
+
+fn main() {
+    let arch = Arch::A800;
+    let mut rows = Vec::new();
+    let mut records = Vec::new();
+    for d in &TABLE2 {
+        let m = build_dataset(d);
+        let opts = sim_options_for(d);
+        let run = |reorder: Algorithm| {
+            let mut cfg = AccConfig::full();
+            cfg.reorder = reorder;
+            let k = PreparedKernel::prepare_with_config(
+                KernelKind::AccSpmm,
+                &m,
+                arch,
+                DETAIL_DIM,
+                cfg,
+            )
+            .expect("prepare");
+            k.profile(arch, &opts)
+        };
+        let orig = run(Algorithm::Identity);
+        let reord = run(Algorithm::Affinity);
+        rows.push(vec![
+            d.abbr.to_string(),
+            format!("{:.2}%", orig.l1_hit_rate * 100.0),
+            format!("{:.2}%", reord.l1_hit_rate * 100.0),
+            format!("{:+.2}%", (reord.l1_hit_rate - orig.l1_hit_rate) * 100.0),
+            format!("{:.2}%", orig.l2_hit_rate * 100.0),
+            format!("{:.2}%", reord.l2_hit_rate * 100.0),
+            format!("{:+.2}%", (reord.l2_hit_rate - orig.l2_hit_rate) * 100.0),
+        ]);
+        records.push(Record {
+            dataset: d.abbr.into(),
+            l1_original: orig.l1_hit_rate,
+            l1_reordered: reord.l1_hit_rate,
+            l2_original: orig.l2_hit_rate,
+            l2_reordered: reord.l2_hit_rate,
+        });
+    }
+    print_table(
+        "Figure 11: A800 cache hit rates, original vs data-affinity reordering (N=128)",
+        &["dataset", "L1 orig", "L1 reord", "L1 Δ", "L2 orig", "L2 reord", "L2 Δ"],
+        &rows,
+    );
+    save_json("fig11_cache", &records);
+}

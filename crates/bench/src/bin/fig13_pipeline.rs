@@ -1,0 +1,72 @@
+//! Figure 13 — DTC-pipeline vs Acc-pipeline GFLOPS and speedup on A800,
+//! isolating the least-bubble double-buffer pipeline (everything else in
+//! the Acc configuration held fixed).
+
+use acc_spmm::matrix::TABLE2;
+use acc_spmm::sim::Arch;
+use acc_spmm::{AccConfig, KernelKind};
+use serde::Serialize;
+use spmm_bench::{build_dataset, f1, f2, print_table, save_json, sim_options_for, DETAIL_DIM};
+use spmm_kernels::PreparedKernel;
+
+#[derive(Serialize)]
+struct Record {
+    dataset: String,
+    dtc_pipeline_gflops: f64,
+    acc_pipeline_gflops: f64,
+    speedup: f64,
+    bubble_reduction: f64,
+}
+
+fn main() {
+    let arch = Arch::A800;
+    let mut rows = Vec::new();
+    let mut records = Vec::new();
+    let mut type1 = Vec::new();
+    let mut type2 = Vec::new();
+    for d in &TABLE2 {
+        let m = build_dataset(d);
+        let opts = sim_options_for(d);
+        let run = |acc_pipeline: bool| {
+            let mut cfg = AccConfig::full();
+            cfg.acc_pipeline = acc_pipeline;
+            PreparedKernel::prepare_with_config(KernelKind::AccSpmm, &m, arch, DETAIL_DIM, cfg)
+                .expect("prepare")
+                .profile(arch, &opts)
+        };
+        let dtc = run(false);
+        let acc = run(true);
+        let speedup = dtc.time_s / acc.time_s;
+        if d.matrix_type == 1 {
+            type1.push(speedup);
+        } else {
+            type2.push(speedup);
+        }
+        let bubble_red = 1.0 - (acc.bubble_s / acc.busy_s) / (dtc.bubble_s / dtc.busy_s).max(1e-12);
+        rows.push(vec![
+            d.abbr.to_string(),
+            f1(dtc.gflops),
+            f1(acc.gflops),
+            f2(speedup),
+            format!("{:.0}%", bubble_red * 100.0),
+        ]);
+        records.push(Record {
+            dataset: d.abbr.into(),
+            dtc_pipeline_gflops: dtc.gflops,
+            acc_pipeline_gflops: acc.gflops,
+            speedup,
+            bubble_reduction: bubble_red,
+        });
+    }
+    print_table(
+        "Figure 13: DTC-pipeline vs Acc-pipeline on A800 (N=128)",
+        &["dataset", "DTC GFLOPS", "Acc GFLOPS", "speedup", "bubble Δ"],
+        &rows,
+    );
+    println!(
+        "\navg pipeline speedup: type-1 {:.2}x, type-2 {:.2}x (paper: 1.06x / 1.16x)",
+        spmm_common::stats::mean(&type1),
+        spmm_common::stats::mean(&type2)
+    );
+    save_json("fig13_pipeline", &records);
+}

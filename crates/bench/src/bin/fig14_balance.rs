@@ -1,0 +1,95 @@
+//! Figure 14 — compute and memory throughput with and without the
+//! adaptive load balancing, on A800 (a) and H100 (b), for the imbalanced
+//! (type-2) matrices.
+
+use acc_spmm::matrix::TABLE2;
+use acc_spmm::sim::Arch;
+use acc_spmm::{AccConfig, KernelKind};
+use acc_spmm::balance::BalanceStrategy;
+use serde::Serialize;
+use spmm_bench::{build_dataset, f1, print_table, save_json, sim_options_for, DETAIL_DIM};
+use spmm_kernels::PreparedKernel;
+
+#[derive(Serialize)]
+struct Record {
+    arch: String,
+    dataset: String,
+    compute_no_lb: f64,
+    compute_lb: f64,
+    memory_no_lb: f64,
+    memory_lb: f64,
+}
+
+fn main() {
+    let mut records = Vec::new();
+    for arch in [Arch::A800, Arch::H100] {
+        let mut rows = Vec::new();
+        // "We focus our load balancing experiments mainly on type-2
+        // matrices" — plus WB, the most imbalanced type-1 set.
+        for d in TABLE2
+            .iter()
+            .filter(|d| d.matrix_type == 2 || d.abbr == "WB")
+        {
+            let m = build_dataset(d);
+            let opts = sim_options_for(d);
+            let run = |balance: BalanceStrategy| {
+                let mut cfg = AccConfig::full();
+                cfg.balance = balance;
+                PreparedKernel::prepare_with_config(KernelKind::AccSpmm, &m, arch, DETAIL_DIM, cfg)
+                    .expect("prepare")
+                    .profile(arch, &opts)
+            };
+            let none = run(BalanceStrategy::None);
+            let lb = run(BalanceStrategy::AccAdaptive);
+            let ibd = {
+                let mut cfg = AccConfig::full();
+                cfg.balance = BalanceStrategy::AccAdaptive;
+                let k = PreparedKernel::prepare_with_config(
+                    KernelKind::AccSpmm,
+                    &m,
+                    arch,
+                    DETAIL_DIM,
+                    cfg,
+                )
+                .expect("prepare");
+                let plan = k.plan().unwrap().clone();
+                (plan.ibd, plan.applied)
+            };
+            rows.push(vec![
+                d.abbr.to_string(),
+                format!("{:.1}{}", ibd.0, if ibd.1 { "*" } else { "" }),
+                f1(none.compute_throughput_gflops),
+                f1(lb.compute_throughput_gflops),
+                f1(none.mem_throughput_gbps),
+                f1(lb.mem_throughput_gbps),
+                format!("{:.2}x", none.time_s / lb.time_s),
+            ]);
+            records.push(Record {
+                arch: format!("{arch:?}"),
+                dataset: d.abbr.into(),
+                compute_no_lb: none.compute_throughput_gflops,
+                compute_lb: lb.compute_throughput_gflops,
+                memory_no_lb: none.mem_throughput_gbps,
+                memory_lb: lb.mem_throughput_gbps,
+            });
+        }
+        print_table(
+            &format!(
+                "Figure 14: throughput without/with load balancing on {} (N=128)",
+                arch.spec().name
+            ),
+            &[
+                "dataset",
+                "IBD",
+                "compute GF (no LB)",
+                "compute GF (LB)",
+                "mem GB/s (no LB)",
+                "mem GB/s (LB)",
+                "speedup",
+            ],
+            &rows,
+        );
+        println!("(* = IBD > 8: the adaptive balancer rebalanced; unmarked matrices were already balanced and left alone, as §3.5 prescribes)");
+    }
+    save_json("fig14_balance", &records);
+}

@@ -1,0 +1,69 @@
+//! Figure 15 — cumulative ablation on H100 with N = 128:
+//! Base (DTC-SpMM w/o LB) → +BTCF → +RO → +CP → +PP → +LB.
+
+use acc_spmm::matrix::TABLE2;
+use acc_spmm::sim::Arch;
+use acc_spmm::{AccConfig, KernelKind};
+use serde::Serialize;
+use spmm_bench::{build_dataset, f2, print_table, save_json, sim_options_for, DETAIL_DIM};
+use spmm_kernels::PreparedKernel;
+
+#[derive(Serialize)]
+struct Record {
+    dataset: String,
+    stage: String,
+    speedup_over_base: f64,
+    gflops: f64,
+}
+
+fn main() {
+    let arch = Arch::H100;
+    let mut rows = Vec::new();
+    let mut records = Vec::new();
+    let mut stage_means = vec![Vec::new(); 6];
+    for d in &TABLE2 {
+        let m = build_dataset(d);
+        let opts = sim_options_for(d);
+        let mut row = vec![d.abbr.to_string()];
+        let mut base_time = 0.0f64;
+        for stage in 0..6 {
+            let cfg = AccConfig::ablation_stage(stage);
+            let r = PreparedKernel::prepare_with_config(
+                KernelKind::AccSpmm,
+                &m,
+                arch,
+                DETAIL_DIM,
+                cfg,
+            )
+            .expect("prepare")
+            .profile(arch, &opts);
+            if stage == 0 {
+                base_time = r.time_s;
+            }
+            let speedup = base_time / r.time_s;
+            row.push(f2(speedup));
+            stage_means[stage].push(speedup);
+            records.push(Record {
+                dataset: d.abbr.into(),
+                stage: AccConfig::STAGE_NAMES[stage].into(),
+                speedup_over_base: speedup,
+                gflops: r.gflops,
+            });
+        }
+        rows.push(row);
+    }
+    let headers: Vec<&str> = std::iter::once("dataset")
+        .chain(AccConfig::STAGE_NAMES.iter().copied())
+        .collect();
+    print_table(
+        "Figure 15: ablation on H100 (N=128), speedup over Base (DTC-SpMM w/o LB)",
+        &headers,
+        &rows,
+    );
+    print!("\nmean over datasets:");
+    for (i, name) in AccConfig::STAGE_NAMES.iter().enumerate() {
+        print!("  {name} {:.2}x", spmm_common::stats::mean(&stage_means[i]));
+    }
+    println!();
+    save_json("fig15_ablation", &records);
+}

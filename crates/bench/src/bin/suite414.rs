@@ -1,0 +1,118 @@
+//! §4.2 — geomean speedup over the 414-matrix collection on all three
+//! architectures (the SuiteSparse sweep methodology).
+//!
+//! Usage: `cargo run --release -p spmm-bench --bin suite414 -- [arch] [stride]`
+//! With a stride (e.g. 4), only every 4th matrix is evaluated — useful
+//! for a quick look; the full run covers all 414.
+
+use acc_spmm::comparison::compare_all;
+use acc_spmm::matrix::collection::specs;
+use acc_spmm::sim::{Arch, SimOptions};
+use acc_spmm::KernelKind;
+use serde::Serialize;
+use spmm_bench::{f2, print_table, save_json, DETAIL_DIM};
+
+#[derive(Serialize)]
+struct Record {
+    arch: String,
+    kernel: String,
+    geomean_speedup: f64,
+    matrices: usize,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let archs: Vec<Arch> = args
+        .first()
+        .and_then(|s| Arch::parse(s))
+        .map(|a| vec![a])
+        .unwrap_or_else(|| Arch::ALL.to_vec());
+    let stride: usize = args
+        .iter()
+        .find_map(|s| s.parse().ok())
+        .filter(|&s: &usize| s >= 1)
+        .unwrap_or(1);
+
+    let all = specs();
+    let selected: Vec<_> = all.iter().step_by(stride).collect();
+    eprintln!(
+        "evaluating {} of {} collection matrices on {} arch(s)",
+        selected.len(),
+        all.len(),
+        archs.len()
+    );
+    // Collection matrices are small and realistic at full cache sizes.
+    let opts = SimOptions::default();
+    let mut records = Vec::new();
+    let mut rows = Vec::new();
+    let mut family_rows = Vec::new();
+    for arch in &archs {
+        let mut per_kernel: Vec<Vec<f64>> = vec![Vec::new(); KernelKind::ALL.len()];
+        // Acc speedups bucketed by generator family.
+        let mut by_family: std::collections::BTreeMap<String, Vec<f64>> =
+            std::collections::BTreeMap::new();
+        for (i, spec) in selected.iter().enumerate() {
+            if i % 50 == 0 {
+                eprintln!("  {} {}/{}", arch.spec().name, i, selected.len());
+            }
+            let m = spec.build();
+            if m.nnz() == 0 {
+                continue;
+            }
+            let cmp = compare_all(&m, *arch, DETAIL_DIM, &opts).expect("comparison");
+            for (k, row) in cmp.iter().enumerate() {
+                per_kernel[k].push(row.speedup);
+            }
+            let acc = cmp.last().expect("acc row").speedup;
+            by_family
+                .entry(format!("{:?}", spec.family))
+                .or_default()
+                .push(acc);
+        }
+        let mut row = vec![arch.spec().name.to_string()];
+        for (k, kind) in KernelKind::ALL.iter().enumerate() {
+            let g = spmm_common::stats::geomean(&per_kernel[k]);
+            row.push(f2(g));
+            records.push(Record {
+                arch: format!("{arch:?}"),
+                kernel: kind.name().into(),
+                geomean_speedup: g,
+                matrices: per_kernel[k].len(),
+            });
+        }
+        rows.push(row);
+        let mut frow = vec![arch.spec().name.to_string()];
+        for (_fam, v) in by_family.iter() {
+            frow.push(f2(spmm_common::stats::geomean(v)));
+        }
+        if family_rows.is_empty() {
+            // Header order is the BTreeMap's (stable).
+            family_rows.push(
+                std::iter::once("arch".to_string())
+                    .chain(by_family.keys().cloned())
+                    .collect::<Vec<_>>(),
+            );
+        }
+        family_rows.push(frow);
+    }
+    let headers: Vec<&str> = std::iter::once("arch")
+        .chain(KernelKind::ALL.iter().map(|k| k.name()))
+        .collect();
+    print_table(
+        &format!(
+            "§4.2: geomean speedup over the {}-matrix collection (N=128)",
+            selected.len()
+        ),
+        &headers,
+        &rows,
+    );
+    if family_rows.len() > 1 {
+        let headers: Vec<&str> = family_rows[0].iter().map(|s| s.as_str()).collect();
+        print_table(
+            "Acc-SpMM geomean speedup by pattern family",
+            &headers,
+            &family_rows[1..],
+        );
+    }
+    save_json("suite414", &records);
+}

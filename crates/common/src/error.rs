@@ -1,0 +1,101 @@
+//! Workspace error type.
+
+use std::fmt;
+
+/// Errors produced by the Acc-SpMM library and its substrates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpmmError {
+    /// Matrix dimensions do not agree for the requested operation.
+    DimensionMismatch {
+        /// Human-readable description of the two shapes involved.
+        context: String,
+    },
+    /// An index (row, column, or offset) is out of bounds.
+    IndexOutOfBounds {
+        /// Which structure was being indexed.
+        what: &'static str,
+        /// The offending index.
+        index: usize,
+        /// The exclusive bound that was violated.
+        bound: usize,
+    },
+    /// A compressed format's internal invariants are violated.
+    MalformedFormat {
+        /// Description of the violated invariant.
+        detail: String,
+    },
+    /// Failure parsing an external representation (e.g. Matrix Market).
+    Parse {
+        /// Line number where parsing failed (1-based), if known.
+        line: usize,
+        /// Description of the problem.
+        detail: String,
+    },
+    /// I/O failure, with the underlying message flattened to a string so the
+    /// error stays `Clone + Eq`.
+    Io(String),
+    /// A configuration value is invalid (zero tile size, empty arch, ...).
+    InvalidConfig(String),
+}
+
+impl fmt::Display for SpmmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpmmError::DimensionMismatch { context } => {
+                write!(f, "dimension mismatch: {context}")
+            }
+            SpmmError::IndexOutOfBounds { what, index, bound } => {
+                write!(f, "{what} index {index} out of bounds (< {bound} required)")
+            }
+            SpmmError::MalformedFormat { detail } => write!(f, "malformed format: {detail}"),
+            SpmmError::Parse { line, detail } => write!(f, "parse error at line {line}: {detail}"),
+            SpmmError::Io(msg) => write!(f, "I/O error: {msg}"),
+            SpmmError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SpmmError {}
+
+impl From<std::io::Error> for SpmmError {
+    fn from(e: std::io::Error) -> Self {
+        SpmmError::Io(e.to_string())
+    }
+}
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, SpmmError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let e = SpmmError::DimensionMismatch {
+            context: "A is 4x4, B is 5x2".into(),
+        };
+        assert!(e.to_string().contains("4x4"));
+
+        let e = SpmmError::IndexOutOfBounds {
+            what: "row",
+            index: 9,
+            bound: 4,
+        };
+        assert!(e.to_string().contains("row index 9"));
+
+        let e = SpmmError::Parse {
+            line: 3,
+            detail: "bad float".into(),
+        };
+        assert!(e.to_string().contains("line 3"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "missing.mtx");
+        let e: SpmmError = io.into();
+        assert!(matches!(e, SpmmError::Io(_)));
+        assert!(e.to_string().contains("missing.mtx"));
+    }
+}

@@ -1,0 +1,17 @@
+//! Shared foundation types for the Acc-SpMM reproduction workspace.
+//!
+//! This crate holds the pieces every other crate needs: TF32 scalar
+//! emulation matching tensor-core numerics ([`scalar`]), the workspace
+//! error type ([`error`]), small numeric utilities ([`stats`], [`prefix`]),
+//! and index helpers ([`util`]).
+
+pub mod error;
+pub mod precision;
+pub mod prefix;
+pub mod scalar;
+pub mod stats;
+pub mod util;
+
+pub use error::{Result, SpmmError};
+pub use precision::{round_to, Precision};
+pub use scalar::{tf32_dot, tf32_mma_8x8, to_tf32};

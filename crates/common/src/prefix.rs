@@ -1,0 +1,90 @@
+//! Prefix-sum helpers used by every compressed-format builder.
+
+/// In-place exclusive prefix sum: `[3,1,4]` becomes `[0,3,4]` and the total
+/// (8) is returned. This is the classic CSR `row_ptr` construction step.
+pub fn exclusive_prefix_sum(v: &mut [usize]) -> usize {
+    let mut acc = 0usize;
+    for x in v.iter_mut() {
+        let cur = *x;
+        *x = acc;
+        acc += cur;
+    }
+    acc
+}
+
+/// Build a CSR-style offsets array (length `counts.len() + 1`) from bucket
+/// counts: `offsets[i]..offsets[i+1]` spans bucket `i`.
+pub fn counts_to_offsets(counts: &[usize]) -> Vec<usize> {
+    let mut offsets = Vec::with_capacity(counts.len() + 1);
+    let mut acc = 0usize;
+    offsets.push(0);
+    for &c in counts {
+        acc += c;
+        offsets.push(acc);
+    }
+    offsets
+}
+
+/// Given a monotone offsets array, find the bucket containing `pos` via
+/// binary search (`offsets[b] <= pos < offsets[b+1]`).
+pub fn bucket_of(offsets: &[usize], pos: usize) -> usize {
+    debug_assert!(offsets.len() >= 2);
+    debug_assert!(pos < *offsets.last().unwrap());
+    match offsets.binary_search(&pos) {
+        Ok(mut i) => {
+            // Skip empty buckets that share the same offset.
+            while offsets[i + 1] == pos {
+                i += 1;
+            }
+            i
+        }
+        Err(i) => i - 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exclusive_prefix_basic() {
+        let mut v = vec![3, 1, 4, 1, 5];
+        let total = exclusive_prefix_sum(&mut v);
+        assert_eq!(v, vec![0, 3, 4, 8, 9]);
+        assert_eq!(total, 14);
+    }
+
+    #[test]
+    fn exclusive_prefix_empty() {
+        let mut v: Vec<usize> = vec![];
+        assert_eq!(exclusive_prefix_sum(&mut v), 0);
+    }
+
+    #[test]
+    fn counts_to_offsets_basic() {
+        assert_eq!(counts_to_offsets(&[2, 0, 3]), vec![0, 2, 2, 5]);
+        assert_eq!(counts_to_offsets(&[]), vec![0]);
+    }
+
+    #[test]
+    fn bucket_of_finds_correct_bucket() {
+        let offsets = vec![0, 2, 2, 5, 5, 7];
+        assert_eq!(bucket_of(&offsets, 0), 0);
+        assert_eq!(bucket_of(&offsets, 1), 0);
+        assert_eq!(bucket_of(&offsets, 2), 2, "skips the empty bucket 1");
+        assert_eq!(bucket_of(&offsets, 4), 2);
+        assert_eq!(bucket_of(&offsets, 5), 4, "skips the empty bucket 3");
+        assert_eq!(bucket_of(&offsets, 6), 4);
+    }
+
+    #[test]
+    fn bucket_of_roundtrips_counts() {
+        let counts = vec![1usize, 0, 0, 4, 2, 0, 1];
+        let offsets = counts_to_offsets(&counts);
+        for (bucket, &c) in counts.iter().enumerate() {
+            for k in 0..c {
+                assert_eq!(bucket_of(&offsets, offsets[bucket] + k), bucket);
+            }
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Small statistics helpers used by the evaluation harness.
+
+/// Arithmetic mean; 0.0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Geometric mean of strictly positive values; 0.0 for an empty slice.
+/// Non-positive entries are skipped (they would make the geomean undefined),
+/// matching how SpMM papers aggregate speedups.
+pub fn geomean(xs: &[f64]) -> f64 {
+    let mut log_sum = 0.0f64;
+    let mut n = 0usize;
+    for &x in xs {
+        if x > 0.0 {
+            log_sum += x.ln();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        (log_sum / n as f64).exp()
+    }
+}
+
+/// Mean absolute deviation around the mean — the aggregation inside the
+/// paper's IBD metric (Eq. 3).
+pub fn mean_abs_deviation(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m).abs()).sum::<f64>() / xs.len() as f64
+}
+
+/// Maximum of a slice; 0.0 for an empty slice.
+pub fn max(xs: &[f64]) -> f64 {
+    xs.iter().copied().fold(0.0f64, f64::max)
+}
+
+/// Population standard deviation; 0.0 for an empty slice.
+pub fn stddev(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_basic() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn geomean_basic() {
+        let g = geomean(&[1.0, 4.0]);
+        assert!((g - 2.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 0.0);
+    }
+
+    #[test]
+    fn geomean_skips_nonpositive() {
+        let g = geomean(&[0.0, -3.0, 2.0, 8.0]);
+        assert!((g - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mad_basic() {
+        // values 1,3 -> mean 2 -> deviations 1,1 -> MAD 1.
+        assert_eq!(mean_abs_deviation(&[1.0, 3.0]), 1.0);
+        assert_eq!(mean_abs_deviation(&[5.0, 5.0, 5.0]), 0.0);
+    }
+
+    #[test]
+    fn stddev_basic() {
+        assert_eq!(stddev(&[2.0, 2.0]), 0.0);
+        let s = stddev(&[1.0, 3.0]);
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_basic() {
+        assert_eq!(max(&[1.0, 9.0, 3.0]), 9.0);
+        assert_eq!(max(&[]), 0.0);
+    }
+}

@@ -1,0 +1,91 @@
+//! Index and alignment helpers.
+
+/// Ceiling division for usize, used everywhere tiles are counted.
+#[inline]
+pub const fn div_ceil(a: usize, b: usize) -> usize {
+    (a + b - 1) / b
+}
+
+/// Round `a` up to the next multiple of `b`.
+#[inline]
+pub const fn round_up(a: usize, b: usize) -> usize {
+    div_ceil(a, b) * b
+}
+
+/// Splitmix64 — the tiny deterministic hash/PRNG step used by the LSH
+/// reorderings and by workload seeding. Not cryptographic; chosen for
+/// reproducibility across platforms.
+#[inline]
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Check that `perm` is a valid permutation of `0..perm.len()`.
+pub fn is_permutation(perm: &[u32]) -> bool {
+    let n = perm.len();
+    let mut seen = vec![false; n];
+    for &p in perm {
+        let p = p as usize;
+        if p >= n || seen[p] {
+            return false;
+        }
+        seen[p] = true;
+    }
+    true
+}
+
+/// Invert a permutation: if `perm[old] = new`, returns `inv[new] = old`.
+pub fn invert_permutation(perm: &[u32]) -> Vec<u32> {
+    let mut inv = vec![0u32; perm.len()];
+    for (old, &new) in perm.iter().enumerate() {
+        inv[new as usize] = old as u32;
+    }
+    inv
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn div_ceil_and_round_up() {
+        assert_eq!(div_ceil(0, 8), 0);
+        assert_eq!(div_ceil(1, 8), 1);
+        assert_eq!(div_ceil(8, 8), 1);
+        assert_eq!(div_ceil(9, 8), 2);
+        assert_eq!(round_up(9, 8), 16);
+        assert_eq!(round_up(16, 8), 16);
+    }
+
+    #[test]
+    fn splitmix_is_deterministic_and_spreads() {
+        assert_eq!(splitmix64(1), splitmix64(1));
+        assert_ne!(splitmix64(1), splitmix64(2));
+        // Avalanche sanity: flipping one input bit changes many output bits.
+        let d = (splitmix64(42) ^ splitmix64(43)).count_ones();
+        assert!(d > 16, "poor diffusion: {d} bits");
+    }
+
+    #[test]
+    fn permutation_validation() {
+        assert!(is_permutation(&[0, 1, 2]));
+        assert!(is_permutation(&[2, 0, 1]));
+        assert!(!is_permutation(&[0, 0, 2]), "duplicate");
+        assert!(!is_permutation(&[0, 3, 1]), "out of range");
+        assert!(is_permutation(&[]));
+    }
+
+    #[test]
+    fn inversion_roundtrip() {
+        let p = vec![2u32, 0, 3, 1];
+        let inv = invert_permutation(&p);
+        assert_eq!(inv, vec![1, 3, 0, 2]);
+        for (old, &new) in p.iter().enumerate() {
+            assert_eq!(inv[new as usize] as usize, old);
+        }
+    }
+}

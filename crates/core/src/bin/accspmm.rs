@@ -1,0 +1,223 @@
+//! `accspmm` — command-line front end for the library.
+//!
+//! ```text
+//! accspmm stats    <matrix.mtx>                  structural + TC-block stats
+//! accspmm multiply <matrix.mtx> [N] [arch]       run Acc-SpMM, verify, profile
+//! accspmm compare  <matrix.mtx> [N] [arch]       all six kernels side by side
+//! accspmm trace    <matrix.mtx> <out.json> [N] [arch]  export the simulated
+//!                                                schedule as Chrome tracing JSON
+//! accspmm generate <kind> <n> <out.mtx> [seed]   synthesize a test matrix
+//! ```
+//!
+//! `kind` ∈ {uniform, rmat, road, molecules, clustered, banded};
+//! `arch` ∈ {rtx4090, a800, h100} (default a800); `N` defaults to 128.
+
+use acc_spmm::comparison::compare_all;
+use acc_spmm::matrix::{gen, mm, stats};
+use acc_spmm::{AccSpmm, Arch, CsrMatrix, DenseMatrix, SimOptions};
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  accspmm stats    <matrix.mtx>\n  accspmm multiply <matrix.mtx> [N] [arch]\n  accspmm compare  <matrix.mtx> [N] [arch]\n  accspmm trace    <matrix.mtx> <out.json> [N] [arch]\n  accspmm generate <kind> <n> <out.mtx> [seed]"
+    );
+    exit(2);
+}
+
+fn load(path: &str) -> CsrMatrix {
+    match mm::read_csr_file(path) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("failed to read {path}: {e}");
+            exit(1);
+        }
+    }
+}
+
+fn parse_n_arch(args: &[String]) -> (usize, Arch) {
+    let n = args
+        .first()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(128usize);
+    let arch = args
+        .get(1)
+        .and_then(|s| Arch::parse(s))
+        .unwrap_or(Arch::A800);
+    (n, arch)
+}
+
+fn cmd_stats(path: &str) {
+    let m = load(path);
+    let s = stats::stats(&m);
+    println!("{path}:");
+    println!("  shape        {} x {}", s.nrows, s.ncols);
+    println!("  nnz          {}", s.nnz);
+    println!("  AvgL         {:.2} (max row {}, stddev {:.2})", s.avg_row_len, s.max_row_len, s.row_len_stddev);
+    println!("  density      {:.5}%", s.density * 100.0);
+    println!("  empty rows   {:.2}%", s.empty_row_fraction * 100.0);
+    println!("  mean |r-c|   {:.1}", s.mean_bandwidth);
+    if m.nrows() == m.ncols() {
+        use acc_spmm::reorder::{metrics, reorder_apply, Algorithm};
+        let before = metrics::mean_nnz_tc(&m, 8);
+        let (pm, _) = reorder_apply(&m, Algorithm::Affinity);
+        let after = metrics::mean_nnz_tc(&pm, 8);
+        println!("  MeanNNZTC    {before:.2} natural -> {after:.2} after Acc reordering");
+        let bpw = acc_spmm::reorder::metrics::tc_blocks_per_window(&pm, 8);
+        let bpw: Vec<usize> = bpw;
+        println!(
+            "  IBD          {:.2} ({})",
+            acc_spmm::balance::ibd(&bpw),
+            if acc_spmm::balance::needs_balancing(&bpw) {
+                "imbalanced: adaptive balancing would fire"
+            } else {
+                "balanced"
+            }
+        );
+    }
+}
+
+fn cmd_multiply(path: &str, rest: &[String]) {
+    let m = load(path);
+    if m.nrows() != m.ncols() {
+        eprintln!("Acc-SpMM preprocessing expects a square (adjacency) matrix");
+        exit(1);
+    }
+    let (n, arch) = parse_n_arch(rest);
+    let b = DenseMatrix::random(m.ncols(), n, 1);
+    let t0 = std::time::Instant::now();
+    let handle = match AccSpmm::new(&m, arch, n) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("preprocessing failed: {e}");
+            exit(1);
+        }
+    };
+    println!("preprocess: {:.1} ms", t0.elapsed().as_secs_f64() * 1e3);
+    let s = handle.stats();
+    println!(
+        "  {} TC blocks, MeanNNZTC {:.2}, IBD {:.2}, balanced {}",
+        s.num_tc_blocks, s.mean_nnz_tc, s.ibd, s.balanced
+    );
+    let t0 = std::time::Instant::now();
+    let c = handle.multiply(&b).expect("multiply");
+    println!("multiply (CPU functional path): {:.1} ms", t0.elapsed().as_secs_f64() * 1e3);
+    let reference = m.spmm_dense(&b).expect("reference");
+    println!("  max deviation vs FP32 reference: {:.3e}", c.max_abs_diff(&reference));
+    let r = handle.profile(&SimOptions::default());
+    println!(
+        "simulated {}: {:.3} ms, {:.1} GFLOPS, DRAM {:.1} GB/s, L1 {:.1}%, L2 {:.1}%",
+        arch.spec().name,
+        r.time_s * 1e3,
+        r.gflops,
+        r.mem_throughput_gbps,
+        r.l1_hit_rate * 100.0,
+        r.l2_hit_rate * 100.0
+    );
+}
+
+fn cmd_compare(path: &str, rest: &[String]) {
+    let m = load(path);
+    let (n, arch) = parse_n_arch(rest);
+    let rows = compare_all(&m, arch, n, &SimOptions::default()).expect("comparison");
+    println!(
+        "{:<12} {:>10} {:>12} {:>10}",
+        "kernel", "speedup", "GFLOPS", "time(ms)"
+    );
+    for r in rows {
+        println!(
+            "{:<12} {:>9.2}x {:>12.1} {:>10.3}",
+            r.kind.name(),
+            r.speedup,
+            r.report.gflops,
+            r.report.time_s * 1e3
+        );
+    }
+}
+
+fn cmd_trace(path: &str, out: &str, rest: &[String]) {
+    use acc_spmm::kernels::{KernelKind, PreparedKernel};
+    let m = load(path);
+    let (n, arch) = parse_n_arch(rest);
+    let k = PreparedKernel::prepare(KernelKind::AccSpmm, &m, arch, n).expect("prepare");
+    let desc = {
+        let mut d = k.trace();
+        d.arch_boost = 1.0;
+        d
+    };
+    let (report, trace) =
+        acc_spmm::sim::simulate_traced(&arch.spec(), &desc, &SimOptions::default());
+    if let Err(e) = trace.save_chrome_trace(out) {
+        eprintln!("failed to write {out}: {e}");
+        exit(1);
+    }
+    println!(
+        "wrote {out}: {} TB spans over {} SMs, makespan {:.3} ms ({:.1} GFLOPS)",
+        report.num_tbs,
+        trace.sms_used(),
+        trace.makespan * 1e3,
+        report.gflops
+    );
+    println!("open chrome://tracing or https://ui.perfetto.dev and load the file");
+}
+
+fn cmd_generate(kind: &str, n: usize, out: &str, seed: u64) {
+    let m = match kind {
+        "uniform" => gen::uniform_random(n, 8.0, seed),
+        "rmat" => gen::rmat(
+            gen::RmatConfig {
+                scale: (n as f64).log2().ceil() as u32,
+                avg_deg: 16.0,
+                ..Default::default()
+            },
+            seed,
+        ),
+        "road" => gen::road_network(n, seed),
+        "molecules" => gen::molecule_union(n, 6, 16, true, seed),
+        "banded" => gen::banded(n, 4, 0.8, seed),
+        "clustered" => gen::clustered(
+            gen::ClusteredConfig {
+                n,
+                cluster_size: (n / 16).max(16),
+                intra_deg: 24.0,
+                inter_deg: 4.0,
+                hub_fraction: 0.01,
+                hub_factor: 6.0,
+                shuffle: true,
+                degree_spread: 1.0,
+                size_variance: 0.4,
+            },
+            seed,
+        ),
+        other => {
+            eprintln!("unknown generator kind: {other}");
+            exit(2);
+        }
+    };
+    if let Err(e) = mm::write_csr_file(out, &m) {
+        eprintln!("failed to write {out}: {e}");
+        exit(1);
+    }
+    println!(
+        "wrote {out}: {} x {}, {} nnz (AvgL {:.2})",
+        m.nrows(),
+        m.ncols(),
+        m.nnz(),
+        m.avg_row_len()
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(|s| s.as_str()) {
+        Some("stats") if args.len() >= 2 => cmd_stats(&args[1]),
+        Some("multiply") if args.len() >= 2 => cmd_multiply(&args[1], &args[2..]),
+        Some("compare") if args.len() >= 2 => cmd_compare(&args[1], &args[2..]),
+        Some("trace") if args.len() >= 3 => cmd_trace(&args[1], &args[2], &args[3..]),
+        Some("generate") if args.len() >= 4 => {
+            let n = args[2].parse().unwrap_or_else(|_| usage());
+            let seed = args.get(4).and_then(|s| s.parse().ok()).unwrap_or(42);
+            cmd_generate(&args[1], n, &args[3], seed);
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,82 @@
+//! Side-by-side kernel comparison — the workhorse of the Figure 7/8/9
+//! regeneration.
+
+use spmm_common::Result;
+use spmm_kernels::{KernelKind, PreparedKernel};
+use spmm_matrix::CsrMatrix;
+use spmm_sim::{Arch, KernelReport, SimOptions};
+
+/// One kernel's result in a comparison sweep.
+#[derive(Debug, Clone)]
+pub struct ComparisonRow {
+    /// Which kernel.
+    pub kind: KernelKind,
+    /// Simulated execution report.
+    pub report: KernelReport,
+    /// Speedup over the cuSPARSE baseline of the same sweep.
+    pub speedup: f64,
+}
+
+/// Run every kernel on `a` for the given architecture and feature
+/// dimension; speedups are normalized to cuSPARSE as in every figure of
+/// the paper.
+pub fn compare_all(
+    a: &CsrMatrix,
+    arch: Arch,
+    feature_dim: usize,
+    opts: &SimOptions,
+) -> Result<Vec<ComparisonRow>> {
+    let mut reports = Vec::with_capacity(KernelKind::ALL.len());
+    for kind in KernelKind::ALL {
+        let prepared = PreparedKernel::prepare(kind, a, arch, feature_dim)?;
+        reports.push((kind, prepared.profile(arch, opts)));
+    }
+    let baseline_time = reports
+        .iter()
+        .find(|(k, _)| *k == KernelKind::CusparseLike)
+        .map(|(_, r)| r.time_s)
+        .expect("baseline always present");
+    Ok(reports
+        .into_iter()
+        .map(|(kind, report)| ComparisonRow {
+            speedup: baseline_time / report.time_s,
+            kind,
+            report,
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spmm_matrix::gen::{clustered, ClusteredConfig};
+
+    #[test]
+    fn comparison_includes_all_kernels_with_baseline_at_one() {
+        let a = clustered(
+            ClusteredConfig {
+                n: 512,
+                cluster_size: 64,
+                intra_deg: 16.0,
+                inter_deg: 2.0,
+                hub_fraction: 0.0,
+                hub_factor: 1.0,
+                shuffle: true,
+                ..Default::default()
+            },
+            1,
+        );
+        let rows = compare_all(&a, Arch::A800, 128, &SimOptions::default()).unwrap();
+        assert_eq!(rows.len(), 6);
+        let base = rows
+            .iter()
+            .find(|r| r.kind == KernelKind::CusparseLike)
+            .unwrap();
+        assert!((base.speedup - 1.0).abs() < 1e-9);
+        // Acc-SpMM must be the fastest TC kernel on a clustered matrix.
+        let acc = rows.iter().find(|r| r.kind == KernelKind::AccSpmm).unwrap();
+        let dtc = rows.iter().find(|r| r.kind == KernelKind::DtcSpmm).unwrap();
+        assert!(acc.speedup > 1.0);
+        assert!(acc.speedup >= dtc.speedup * 0.95);
+    }
+}

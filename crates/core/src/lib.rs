@@ -1,0 +1,53 @@
+//! # Acc-SpMM
+//!
+//! A reproduction of *"Acc-SpMM: Accelerating General-purpose Sparse
+//! Matrix-Matrix Multiplication with GPU Tensor Cores"* (PPoPP 2025) as a
+//! pure-Rust library. The GPU is replaced by a calibrated timing/cache
+//! simulator (see `spmm-sim`), and the numerics follow the tensor-core
+//! TF32 path exactly (TF32 operands, FP32 accumulation).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use acc_spmm::{AccSpmm, Arch};
+//! use spmm_matrix::{gen, DenseMatrix};
+//!
+//! // A power-law adjacency matrix and a feature matrix.
+//! let a = gen::uniform_random(512, 8.0, 42);
+//! let b = DenseMatrix::random(512, 128, 7);
+//!
+//! // Preprocess once (reorder → BitTCF → balance plan) ...
+//! let handle = AccSpmm::new(&a, Arch::A800, 128).unwrap();
+//! // ... multiply many times,
+//! let c = handle.multiply(&b).unwrap();
+//! // ... and profile on the simulated A800.
+//! let report = handle.profile_default();
+//! assert!(report.gflops > 0.0);
+//! assert_eq!(c.nrows(), 512);
+//! ```
+//!
+//! The substrate crates are re-exported under their natural names:
+//! [`matrix`], [`graph`], [`reorder`], [`format`](mod@crate::format), [`sim`], [`balance`],
+//! [`kernels`].
+
+pub mod comparison;
+pub mod gnn;
+pub mod handle;
+pub mod solvers;
+
+pub use comparison::{compare_all, ComparisonRow};
+pub use gnn::{gcn_normalize, Gcn, GcnLayer};
+pub use handle::{AccSpmm, PreprocessStats};
+
+pub use spmm_balance as balance;
+pub use spmm_format as format;
+pub use spmm_graph as graph;
+pub use spmm_kernels as kernels;
+pub use spmm_matrix as matrix;
+pub use spmm_reorder as reorder;
+pub use spmm_sim as sim;
+
+pub use spmm_common::{Result, SpmmError};
+pub use spmm_kernels::{AccConfig, KernelKind};
+pub use spmm_matrix::{CsrMatrix, DenseMatrix};
+pub use spmm_sim::{Arch, KernelReport, SimOptions};

@@ -1,0 +1,445 @@
+//! BitTCF — the paper's memory-efficient compressed format (§3.3).
+//!
+//! Four arrays represent the sparse matrix:
+//! 1. `RowWindowOffset` — starting TC block of each RowWindow;
+//! 2. `TCOffset` — starting nnz of each TC block;
+//! 3. `SparseAToB` — original column index of each TC-block column slot
+//!    (what the kernel uses to gather rows of the dense B);
+//! 4. `TCLocalBit` — one `u64` per TC block whose bit `r·8+c` marks a
+//!    non-zero at local position `(r, c)`.
+//!
+//! Index footprint: `(⌈M/8⌉ + NumTCBlock × 11 + 2) × 4` bytes, exactly
+//! the paper's formula. Decompression mirrors the CUDA `__popcll` path:
+//! the value index of the non-zero at bit `t` is the popcount of the bits
+//! below `t`.
+
+use crate::window::{WindowPartition, PAD_COL, TILE};
+use spmm_common::scalar::tf32_mma_8x8;
+use spmm_common::{Result, SpmmError};
+use spmm_matrix::{CooMatrix, CsrMatrix, DenseMatrix};
+
+/// The BitTCF compressed sparse matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BitTcf {
+    nrows: usize,
+    ncols: usize,
+    /// Starting TC block per RowWindow (`⌈M/8⌉ + 1` entries).
+    pub row_window_offset: Vec<u32>,
+    /// Starting nnz per TC block (`NumTcBlock + 1` entries).
+    pub tc_offset: Vec<u32>,
+    /// Original column of each block column slot (`NumTcBlock × 8`,
+    /// padded with `u32::MAX`).
+    pub sparse_a_to_b: Vec<u32>,
+    /// Non-zero occupancy bitmap per TC block.
+    pub tc_local_bit: Vec<u64>,
+    /// Values in block order, row-major within each block (bit order).
+    pub values: Vec<f32>,
+}
+
+impl BitTcf {
+    /// Convert from CSR (via the shared window squeezing).
+    pub fn from_csr(m: &CsrMatrix) -> Self {
+        let wp = WindowPartition::build(m);
+        Self::from_partition(m, &wp)
+    }
+
+    /// Convert from CSR with a precomputed partition (lets converters
+    /// share the squeezing cost, as the conversion-overhead comparison
+    /// requires).
+    ///
+    /// This converter is the cheap path §4.3.2 measures: the bitmap is
+    /// built with one OR per nnz, and because rows are visited in order
+    /// (ascending local row, then ascending squeezed column) values
+    /// arrive already in bit order — no per-block sort and no per-nnz id
+    /// array, unlike the ME-TCF converter.
+    pub fn from_partition(m: &CsrMatrix, wp: &WindowPartition) -> Self {
+        let num_windows = wp.num_windows();
+        let num_blocks = wp.num_tc_blocks();
+        let mut row_window_offset = Vec::with_capacity(num_windows + 1);
+        row_window_offset.push(0u32);
+        let mut sparse_a_to_b = vec![PAD_COL; num_blocks * TILE];
+        let mut tc_local_bit = vec![0u64; num_blocks];
+
+        // Pass 1: bitmaps + SparseAToB (one OR per nnz).
+        for w in 0..num_windows {
+            let blocks = wp.window_blocks(w);
+            row_window_offset.push(blocks.end as u32);
+            let wcols = wp.window_columns(w);
+            for (bi, block) in blocks.clone().enumerate() {
+                let cols = wp.block_columns(w, bi);
+                sparse_a_to_b[block * TILE..(block + 1) * TILE].copy_from_slice(&cols);
+            }
+            let lo = w * TILE;
+            let hi = ((w + 1) * TILE).min(m.nrows());
+            for r in lo..hi {
+                let lr = (r - lo) as u8;
+                let (cols, _) = m.row(r);
+                for &c in cols {
+                    // Position of c within the squeezed window columns.
+                    let pos = wcols.binary_search(&c).expect("column must be in window");
+                    let block = blocks.start + pos / TILE;
+                    let lc = (pos % TILE) as u8;
+                    tc_local_bit[block] |= 1u64 << (lr * TILE as u8 + lc);
+                }
+            }
+        }
+
+        // TCOffset from bitmap popcounts.
+        let mut tc_offset = Vec::with_capacity(num_blocks + 1);
+        let mut acc = 0u32;
+        tc_offset.push(0u32);
+        for &bits in &tc_local_bit {
+            acc += bits.count_ones();
+            tc_offset.push(acc);
+        }
+
+        // Pass 2: scatter values straight to their final slots. Within a
+        // block, the visit order (ascending row, ascending column) IS
+        // ascending bit order, so a per-block cursor suffices.
+        let mut values = vec![0f32; m.nnz()];
+        let mut cursor: Vec<u32> = tc_offset[..num_blocks].to_vec();
+        for w in 0..num_windows {
+            let blocks = wp.window_blocks(w);
+            let wcols = wp.window_columns(w);
+            let lo = w * TILE;
+            let hi = ((w + 1) * TILE).min(m.nrows());
+            for r in lo..hi {
+                let (cols, vals) = m.row(r);
+                for (&c, &v) in cols.iter().zip(vals.iter()) {
+                    let pos = wcols.binary_search(&c).expect("column must be in window");
+                    let block = blocks.start + pos / TILE;
+                    values[cursor[block] as usize] = v;
+                    cursor[block] += 1;
+                }
+            }
+        }
+
+        BitTcf {
+            nrows: m.nrows(),
+            ncols: m.ncols(),
+            row_window_offset,
+            tc_offset,
+            sparse_a_to_b,
+            tc_local_bit,
+            values,
+        }
+    }
+
+    /// Reassemble from raw arrays (used by the binary loader, which
+    /// validates the invariants before calling).
+    pub(crate) fn from_raw_parts(
+        nrows: usize,
+        ncols: usize,
+        row_window_offset: Vec<u32>,
+        tc_offset: Vec<u32>,
+        sparse_a_to_b: Vec<u32>,
+        tc_local_bit: Vec<u64>,
+        values: Vec<f32>,
+    ) -> Self {
+        BitTcf {
+            nrows,
+            ncols,
+            row_window_offset,
+            tc_offset,
+            sparse_a_to_b,
+            tc_local_bit,
+            values,
+        }
+    }
+
+    /// Rows of the represented matrix.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Columns of the represented matrix.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Stored non-zeros.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Number of RowWindows.
+    #[inline]
+    pub fn num_windows(&self) -> usize {
+        self.row_window_offset.len() - 1
+    }
+
+    /// Number of TC blocks.
+    #[inline]
+    pub fn num_tc_blocks(&self) -> usize {
+        self.tc_local_bit.len()
+    }
+
+    /// TC blocks of window `w` as a block-id range.
+    #[inline]
+    pub fn window_blocks(&self, w: usize) -> std::ops::Range<usize> {
+        self.row_window_offset[w] as usize..self.row_window_offset[w + 1] as usize
+    }
+
+    /// Non-zeros in TC block `b` (popcount of its bitmap — by
+    /// construction equal to `tc_offset[b+1] - tc_offset[b]`).
+    #[inline]
+    pub fn block_nnz(&self, b: usize) -> usize {
+        self.tc_local_bit[b].count_ones() as usize
+    }
+
+    /// The 8 (padded) B-gather columns of block `b`.
+    #[inline]
+    pub fn block_cols(&self, b: usize) -> &[u32] {
+        &self.sparse_a_to_b[b * TILE..(b + 1) * TILE]
+    }
+
+    /// Index-structure footprint in bytes — the paper's
+    /// `(⌈M/8⌉ + NumTCBlock × 11 + 2) × 4` formula (values excluded, as
+    /// in the Figure-12 comparison).
+    pub fn index_bytes(&self) -> usize {
+        (self.nrows.div_ceil(TILE) + self.num_tc_blocks() * 11 + 2) * 4
+    }
+
+    /// Decompress block `b` into a dense 8×8 tile, mirroring the CUDA
+    /// two-warp `__popcll` decoder: each of the 64 positions is either
+    /// zero or `values[tc_offset[b] + popcount(bits below position)]`.
+    pub fn decompress_block(&self, b: usize) -> [f32; TILE * TILE] {
+        let bits = self.tc_local_bit[b];
+        let base = self.tc_offset[b] as usize;
+        let mut tile = [0.0f32; TILE * TILE];
+        for t in 0..(TILE * TILE) as u32 {
+            if bits & (1u64 << t) != 0 {
+                let below = bits & ((1u64 << t) - 1);
+                tile[t as usize] = self.values[base + below.count_ones() as usize];
+            }
+        }
+        tile
+    }
+
+    /// Functional SpMM through the TC path: every block is decompressed
+    /// to a dense tile and multiplied with the gathered B rows by the
+    /// software TF32 MMA, accumulating into C. This is numerically what
+    /// the GPU kernel computes (TF32 operands, FP32 accumulate).
+    ///
+    /// RowWindows write disjoint C rows, so the window loop parallelizes
+    /// over the output exactly like the GPU's thread-block grid.
+    pub fn spmm(&self, b: &DenseMatrix) -> Result<DenseMatrix> {
+        use rayon::prelude::*;
+        if self.ncols != b.nrows() {
+            return Err(SpmmError::DimensionMismatch {
+                context: format!(
+                    "A is {}x{}, B is {}x{}",
+                    self.nrows,
+                    self.ncols,
+                    b.nrows(),
+                    b.ncols()
+                ),
+            });
+        }
+        let n = b.ncols();
+        let mut c = DenseMatrix::zeros(self.nrows, n);
+        c.as_mut_slice()
+            .par_chunks_mut(TILE * n)
+            .enumerate()
+            .for_each(|(w, cslab)| {
+                let mut btile = vec![0.0f32; TILE * n];
+                let mut ctile = vec![0.0f32; TILE * n];
+                for blk in self.window_blocks(w) {
+                    let a = self.decompress_block(blk);
+                    // Gather the 8 B rows selected by SparseAToB (padding
+                    // contributes zero rows, exactly like the zero-filled
+                    // shared-memory slots on the GPU).
+                    for (i, &col) in self.block_cols(blk).iter().enumerate() {
+                        if col == PAD_COL {
+                            btile[i * n..(i + 1) * n].iter_mut().for_each(|x| *x = 0.0);
+                        } else {
+                            btile[i * n..(i + 1) * n].copy_from_slice(b.row(col as usize));
+                        }
+                    }
+                    tf32_mma_8x8(&a, &btile, &mut ctile, n);
+                }
+                // Write the window's C rows back (last slab may be ragged).
+                cslab.copy_from_slice(&ctile[..cslab.len()]);
+            });
+        Ok(c)
+    }
+
+    /// [`BitTcf::spmm`] with a selectable operand precision (TF32 is the
+    /// paper's mode; FP16/BF16 model Magicube-style reduced-precision
+    /// tensor-core paths, FP32 the exact reference).
+    pub fn spmm_with_precision(
+        &self,
+        b: &DenseMatrix,
+        precision: spmm_common::Precision,
+    ) -> Result<DenseMatrix> {
+        if self.ncols != b.nrows() {
+            return Err(SpmmError::DimensionMismatch {
+                context: format!("A has {} cols, B has {} rows", self.ncols, b.nrows()),
+            });
+        }
+        let n = b.ncols();
+        let mut c = DenseMatrix::zeros(self.nrows, n);
+        let mut btile = vec![0.0f32; TILE * n];
+        let mut ctile = vec![0.0f32; TILE * n];
+        for w in 0..self.num_windows() {
+            ctile.iter_mut().for_each(|x| *x = 0.0);
+            for blk in self.window_blocks(w) {
+                let a = self.decompress_block(blk);
+                for (i, &col) in self.block_cols(blk).iter().enumerate() {
+                    if col == PAD_COL {
+                        btile[i * n..(i + 1) * n].iter_mut().for_each(|x| *x = 0.0);
+                    } else {
+                        btile[i * n..(i + 1) * n].copy_from_slice(b.row(col as usize));
+                    }
+                }
+                spmm_common::precision::mma_8x8_with_precision(&a, &btile, &mut ctile, n, precision);
+            }
+            let lo = w * TILE;
+            let hi = ((w + 1) * TILE).min(self.nrows);
+            for r in lo..hi {
+                c.row_mut(r).copy_from_slice(&ctile[(r - lo) * n..(r - lo + 1) * n]);
+            }
+        }
+        Ok(c)
+    }
+
+    /// Reconstruct the CSR matrix (round-trip used by tests).
+    pub fn to_csr(&self) -> CsrMatrix {
+        let mut coo = CooMatrix::new(self.nrows, self.ncols);
+        for w in 0..self.num_windows() {
+            let lo = w * TILE;
+            for blk in self.window_blocks(w) {
+                let tile = self.decompress_block(blk);
+                let cols = self.block_cols(blk);
+                let bits = self.tc_local_bit[blk];
+                for t in 0..TILE * TILE {
+                    if bits & (1u64 << t) != 0 {
+                        let (lr, lc) = (t / TILE, t % TILE);
+                        coo.push((lo + lr) as u32, cols[lc], tile[t]);
+                    }
+                }
+            }
+        }
+        CsrMatrix::from_coo(&coo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spmm_common::scalar::tf32_tolerance;
+    use spmm_matrix::gen::uniform_random;
+
+    fn small() -> CsrMatrix {
+        let mut coo = CooMatrix::new(12, 12);
+        let entries = [
+            (0u32, 0u32, 1.0f32),
+            (0, 9, 2.0),
+            (1, 3, 3.0),
+            (7, 0, 4.0),
+            (8, 11, 5.0),
+            (9, 2, 6.0),
+        ];
+        for &(r, c, v) in &entries {
+            coo.push(r, c, v);
+        }
+        CsrMatrix::from_coo(&coo)
+    }
+
+    #[test]
+    fn structure_counts() {
+        let t = BitTcf::from_csr(&small());
+        assert_eq!(t.num_windows(), 2);
+        assert_eq!(t.nnz(), 6);
+        // Window 0 distinct cols {0,3,9} -> 1 block; window 1 {2,11} -> 1.
+        assert_eq!(t.num_tc_blocks(), 2);
+        assert_eq!(t.block_nnz(0), 4);
+        assert_eq!(t.block_nnz(1), 2);
+    }
+
+    #[test]
+    fn popcount_matches_offsets() {
+        let m = uniform_random(128, 6.0, 3);
+        let t = BitTcf::from_csr(&m);
+        for b in 0..t.num_tc_blocks() {
+            assert_eq!(
+                t.block_nnz(b),
+                (t.tc_offset[b + 1] - t.tc_offset[b]) as usize,
+                "bitmap popcount must equal TCOffset span at block {b}"
+            );
+        }
+        assert_eq!(t.tc_offset[t.num_tc_blocks()] as usize, m.nnz());
+    }
+
+    #[test]
+    fn roundtrip_csr() {
+        let m = uniform_random(200, 5.0, 9);
+        let t = BitTcf::from_csr(&m);
+        assert_eq!(t.to_csr(), m);
+    }
+
+    #[test]
+    fn decompress_places_values_correctly() {
+        let t = BitTcf::from_csr(&small());
+        let tile = t.decompress_block(0);
+        // Window 0 squeezed cols [0,3,9]: (0,0)=1 at (0,0); (0,9)=2 at
+        // (0,2); (1,3)=3 at (1,1); (7,0)=4 at (7,0).
+        assert_eq!(tile[0], 1.0);
+        assert_eq!(tile[2], 2.0);
+        assert_eq!(tile[TILE + 1], 3.0);
+        assert_eq!(tile[7 * TILE], 4.0);
+        assert_eq!(tile.iter().filter(|&&x| x != 0.0).count(), 4);
+    }
+
+    #[test]
+    fn index_bytes_formula() {
+        let t = BitTcf::from_csr(&small());
+        // ceil(12/8)=2 windows, 2 blocks: (2 + 22 + 2) * 4 = 104.
+        assert_eq!(t.index_bytes(), 104);
+    }
+
+    #[test]
+    fn spmm_matches_reference_within_tf32() {
+        let m = uniform_random(96, 7.0, 5);
+        let b = DenseMatrix::random(96, 24, 1);
+        let t = BitTcf::from_csr(&m);
+        let c = t.spmm(&b).unwrap();
+        let reference = m.spmm_dense(&b).unwrap();
+        let tol = tf32_tolerance(96);
+        assert!(
+            c.approx_eq(&reference, tol, tol),
+            "max diff {}",
+            c.max_abs_diff(&reference)
+        );
+    }
+
+    #[test]
+    fn spmm_shape_mismatch_rejected() {
+        let t = BitTcf::from_csr(&small());
+        assert!(t.spmm(&DenseMatrix::zeros(5, 4)).is_err());
+    }
+
+    #[test]
+    fn precision_modes_order_by_error() {
+        use spmm_common::Precision;
+        let m = uniform_random(128, 8.0, 7);
+        let b = DenseMatrix::random(128, 16, 2);
+        let t = BitTcf::from_csr(&m);
+        let exact = m.spmm_dense(&b).unwrap();
+        let mut errs = Vec::new();
+        for p in [Precision::Fp32, Precision::Tf32, Precision::Bf16] {
+            let c = t.spmm_with_precision(&b, p).unwrap();
+            errs.push(c.max_abs_diff(&exact) as f64);
+        }
+        assert!(errs[0] < 1e-4, "FP32 path ~exact: {}", errs[0]);
+        assert!(errs[1] <= errs[2], "TF32 <= BF16 error: {errs:?}");
+        assert!(errs[2] > 0.0, "BF16 must actually round");
+        // TF32 mode must agree with the default spmm.
+        let via_default = t.spmm(&b).unwrap();
+        let via_precision = t.spmm_with_precision(&b, Precision::Tf32).unwrap();
+        assert_eq!(via_default, via_precision);
+    }
+}

@@ -1,0 +1,251 @@
+//! ME-TCF — DTC-SpMM's memory-efficient TC format (the baseline BitTCF
+//! improves upon).
+//!
+//! Same RowWindow/TCOffset/SparseAToB skeleton as BitTCF, but non-zero
+//! positions are stored as one `int8` *per nnz* (`TCLocalId`): a block
+//! with `k` non-zeros costs `k` bytes of position data versus BitTCF's
+//! flat 8 bytes, so ME-TCF loses ground as blocks densify (> 8 nnz per
+//! block) — the effect Figure 12 measures.
+
+use crate::window::{WindowPartition, PAD_COL, TILE};
+use spmm_common::{Result, SpmmError};
+use spmm_matrix::{CooMatrix, CsrMatrix, DenseMatrix};
+
+/// The ME-TCF compressed sparse matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeTcf {
+    nrows: usize,
+    ncols: usize,
+    /// Starting TC block per RowWindow.
+    pub row_window_offset: Vec<u32>,
+    /// Starting nnz per TC block.
+    pub tc_offset: Vec<u32>,
+    /// Original column per block column slot (padded).
+    pub sparse_a_to_b: Vec<u32>,
+    /// Local position (`row·8 + col`) of each nnz, one `u8` per nnz.
+    pub tc_local_id: Vec<u8>,
+    /// Values in block order, position-sorted.
+    pub values: Vec<f32>,
+}
+
+impl MeTcf {
+    /// Convert from CSR.
+    pub fn from_csr(m: &CsrMatrix) -> Self {
+        let wp = WindowPartition::build(m);
+        Self::from_partition(m, &wp)
+    }
+
+    /// Convert from CSR with a shared partition.
+    pub fn from_partition(m: &CsrMatrix, wp: &WindowPartition) -> Self {
+        let num_windows = wp.num_windows();
+        let num_blocks = wp.num_tc_blocks();
+        let mut row_window_offset = Vec::with_capacity(num_windows + 1);
+        row_window_offset.push(0u32);
+        let mut sparse_a_to_b = vec![PAD_COL; num_blocks * TILE];
+        let mut block_entries: Vec<Vec<(u8, f32)>> = vec![Vec::new(); num_blocks];
+
+        for w in 0..num_windows {
+            let blocks = wp.window_blocks(w);
+            row_window_offset.push(blocks.end as u32);
+            let wcols = wp.window_columns(w);
+            for (bi, block) in blocks.clone().enumerate() {
+                let cols = wp.block_columns(w, bi);
+                sparse_a_to_b[block * TILE..(block + 1) * TILE].copy_from_slice(&cols);
+            }
+            let lo = w * TILE;
+            let hi = ((w + 1) * TILE).min(m.nrows());
+            for r in lo..hi {
+                let lr = (r - lo) as u8;
+                let (cols, vals) = m.row(r);
+                for (&c, &v) in cols.iter().zip(vals.iter()) {
+                    let pos = wcols.binary_search(&c).expect("column must be in window");
+                    let block = blocks.start + pos / TILE;
+                    let lc = (pos % TILE) as u8;
+                    block_entries[block].push((lr * TILE as u8 + lc, v));
+                }
+            }
+        }
+
+        let mut tc_offset = vec![0u32; num_blocks + 1];
+        let mut tc_local_id = Vec::with_capacity(m.nnz());
+        let mut values = Vec::with_capacity(m.nnz());
+        for (b, entries) in block_entries.iter_mut().enumerate() {
+            entries.sort_unstable_by_key(|&(id, _)| id);
+            tc_offset[b] = values.len() as u32;
+            for &(id, v) in entries.iter() {
+                tc_local_id.push(id);
+                values.push(v);
+            }
+        }
+        tc_offset[num_blocks] = values.len() as u32;
+
+        MeTcf {
+            nrows: m.nrows(),
+            ncols: m.ncols(),
+            row_window_offset,
+            tc_offset,
+            sparse_a_to_b,
+            tc_local_id,
+            values,
+        }
+    }
+
+    /// Rows of the represented matrix.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Columns of the represented matrix.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Stored non-zeros.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Number of RowWindows.
+    #[inline]
+    pub fn num_windows(&self) -> usize {
+        self.row_window_offset.len() - 1
+    }
+
+    /// Number of TC blocks.
+    #[inline]
+    pub fn num_tc_blocks(&self) -> usize {
+        self.tc_offset.len() - 1
+    }
+
+    /// TC blocks of window `w`.
+    #[inline]
+    pub fn window_blocks(&self, w: usize) -> std::ops::Range<usize> {
+        self.row_window_offset[w] as usize..self.row_window_offset[w + 1] as usize
+    }
+
+    /// Index-structure footprint in bytes: the BitTCF skeleton with the
+    /// bitmap replaced by one byte per nnz.
+    pub fn index_bytes(&self) -> usize {
+        (self.nrows.div_ceil(TILE) + 1 + self.num_tc_blocks() + 1 + self.num_tc_blocks() * TILE)
+            * 4
+            + self.nnz()
+    }
+
+    /// Decompress block `b` by scattering each nnz to its `TCLocalId`
+    /// position (the DTC-SpMM decode path — one scatter per nnz, versus
+    /// BitTCF's branch-free popcount).
+    pub fn decompress_block(&self, b: usize) -> [f32; TILE * TILE] {
+        let mut tile = [0.0f32; TILE * TILE];
+        for k in self.tc_offset[b] as usize..self.tc_offset[b + 1] as usize {
+            tile[self.tc_local_id[k] as usize] = self.values[k];
+        }
+        tile
+    }
+
+    /// Functional SpMM through the TC path (same numerics as
+    /// [`crate::BitTcf::spmm`]).
+    pub fn spmm(&self, b: &DenseMatrix) -> Result<DenseMatrix> {
+        if self.ncols != b.nrows() {
+            return Err(SpmmError::DimensionMismatch {
+                context: format!("A has {} cols, B has {} rows", self.ncols, b.nrows()),
+            });
+        }
+        let n = b.ncols();
+        let mut c = DenseMatrix::zeros(self.nrows, n);
+        let mut btile = vec![0.0f32; TILE * n];
+        let mut ctile = vec![0.0f32; TILE * n];
+        for w in 0..self.num_windows() {
+            ctile.iter_mut().for_each(|x| *x = 0.0);
+            for blk in self.window_blocks(w) {
+                let a = self.decompress_block(blk);
+                for i in 0..TILE {
+                    let col = self.sparse_a_to_b[blk * TILE + i];
+                    if col == PAD_COL {
+                        btile[i * n..(i + 1) * n].iter_mut().for_each(|x| *x = 0.0);
+                    } else {
+                        btile[i * n..(i + 1) * n].copy_from_slice(b.row(col as usize));
+                    }
+                }
+                spmm_common::scalar::tf32_mma_8x8(&a, &btile, &mut ctile, n);
+            }
+            let lo = w * TILE;
+            let hi = ((w + 1) * TILE).min(self.nrows);
+            for r in lo..hi {
+                c.row_mut(r).copy_from_slice(&ctile[(r - lo) * n..(r - lo + 1) * n]);
+            }
+        }
+        Ok(c)
+    }
+
+    /// Reconstruct CSR (round-trip for tests).
+    pub fn to_csr(&self) -> CsrMatrix {
+        let mut coo = CooMatrix::new(self.nrows, self.ncols);
+        for w in 0..self.num_windows() {
+            let lo = w * TILE;
+            for blk in self.window_blocks(w) {
+                for k in self.tc_offset[blk] as usize..self.tc_offset[blk + 1] as usize {
+                    let id = self.tc_local_id[k] as usize;
+                    let (lr, lc) = (id / TILE, id % TILE);
+                    let col = self.sparse_a_to_b[blk * TILE + lc];
+                    coo.push((lo + lr) as u32, col, self.values[k]);
+                }
+            }
+        }
+        CsrMatrix::from_coo(&coo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bittcf::BitTcf;
+    use spmm_matrix::gen::uniform_random;
+
+    #[test]
+    fn roundtrip_csr() {
+        let m = uniform_random(150, 5.0, 2);
+        assert_eq!(MeTcf::from_csr(&m).to_csr(), m);
+    }
+
+    #[test]
+    fn same_block_structure_as_bittcf() {
+        let m = uniform_random(256, 8.0, 7);
+        let me = MeTcf::from_csr(&m);
+        let bit = BitTcf::from_csr(&m);
+        assert_eq!(me.num_tc_blocks(), bit.num_tc_blocks());
+        assert_eq!(me.row_window_offset, bit.row_window_offset);
+        assert_eq!(me.tc_offset, bit.tc_offset);
+        assert_eq!(me.sparse_a_to_b, bit.sparse_a_to_b);
+        for b in 0..me.num_tc_blocks() {
+            assert_eq!(me.decompress_block(b), bit.decompress_block(b));
+        }
+    }
+
+    #[test]
+    fn spmm_agrees_with_bittcf() {
+        let m = uniform_random(120, 6.0, 4);
+        let b = DenseMatrix::random(120, 16, 3);
+        let me = MeTcf::from_csr(&m).spmm(&b).unwrap();
+        let bit = BitTcf::from_csr(&m).spmm(&b).unwrap();
+        assert_eq!(me, bit, "identical TC-path numerics expected");
+    }
+
+    #[test]
+    fn byte_accounting_grows_with_nnz_unlike_bittcf() {
+        // Dense 8x8 blocks: ME-TCF pays 64 position bytes per block,
+        // BitTCF pays 8.
+        let mut coo = spmm_matrix::CooMatrix::new(64, 64);
+        for r in 0..64u32 {
+            for c in 0..8u32 {
+                coo.push(r, c, 1.0);
+            }
+        }
+        let m = CsrMatrix::from_coo(&coo);
+        let me = MeTcf::from_csr(&m);
+        let bit = BitTcf::from_csr(&m);
+        assert!(me.index_bytes() > bit.index_bytes());
+    }
+}

@@ -1,0 +1,204 @@
+//! TCF — TC-GNN's original tensor-core format (the Figure-12 baseline).
+//!
+//! TC-GNN keeps three *per-edge* arrays alongside the window pointers:
+//! `edgeList` (original column), `edgeToColumn` (squeezed column within
+//! the window) and `edgeToRow` (row of the edge), i.e. 12 bytes per nnz
+//! plus the window pointer — the redundancy both ME-TCF and BitTCF
+//! eliminate.
+
+use crate::window::{WindowPartition, TILE};
+use spmm_common::{Result, SpmmError};
+use spmm_matrix::{CooMatrix, CsrMatrix, DenseMatrix};
+
+/// The TCF compressed sparse matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tcf {
+    nrows: usize,
+    ncols: usize,
+    /// Starting nnz of each RowWindow (`⌈M/8⌉ + 1` entries, TC-GNN's
+    /// `nodePointer` analog).
+    pub window_nnz_offset: Vec<u32>,
+    /// Original column index of each nnz (TC-GNN `edgeList`).
+    pub edge_list: Vec<u32>,
+    /// Squeezed column of each nnz within its window (`edgeToColumn`).
+    pub edge_to_column: Vec<u32>,
+    /// Row of each nnz (`edgeToRow`).
+    pub edge_to_row: Vec<u32>,
+    /// Values, window order.
+    pub values: Vec<f32>,
+    /// TC blocks per window (derived; `blockPartition` in TC-GNN).
+    pub blocks_per_window: Vec<u32>,
+}
+
+impl Tcf {
+    /// Convert from CSR.
+    pub fn from_csr(m: &CsrMatrix) -> Self {
+        let wp = WindowPartition::build(m);
+        Self::from_partition(m, &wp)
+    }
+
+    /// Convert from CSR with a shared partition.
+    pub fn from_partition(m: &CsrMatrix, wp: &WindowPartition) -> Self {
+        let num_windows = wp.num_windows();
+        let mut window_nnz_offset = Vec::with_capacity(num_windows + 1);
+        window_nnz_offset.push(0u32);
+        let mut edge_list = Vec::with_capacity(m.nnz());
+        let mut edge_to_column = Vec::with_capacity(m.nnz());
+        let mut edge_to_row = Vec::with_capacity(m.nnz());
+        let mut values = Vec::with_capacity(m.nnz());
+        let mut blocks_per_window = Vec::with_capacity(num_windows);
+        for w in 0..num_windows {
+            let wcols = wp.window_columns(w);
+            blocks_per_window.push(wcols.len().div_ceil(TILE) as u32);
+            let lo = w * TILE;
+            let hi = ((w + 1) * TILE).min(m.nrows());
+            for r in lo..hi {
+                let (cols, vals) = m.row(r);
+                for (&c, &v) in cols.iter().zip(vals.iter()) {
+                    let pos = wcols.binary_search(&c).expect("column in window") as u32;
+                    edge_list.push(c);
+                    edge_to_column.push(pos);
+                    edge_to_row.push(r as u32);
+                    values.push(v);
+                }
+            }
+            window_nnz_offset.push(values.len() as u32);
+        }
+        Tcf {
+            nrows: m.nrows(),
+            ncols: m.ncols(),
+            window_nnz_offset,
+            edge_list,
+            edge_to_column,
+            edge_to_row,
+            values,
+            blocks_per_window,
+        }
+    }
+
+    /// Rows of the represented matrix.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Columns of the represented matrix.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Stored non-zeros.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Number of RowWindows.
+    #[inline]
+    pub fn num_windows(&self) -> usize {
+        self.window_nnz_offset.len() - 1
+    }
+
+    /// Total TC blocks.
+    pub fn num_tc_blocks(&self) -> usize {
+        self.blocks_per_window.iter().map(|&b| b as usize).sum()
+    }
+
+    /// Index-structure footprint in bytes: window pointers + blocks per
+    /// window + three u32 arrays per nnz.
+    pub fn index_bytes(&self) -> usize {
+        (self.num_windows() + 1) * 4 + self.num_windows() * 4 + self.nnz() * 12
+    }
+
+    /// Functional SpMM (window-dense accumulate, numerically the TC
+    /// path: TF32 operands, FP32 accumulation).
+    pub fn spmm(&self, b: &DenseMatrix) -> Result<DenseMatrix> {
+        if self.ncols != b.nrows() {
+            return Err(SpmmError::DimensionMismatch {
+                context: format!("A has {} cols, B has {} rows", self.ncols, b.nrows()),
+            });
+        }
+        let n = b.ncols();
+        let mut c = DenseMatrix::zeros(self.nrows, n);
+        use spmm_common::scalar::to_tf32;
+        for k in 0..self.nnz() {
+            let r = self.edge_to_row[k] as usize;
+            let col = self.edge_list[k] as usize;
+            let v = to_tf32(self.values[k]);
+            let brow = b.row(col);
+            let crow = c.row_mut(r);
+            for j in 0..n {
+                crow[j] += v * to_tf32(brow[j]);
+            }
+        }
+        Ok(c)
+    }
+
+    /// Reconstruct CSR.
+    pub fn to_csr(&self) -> CsrMatrix {
+        let mut coo = CooMatrix::new(self.nrows, self.ncols);
+        for k in 0..self.nnz() {
+            coo.push(self.edge_to_row[k], self.edge_list[k], self.values[k]);
+        }
+        CsrMatrix::from_coo(&coo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bittcf::BitTcf;
+    use spmm_matrix::gen::uniform_random;
+
+    #[test]
+    fn roundtrip_csr() {
+        let m = uniform_random(100, 4.0, 1);
+        assert_eq!(Tcf::from_csr(&m).to_csr(), m);
+    }
+
+    #[test]
+    fn block_count_matches_bittcf() {
+        let m = uniform_random(256, 8.0, 2);
+        assert_eq!(
+            Tcf::from_csr(&m).num_tc_blocks(),
+            BitTcf::from_csr(&m).num_tc_blocks()
+        );
+    }
+
+    #[test]
+    fn tcf_is_the_largest_index_structure() {
+        let m = uniform_random(256, 8.0, 3);
+        let tcf = Tcf::from_csr(&m);
+        let bit = BitTcf::from_csr(&m);
+        assert!(
+            tcf.index_bytes() > bit.index_bytes(),
+            "TCF {} vs BitTCF {}",
+            tcf.index_bytes(),
+            bit.index_bytes()
+        );
+    }
+
+    #[test]
+    fn spmm_matches_bittcf_numerics() {
+        let m = uniform_random(80, 5.0, 4);
+        let b = DenseMatrix::random(80, 8, 2);
+        let c1 = Tcf::from_csr(&m).spmm(&b).unwrap();
+        let c2 = BitTcf::from_csr(&m).spmm(&b).unwrap();
+        // Different accumulation orders: equal within TF32 tolerance.
+        let tol = spmm_common::scalar::tf32_tolerance(80);
+        assert!(c1.approx_eq(&c2, tol, tol));
+    }
+
+    #[test]
+    fn edge_to_column_stays_in_window_bounds() {
+        let m = uniform_random(64, 6.0, 5);
+        let t = Tcf::from_csr(&m);
+        for w in 0..t.num_windows() {
+            let max_col = (t.blocks_per_window[w] as usize) * TILE;
+            for k in t.window_nnz_offset[w] as usize..t.window_nnz_offset[w + 1] as usize {
+                assert!((t.edge_to_column[k] as usize) < max_col);
+            }
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Connected components — substrate utility used to reason about
+//! workload structure (the molecule unions are, by construction, forests
+//! of small components; community graphs are near-connected).
+
+use crate::view::GraphView;
+
+/// Connected-component labelling of an undirected graph.
+#[derive(Debug, Clone)]
+pub struct Components {
+    /// Component id per vertex (dense, `0..count`).
+    pub label: Vec<u32>,
+    /// Number of components.
+    pub count: usize,
+    /// Size of each component.
+    pub sizes: Vec<usize>,
+}
+
+/// Label connected components with an iterative BFS (stack-safe on
+/// million-vertex graphs).
+pub fn connected_components(g: &GraphView) -> Components {
+    let n = g.num_vertices();
+    let mut label = vec![u32::MAX; n];
+    let mut sizes = Vec::new();
+    let mut queue = std::collections::VecDeque::new();
+    let mut next = 0u32;
+    for start in 0..n as u32 {
+        if label[start as usize] != u32::MAX {
+            continue;
+        }
+        let mut size = 0usize;
+        label[start as usize] = next;
+        queue.push_back(start);
+        while let Some(v) = queue.pop_front() {
+            size += 1;
+            for &u in g.neighbors(v) {
+                if label[u as usize] == u32::MAX {
+                    label[u as usize] = next;
+                    queue.push_back(u);
+                }
+            }
+        }
+        sizes.push(size);
+        next += 1;
+    }
+    Components {
+        label,
+        count: next as usize,
+        sizes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spmm_matrix::{CooMatrix, CsrMatrix};
+
+    fn graph(n: usize, edges: &[(u32, u32)]) -> GraphView {
+        let mut coo = CooMatrix::new(n, n);
+        for &(a, b) in edges {
+            coo.push(a, b, 1.0);
+        }
+        GraphView::from_csr(&CsrMatrix::from_coo(&coo))
+    }
+
+    #[test]
+    fn two_triangles_and_an_isolate() {
+        let g = graph(7, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)]);
+        let c = connected_components(&g);
+        assert_eq!(c.count, 3);
+        assert_eq!(c.label[0], c.label[1]);
+        assert_eq!(c.label[3], c.label[5]);
+        assert_ne!(c.label[0], c.label[3]);
+        let mut sizes = c.sizes.clone();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![1, 3, 3]);
+    }
+
+    #[test]
+    fn sizes_partition_the_vertex_set() {
+        let m = spmm_matrix::gen::molecule_union(1024, 6, 14, true, 9);
+        let g = GraphView::from_csr(&m);
+        let c = connected_components(&g);
+        assert_eq!(c.sizes.iter().sum::<usize>(), g.num_vertices());
+        // Molecule unions are many small components.
+        assert!(c.count > 30, "got {} components", c.count);
+        assert!(c.sizes.iter().all(|&s| s <= 20), "molecules stay small");
+        // Labels are dense 0..count.
+        assert!(c.label.iter().all(|&l| (l as usize) < c.count));
+    }
+
+    #[test]
+    fn connected_graph_has_one_component() {
+        let m = spmm_matrix::gen::banded(64, 1, 1.0, 1);
+        let c = connected_components(&GraphView::from_csr(&m));
+        assert_eq!(c.count, 1);
+        assert_eq!(c.sizes, vec![64]);
+    }
+
+    #[test]
+    fn empty_graph_is_all_singletons() {
+        let g = graph(5, &[]);
+        let c = connected_components(&g);
+        assert_eq!(c.count, 5);
+        assert!(c.sizes.iter().all(|&s| s == 1));
+    }
+}

@@ -1,0 +1,160 @@
+//! Merge dendrogram: records the community-merge history of Algorithm 1's
+//! step I and yields the DFS leaf order consumed by step II.
+
+/// A forest of binary merge trees. Leaves are vertices `0..n`; each merge
+/// of community roots creates an internal node whose children are the two
+/// prior subtree roots. After construction, [`Dendrogram::dfs_leaves`]
+/// returns all leaves in DFS order, visiting top-level trees in the order
+/// their earliest leaf appears.
+#[derive(Debug, Clone)]
+pub struct Dendrogram {
+    n_leaves: usize,
+    /// children[i] for internal node `n_leaves + i`.
+    children: Vec<[u32; 2]>,
+    /// Current subtree root (dendrogram node id) of each community root.
+    /// Maintained during construction via `node_of`.
+    node_of: Vec<u32>,
+    /// Whether each dendrogram node currently has a parent.
+    has_parent: Vec<bool>,
+}
+
+impl Dendrogram {
+    /// A forest of `n` isolated leaves.
+    pub fn new(n: usize) -> Self {
+        Dendrogram {
+            n_leaves: n,
+            children: Vec::new(),
+            node_of: (0..n as u32).collect(),
+            has_parent: vec![false; n],
+        }
+    }
+
+    /// Number of leaves.
+    pub fn num_leaves(&self) -> usize {
+        self.n_leaves
+    }
+
+    /// Record that vertex-community `v` was merged into `u` (both given as
+    /// *vertices*; the caller passes representatives whose current subtree
+    /// is looked up internally). `u`'s subtree becomes the first child, as
+    /// the paper's ordering keeps the absorbing community first.
+    pub fn record_merge(&mut self, u_repr: u32, v_repr: u32) {
+        let nu = self.node_of[u_repr as usize];
+        let nv = self.node_of[v_repr as usize];
+        debug_assert_ne!(nu, nv, "cannot merge a community with itself");
+        let new_id = (self.n_leaves + self.children.len()) as u32;
+        self.children.push([nu, nv]);
+        self.has_parent[nu as usize] = true;
+        self.has_parent[nv as usize] = true;
+        self.has_parent.push(false);
+        // Both representatives now map to the merged subtree; the caller's
+        // union-find will route future lookups through either one.
+        self.node_of[u_repr as usize] = new_id;
+        self.node_of[v_repr as usize] = new_id;
+    }
+
+    /// Update the subtree mapping for a representative (used after
+    /// union-find path compression changes which vertex represents a
+    /// community).
+    pub fn set_node_of(&mut self, repr: u32, node: u32) {
+        self.node_of[repr as usize] = node;
+    }
+
+    /// Current subtree root node of a representative vertex.
+    pub fn node_of(&self, repr: u32) -> u32 {
+        self.node_of[repr as usize]
+    }
+
+    /// All leaves in DFS order. Roots are visited in ascending order of
+    /// their minimum leaf id, making the traversal deterministic and
+    /// keeping untouched singleton vertices in natural order.
+    pub fn dfs_leaves(&self) -> Vec<u32> {
+        let total = self.n_leaves + self.children.len();
+        // Compute the minimum leaf of each node bottom-up (children always
+        // precede parents in the id order because merges only reference
+        // existing nodes).
+        let mut min_leaf = vec![u32::MAX; total];
+        for v in 0..self.n_leaves {
+            min_leaf[v] = v as u32;
+        }
+        for (i, ch) in self.children.iter().enumerate() {
+            let id = self.n_leaves + i;
+            min_leaf[id] = min_leaf[ch[0] as usize].min(min_leaf[ch[1] as usize]);
+        }
+        let mut roots: Vec<u32> = (0..total as u32)
+            .filter(|&x| !self.has_parent[x as usize])
+            .collect();
+        roots.sort_by_key(|&r| min_leaf[r as usize]);
+
+        let mut order = Vec::with_capacity(self.n_leaves);
+        let mut stack: Vec<u32> = Vec::new();
+        for &root in &roots {
+            stack.push(root);
+            while let Some(node) = stack.pop() {
+                if (node as usize) < self.n_leaves {
+                    order.push(node);
+                } else {
+                    let ch = self.children[node as usize - self.n_leaves];
+                    // Push second child first so the first child is
+                    // visited first.
+                    stack.push(ch[1]);
+                    stack.push(ch[0]);
+                }
+            }
+        }
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spmm_common::util::is_permutation;
+
+    #[test]
+    fn no_merges_yields_identity() {
+        let d = Dendrogram::new(4);
+        assert_eq!(d.dfs_leaves(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn single_merge_groups_leaves() {
+        let mut d = Dendrogram::new(4);
+        // Merge 3 into 1: the tree {1,3} roots at min leaf 1.
+        d.record_merge(1, 3);
+        assert_eq!(d.dfs_leaves(), vec![0, 1, 3, 2]);
+    }
+
+    #[test]
+    fn nested_merges_preserve_absorber_first() {
+        let mut d = Dendrogram::new(5);
+        d.record_merge(0, 2); // {0,2}
+        d.record_merge(0, 4); // {{0,2},4}
+        d.record_merge(1, 3); // {1,3}
+        let order = d.dfs_leaves();
+        assert_eq!(order, vec![0, 2, 4, 1, 3]);
+    }
+
+    #[test]
+    fn leaves_always_form_a_permutation() {
+        let mut d = Dendrogram::new(8);
+        d.record_merge(7, 0);
+        d.record_merge(3, 5);
+        d.record_merge(7, 3); // merge the two trees
+        d.record_merge(2, 6);
+        let order = d.dfs_leaves();
+        assert_eq!(order.len(), 8);
+        assert!(is_permutation(&order));
+    }
+
+    #[test]
+    fn roots_ordered_by_min_leaf() {
+        let mut d = Dendrogram::new(6);
+        d.record_merge(4, 5); // tree with min leaf 4
+        d.record_merge(1, 2); // tree with min leaf 1
+        let order = d.dfs_leaves();
+        // Trees appear at the position of their min leaf relative to the
+        // singleton leaves: 0, then tree{1,2}, then 3, then tree{4,5}.
+        assert_eq!(order, vec![0, 1, 2, 3, 4, 5]);
+    }
+}

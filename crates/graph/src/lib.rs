@@ -1,0 +1,17 @@
+//! Graph substrate for the reordering algorithms.
+//!
+//! A sparse matrix is viewed as the adjacency matrix of an undirected
+//! graph ([`GraphView`]); modularity bookkeeping ([`modularity`]) and the
+//! merge dendrogram ([`dendrogram`]) implement the machinery behind the
+//! paper's data-affinity-based reordering (Algorithm 1) and the Rabbit /
+//! Louvain baselines.
+
+pub mod components;
+pub mod dendrogram;
+pub mod modularity;
+pub mod view;
+
+pub use components::{connected_components, Components};
+pub use dendrogram::Dendrogram;
+pub use modularity::CommunityTracker;
+pub use view::GraphView;

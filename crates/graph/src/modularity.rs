@@ -1,0 +1,194 @@
+//! Modularity bookkeeping for community-merge reorderings.
+//!
+//! Implements the ΔQ of Equation (1): merging communities `a` and `b`
+//! changes Newman modularity by `ΔQ = e_ab/m − (Σa·Σb)/(2m²)`, where
+//! `e_ab` is the edge weight between the communities, `Σ` the total degree
+//! of each community and `m` the number of edges. Communities are tracked
+//! with a union-find whose roots carry the aggregate degree.
+
+use crate::view::GraphView;
+
+/// Union-find over vertices with per-community total degree, supporting
+/// the single-pass vertex-merge pattern of Algorithm 1 (and Rabbit Order).
+#[derive(Debug, Clone)]
+pub struct CommunityTracker {
+    parent: Vec<u32>,
+    /// Total degree (Σ) of each community, valid at roots.
+    sigma: Vec<u64>,
+    /// 2m, cached.
+    two_m: f64,
+}
+
+impl CommunityTracker {
+    /// Every vertex starts as its own community.
+    pub fn new(g: &GraphView) -> Self {
+        let n = g.num_vertices();
+        CommunityTracker {
+            parent: (0..n as u32).collect(),
+            sigma: (0..n as u32).map(|v| g.degree(v) as u64).collect(),
+            two_m: 2.0 * g.num_edges() as f64,
+        }
+    }
+
+    /// Find with path halving.
+    pub fn find(&mut self, mut v: u32) -> u32 {
+        while self.parent[v as usize] != v {
+            let gp = self.parent[self.parent[v as usize] as usize];
+            self.parent[v as usize] = gp;
+            v = gp;
+        }
+        v
+    }
+
+    /// Total degree of the community containing `v`.
+    pub fn sigma_of(&mut self, v: u32) -> u64 {
+        let r = self.find(v);
+        self.sigma[r as usize]
+    }
+
+    /// ΔQ of merging the communities of `u` and `v`, where `edge_weight`
+    /// is the (unweighted: 1.0 per edge) weight connecting them that the
+    /// caller is considering. Returns 0.0 when already merged.
+    pub fn delta_q(&mut self, u: u32, v: u32, edge_weight: f64) -> f64 {
+        let (ru, rv) = (self.find(u), self.find(v));
+        if ru == rv {
+            return 0.0;
+        }
+        let m = self.two_m / 2.0;
+        if m == 0.0 {
+            return 0.0;
+        }
+        let sa = self.sigma[ru as usize] as f64;
+        let sb = self.sigma[rv as usize] as f64;
+        edge_weight / m - (sa * sb) / (self.two_m * self.two_m) * 2.0
+    }
+
+    /// Merge `v`'s community into `u`'s community. Returns the surviving
+    /// root. No-op (returns the shared root) if already merged.
+    pub fn merge(&mut self, u: u32, v: u32) -> u32 {
+        let (ru, rv) = (self.find(u), self.find(v));
+        if ru == rv {
+            return ru;
+        }
+        self.parent[rv as usize] = ru;
+        self.sigma[ru as usize] += self.sigma[rv as usize];
+        ru
+    }
+
+    /// Are `u` and `v` currently in the same community?
+    pub fn same(&mut self, u: u32, v: u32) -> bool {
+        self.find(u) == self.find(v)
+    }
+
+    /// Number of vertices tracked.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// True when no vertices are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+}
+
+/// Full Newman modularity of a given assignment (used by tests and by the
+/// Louvain baseline's convergence check). `community[v]` is any labelling.
+pub fn modularity(g: &GraphView, community: &[u32]) -> f64 {
+    let m = g.num_edges() as f64;
+    if m == 0.0 {
+        return 0.0;
+    }
+    let ncomm = community.iter().map(|&c| c as usize + 1).max().unwrap_or(0);
+    let mut internal = vec![0.0f64; ncomm]; // edges inside, counted once
+    let mut sigma = vec![0.0f64; ncomm];
+    for v in 0..g.num_vertices() as u32 {
+        let cv = community[v as usize] as usize;
+        sigma[cv] += g.degree(v) as f64;
+        for &u in g.neighbors(v) {
+            if u > v && community[u as usize] as usize == cv {
+                internal[cv] += 1.0;
+            }
+        }
+    }
+    let mut q = 0.0;
+    for c in 0..ncomm {
+        q += internal[c] / m - (sigma[c] / (2.0 * m)).powi(2);
+    }
+    q
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spmm_matrix::{CooMatrix, CsrMatrix};
+
+    fn two_triangles() -> GraphView {
+        // Two triangles {0,1,2} and {3,4,5} joined by edge 2-3.
+        let edges = [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)];
+        let mut coo = CooMatrix::new(6, 6);
+        for &(a, b) in &edges {
+            coo.push(a, b, 1.0);
+        }
+        GraphView::from_csr(&CsrMatrix::from_coo(&coo))
+    }
+
+    #[test]
+    fn merging_connected_vertices_gains_modularity() {
+        let g = two_triangles();
+        let mut ct = CommunityTracker::new(&g);
+        assert!(ct.delta_q(0, 1, 1.0) > 0.0);
+        // Unconnected far vertices: ΔQ is negative (pure degree penalty).
+        assert!(ct.delta_q(0, 5, 0.0) < 0.0);
+    }
+
+    #[test]
+    fn merge_updates_sigma_and_find() {
+        let g = two_triangles();
+        let mut ct = CommunityTracker::new(&g);
+        let s0 = ct.sigma_of(0);
+        let s1 = ct.sigma_of(1);
+        ct.merge(0, 1);
+        assert!(ct.same(0, 1));
+        assert_eq!(ct.sigma_of(0), s0 + s1);
+        assert_eq!(ct.delta_q(0, 1, 1.0), 0.0, "same community");
+    }
+
+    #[test]
+    fn delta_q_matches_full_modularity_difference() {
+        let g = two_triangles();
+        let mut ct = CommunityTracker::new(&g);
+        // Before: all singletons.
+        let before: Vec<u32> = (0..6).collect();
+        let q_before = modularity(&g, &before);
+        // Merge 0 and 1 (connected by one edge).
+        let dq = ct.delta_q(0, 1, 1.0);
+        let after = vec![0, 0, 2, 3, 4, 5];
+        let q_after = modularity(&g, &after);
+        assert!(
+            (dq - (q_after - q_before)).abs() < 1e-12,
+            "dq={dq} diff={}",
+            q_after - q_before
+        );
+    }
+
+    #[test]
+    fn community_split_scores_high_modularity() {
+        let g = two_triangles();
+        let natural = vec![0, 0, 0, 1, 1, 1];
+        let bad = vec![0, 1, 0, 1, 0, 1];
+        assert!(modularity(&g, &natural) > modularity(&g, &bad));
+        assert!(modularity(&g, &natural) > 0.3);
+    }
+
+    #[test]
+    fn path_compression_terminates() {
+        let g = two_triangles();
+        let mut ct = CommunityTracker::new(&g);
+        ct.merge(0, 1);
+        ct.merge(1, 2);
+        ct.merge(2, 3);
+        assert_eq!(ct.find(3), ct.find(0));
+        assert!(!ct.is_empty());
+        assert_eq!(ct.len(), 6);
+    }
+}

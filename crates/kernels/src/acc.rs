@@ -1,0 +1,111 @@
+//! Acc-SpMM configuration and ablation stages (Figure 15).
+
+use spmm_balance::BalanceStrategy;
+use spmm_reorder::Algorithm;
+
+/// Toggles for the Acc-SpMM optimizations. `full()` enables everything
+/// (the shipped kernel); the Figure-15 ablation enables them one at a
+/// time on top of the DTC-SpMM-without-balancing baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccConfig {
+    /// Use BitTCF (else ME-TCF) — the **BTCF** stage.
+    pub use_bittcf: bool,
+    /// Row-reordering algorithm — **RO** switches DTC-LSH → data-affinity.
+    pub reorder: Algorithm,
+    /// PTX cache-operator control (`.ca`/`.ca`/`.wt`) — the **CP** stage.
+    pub cache_policy: bool,
+    /// Least-bubble double-buffer pipeline (else DTC pipeline) — **PP**.
+    pub acc_pipeline: bool,
+    /// Balance strategy — **LB** enables the adaptive method.
+    pub balance: BalanceStrategy,
+    /// The paper's §6 future-work extension: permute the sparse
+    /// operand's **columns** alongside its rows and the dense operand's
+    /// rows with them (`(P A Pᵀ)(P B) = P (A B)`), improving dense-side
+    /// cache locality beyond the shipped rows-only reorder. Off in the
+    /// paper's evaluated configuration.
+    pub symmetric_reorder: bool,
+}
+
+impl AccConfig {
+    /// Everything on: the shipped Acc-SpMM kernel.
+    pub fn full() -> Self {
+        AccConfig {
+            use_bittcf: true,
+            reorder: Algorithm::Affinity,
+            cache_policy: true,
+            acc_pipeline: true,
+            balance: BalanceStrategy::AccAdaptive,
+            symmetric_reorder: false,
+        }
+    }
+
+    /// The Figure-15 baseline: DTC-SpMM *without* load balancing
+    /// (ME-TCF, DTC-LSH reorder, DTC pipeline, default caching).
+    pub fn base() -> Self {
+        AccConfig {
+            use_bittcf: false,
+            reorder: Algorithm::DtcLsh,
+            cache_policy: false,
+            acc_pipeline: false,
+            balance: BalanceStrategy::None,
+            symmetric_reorder: false,
+        }
+    }
+
+    /// Cumulative ablation stage `i` (0 = Base, 1 = +BTCF, 2 = +RO,
+    /// 3 = +CP, 4 = +PP, 5 = +LB = full).
+    pub fn ablation_stage(i: usize) -> Self {
+        let mut c = AccConfig::base();
+        if i >= 1 {
+            c.use_bittcf = true;
+        }
+        if i >= 2 {
+            c.reorder = Algorithm::Affinity;
+        }
+        if i >= 3 {
+            c.cache_policy = true;
+        }
+        if i >= 4 {
+            c.acc_pipeline = true;
+        }
+        if i >= 5 {
+            c.balance = BalanceStrategy::AccAdaptive;
+        }
+        c
+    }
+
+    /// Stage labels as in Figure 15.
+    pub const STAGE_NAMES: [&'static str; 6] =
+        ["Base", "+BTCF", "+RO", "+CP", "+PP", "+LB"];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_zero_is_base_and_five_is_full() {
+        assert_eq!(AccConfig::ablation_stage(0), AccConfig::base());
+        assert_eq!(AccConfig::ablation_stage(5), AccConfig::full());
+    }
+
+    #[test]
+    fn stages_are_cumulative() {
+        let s2 = AccConfig::ablation_stage(2);
+        assert!(s2.use_bittcf);
+        assert_eq!(s2.reorder, Algorithm::Affinity);
+        assert!(!s2.cache_policy);
+        assert!(!s2.acc_pipeline);
+        assert_eq!(s2.balance, BalanceStrategy::None);
+        let s4 = AccConfig::ablation_stage(4);
+        assert!(s4.acc_pipeline && s4.cache_policy);
+        assert_eq!(s4.balance, BalanceStrategy::None);
+    }
+
+    #[test]
+    fn stage_names_match_count() {
+        assert_eq!(AccConfig::STAGE_NAMES.len(), 6);
+        assert_eq!(AccConfig::STAGE_NAMES[0], "Base");
+        assert_eq!(AccConfig::STAGE_NAMES[5], "+LB");
+    }
+}

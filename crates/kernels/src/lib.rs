@@ -1,0 +1,446 @@
+//! The six SpMM kernel strategies the paper evaluates.
+//!
+//! Every kernel has two faces:
+//! * **functional** — [`PreparedKernel::execute`] computes the numeric
+//!   result on the CPU with the same arithmetic the GPU kernel would use
+//!   (FP32 FMA for CUDA-core kernels, TF32-operand MMA for tensor-core
+//!   kernels), always returning C in *original* row order;
+//! * **timing** — [`PreparedKernel::trace`] compiles the kernel's work
+//!   into a [`spmm_sim::KernelDesc`] and [`PreparedKernel::profile`]
+//!   simulates it on a chosen architecture.
+//!
+//! | kernel | cores | format | reorder | pipeline | balancing |
+//! |---|---|---|---|---|---|
+//! | cuSPARSE-like | CUDA | CSR | — | occupancy | row-major |
+//! | Sputnik-like | CUDA | CSR (1-D tiles) | — | occupancy | nnz-split |
+//! | SparseTIR-like | CUDA | CSR (row buckets) | — | occupancy | bucket |
+//! | TC-GNN | TC | TCF | SGT (identity) | synchronous | per-window |
+//! | DTC-SpMM | TC | ME-TCF | DTC-LSH | Fig 5a double buffer | DTC split |
+//! | Acc-SpMM | TC | BitTCF | data-affinity | Fig 5b least-bubble | adaptive |
+
+pub mod acc;
+pub mod scalar;
+pub mod tc;
+
+pub use acc::AccConfig;
+
+use spmm_balance::{BalancePlan, BalanceStrategy, ModelParams, PerfModel};
+use spmm_common::{Result, SpmmError};
+use spmm_format::{BitTcf, MeTcf, Tcf};
+use spmm_matrix::{CsrMatrix, DenseMatrix};
+use spmm_reorder::Algorithm;
+use spmm_sim::{simulate, Arch, KernelDesc, KernelReport, SimOptions};
+
+/// The compared kernels, in paper legend order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelKind {
+    /// cuSPARSE CSR SpMM on CUDA cores (the baseline of every figure).
+    CusparseLike,
+    /// Sputnik's 1-D tiled SpMM on CUDA cores.
+    SputnikLike,
+    /// SparseTIR's composable row-bucket SpMM on CUDA cores.
+    SparseTirLike,
+    /// TC-GNN SpMM on tensor cores.
+    TcGnn,
+    /// DTC-SpMM on tensor cores.
+    DtcSpmm,
+    /// Acc-SpMM (this paper).
+    AccSpmm,
+}
+
+impl KernelKind {
+    /// All kernels, baseline first.
+    pub const ALL: [KernelKind; 6] = [
+        KernelKind::CusparseLike,
+        KernelKind::SputnikLike,
+        KernelKind::SparseTirLike,
+        KernelKind::TcGnn,
+        KernelKind::DtcSpmm,
+        KernelKind::AccSpmm,
+    ];
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            KernelKind::CusparseLike => "cuSPARSE",
+            KernelKind::SputnikLike => "Sputnik",
+            KernelKind::SparseTirLike => "SparseTIR",
+            KernelKind::TcGnn => "TCGNN",
+            KernelKind::DtcSpmm => "DTC-SpMM",
+            KernelKind::AccSpmm => "Acc-SpMM",
+        }
+    }
+
+    /// Does this kernel run on tensor cores?
+    pub fn uses_tensor_cores(&self) -> bool {
+        matches!(
+            self,
+            KernelKind::TcGnn | KernelKind::DtcSpmm | KernelKind::AccSpmm
+        )
+    }
+}
+
+/// Format data held by a prepared TC kernel.
+#[derive(Debug, Clone)]
+pub enum TcFormat {
+    /// TC-GNN's per-edge format.
+    Tcf(Tcf),
+    /// DTC-SpMM's per-nnz-id format.
+    MeTcf(MeTcf),
+    /// The paper's bitmap format.
+    BitTcf(BitTcf),
+}
+
+/// A kernel after preprocessing (reordering, format conversion, balance
+/// planning) — ready to execute or profile any number of times, matching
+/// how the amortized-preprocessing evaluation works.
+#[derive(Debug, Clone)]
+pub struct PreparedKernel {
+    kind: KernelKind,
+    /// The (possibly permuted) sparse operand.
+    csr: CsrMatrix,
+    /// Row permutation applied (`perm[old] = new`), if any.
+    perm: Option<Vec<u32>>,
+    /// TC format, for tensor-core kernels.
+    format: Option<TcFormat>,
+    /// Balance plan, for tensor-core kernels.
+    plan: Option<BalancePlan>,
+    /// Acc ablation configuration (always present for `AccSpmm`).
+    acc_config: AccConfig,
+    /// Whether the permutation was applied symmetrically (columns too).
+    symmetric: bool,
+    feature_dim: usize,
+}
+
+impl PreparedKernel {
+    /// Preprocess `m` for the given kernel and feature dimension on the
+    /// given architecture (the balance model needs its bandwidth/FLOPS).
+    pub fn prepare(kind: KernelKind, m: &CsrMatrix, arch: Arch, feature_dim: usize) -> Result<Self> {
+        let config = match kind {
+            KernelKind::AccSpmm => AccConfig::full(),
+            _ => AccConfig::full(),
+        };
+        Self::prepare_with_config(kind, m, arch, feature_dim, config)
+    }
+
+    /// Like [`PreparedKernel::prepare`] but with an explicit Acc ablation
+    /// configuration (only meaningful for `AccSpmm`).
+    pub fn prepare_with_config(
+        kind: KernelKind,
+        m: &CsrMatrix,
+        arch: Arch,
+        feature_dim: usize,
+        acc_config: AccConfig,
+    ) -> Result<Self> {
+        if feature_dim == 0 {
+            return Err(SpmmError::InvalidConfig("feature_dim must be > 0".into()));
+        }
+        let spec = arch.spec();
+        let model = PerfModel::new(ModelParams {
+            feature_dim,
+            bandwidth: spec.dram_bw_gbps * 1e9,
+            flops: spec.tc_tf32_tflops * 1e12,
+            num_sms: spec.num_sms,
+        });
+        let reorder_alg = match kind {
+            KernelKind::TcGnn => Some(Algorithm::Sgt),
+            KernelKind::DtcSpmm => Some(Algorithm::DtcLsh),
+            KernelKind::AccSpmm => Some(acc_config.reorder),
+            _ => None,
+        };
+        let symmetric = kind == KernelKind::AccSpmm && acc_config.symmetric_reorder;
+        let (csr, perm) = match reorder_alg {
+            Some(alg) if alg != Algorithm::Identity && alg != Algorithm::Sgt => {
+                let perm = spmm_reorder::reorder(m, alg);
+                let pm = if symmetric {
+                    // Future-work mode (§6): relabel rows AND columns; B's
+                    // rows are permuted to match at execution time.
+                    m.permute_symmetric(&perm)?
+                } else {
+                    m.permute_rows(&perm)?
+                };
+                (pm, Some(perm))
+            }
+            _ => (m.clone(), None),
+        };
+        let (format, plan) = match kind {
+            KernelKind::TcGnn => {
+                let f = Tcf::from_csr(&csr);
+                let bpw: Vec<usize> = f.blocks_per_window.iter().map(|&b| b as usize).collect();
+                let plan = spmm_balance::plan(&bpw, BalanceStrategy::None, &model);
+                (Some(TcFormat::Tcf(f)), Some(plan))
+            }
+            KernelKind::DtcSpmm => {
+                let f = MeTcf::from_csr(&csr);
+                let bpw = blocks_per_window_of(&f.row_window_offset);
+                let plan = spmm_balance::plan(&bpw, BalanceStrategy::DtcStyle, &model);
+                (Some(TcFormat::MeTcf(f)), Some(plan))
+            }
+            KernelKind::AccSpmm => {
+                let (format, bpw) = if acc_config.use_bittcf {
+                    let f = BitTcf::from_csr(&csr);
+                    let bpw = blocks_per_window_of(&f.row_window_offset);
+                    (TcFormat::BitTcf(f), bpw)
+                } else {
+                    let f = MeTcf::from_csr(&csr);
+                    let bpw = blocks_per_window_of(&f.row_window_offset);
+                    (TcFormat::MeTcf(f), bpw)
+                };
+                let plan = spmm_balance::plan(&bpw, acc_config.balance, &model);
+                (Some(format), Some(plan))
+            }
+            _ => (None, None),
+        };
+        Ok(PreparedKernel {
+            kind,
+            csr,
+            perm,
+            format,
+            plan,
+            acc_config,
+            symmetric,
+            feature_dim,
+        })
+    }
+
+    /// Kernel identity.
+    pub fn kind(&self) -> KernelKind {
+        self.kind
+    }
+
+    /// The (possibly permuted) sparse operand.
+    pub fn csr(&self) -> &CsrMatrix {
+        &self.csr
+    }
+
+    /// The balance plan (TC kernels only).
+    pub fn plan(&self) -> Option<&BalancePlan> {
+        self.plan.as_ref()
+    }
+
+    /// The feature dimension this kernel was prepared for.
+    pub fn feature_dim(&self) -> usize {
+        self.feature_dim
+    }
+
+    /// Functional SpMM: `C = A × B` in original row order.
+    pub fn execute(&self, b: &DenseMatrix) -> Result<DenseMatrix> {
+        // Symmetric-reorder mode multiplies (P A Pᵀ)(P B) = P (A B): the
+        // dense operand is row-permuted on the way in, and the usual
+        // scatter below restores original row order on the way out.
+        let permuted_b;
+        let b = match (&self.perm, self.symmetric) {
+            (Some(perm), true) => {
+                permuted_b = b.permute_rows(perm)?;
+                &permuted_b
+            }
+            _ => b,
+        };
+        let c_permuted = match (&self.format, self.kind) {
+            (Some(TcFormat::Tcf(f)), _) => f.spmm(b)?,
+            (Some(TcFormat::MeTcf(f)), _) => f.spmm(b)?,
+            (Some(TcFormat::BitTcf(f)), _) => f.spmm(b)?,
+            (None, _) => self.csr.spmm_dense(b)?,
+        };
+        Ok(match &self.perm {
+            None => c_permuted,
+            Some(perm) => {
+                // Scatter back: C_orig[old] = C_perm[perm[old]].
+                let n = c_permuted.ncols();
+                let mut c = DenseMatrix::zeros(c_permuted.nrows(), n);
+                for old in 0..c_permuted.nrows() {
+                    let new = perm[old] as usize;
+                    c.row_mut(old).copy_from_slice(c_permuted.row(new));
+                }
+                c
+            }
+        })
+    }
+
+    /// Compile the kernel's work into a simulator trace.
+    pub fn trace(&self) -> KernelDesc {
+        match self.kind {
+            KernelKind::CusparseLike => scalar::cusparse_trace(&self.csr, self.feature_dim),
+            KernelKind::SputnikLike => scalar::sputnik_trace(&self.csr, self.feature_dim),
+            KernelKind::SparseTirLike => scalar::sparsetir_trace(&self.csr, self.feature_dim),
+            KernelKind::TcGnn => tc::tcgnn_trace(
+                match self.format.as_ref().unwrap() {
+                    TcFormat::Tcf(f) => f,
+                    _ => unreachable!("TcGnn always holds Tcf"),
+                },
+                self.plan.as_ref().unwrap(),
+                self.feature_dim,
+            ),
+            KernelKind::DtcSpmm => tc::dtc_trace(
+                match self.format.as_ref().unwrap() {
+                    TcFormat::MeTcf(f) => f,
+                    _ => unreachable!("DtcSpmm always holds MeTcf"),
+                },
+                self.plan.as_ref().unwrap(),
+                self.feature_dim,
+            ),
+            KernelKind::AccSpmm => tc::acc_trace(
+                self.format.as_ref().unwrap(),
+                self.plan.as_ref().unwrap(),
+                self.feature_dim,
+                &self.acc_config,
+            ),
+        }
+    }
+
+    /// Simulate on the given architecture.
+    pub fn profile(&self, arch: Arch, opts: &SimOptions) -> KernelReport {
+        let spec = arch.spec();
+        let mut desc = self.trace();
+        if self.kind == KernelKind::CusparseLike {
+            desc.arch_boost = spec.cusparse_boost;
+        }
+        simulate(&spec, &desc, opts)
+    }
+}
+
+/// Blocks-per-window from a RowWindowOffset array.
+fn blocks_per_window_of(row_window_offset: &[u32]) -> Vec<usize> {
+    row_window_offset
+        .windows(2)
+        .map(|w| (w[1] - w[0]) as usize)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spmm_common::scalar::tf32_tolerance;
+    use spmm_matrix::gen::{clustered, molecule_union, ClusteredConfig};
+
+    fn workload() -> (CsrMatrix, DenseMatrix) {
+        let m = molecule_union(512, 6, 16, true, 3);
+        let n = m.nrows();
+        (m, DenseMatrix::random(n, 32, 7))
+    }
+
+    #[test]
+    fn every_kernel_matches_the_dense_reference() {
+        let (m, b) = workload();
+        let reference = m.spmm_dense(&b).unwrap();
+        let tol = tf32_tolerance(m.nrows());
+        for kind in KernelKind::ALL {
+            let k = PreparedKernel::prepare(kind, &m, Arch::A800, b.ncols()).unwrap();
+            let c = k.execute(&b).unwrap();
+            assert!(
+                c.approx_eq(&reference, tol, tol),
+                "{} diverges: max diff {}",
+                kind.name(),
+                c.max_abs_diff(&reference)
+            );
+        }
+    }
+
+    #[test]
+    fn traces_preserve_effective_flops() {
+        let (m, _) = workload();
+        let n = 32;
+        let expect = 2 * m.nnz() as u64 * n as u64;
+        for kind in KernelKind::ALL {
+            let k = PreparedKernel::prepare(kind, &m, Arch::A800, n).unwrap();
+            let desc = k.trace();
+            assert_eq!(desc.effective_flops, expect, "{}", kind.name());
+            assert!(
+                desc.executed_flops() >= desc.effective_flops,
+                "{} executes at least the effective work",
+                kind.name()
+            );
+        }
+    }
+
+    #[test]
+    fn tc_kernels_profile_faster_than_baseline_on_clusters() {
+        // Dense-community matrix: TC kernels must beat cuSPARSE.
+        let m = clustered(
+            ClusteredConfig {
+                n: 1024,
+                cluster_size: 64,
+                intra_deg: 24.0,
+                inter_deg: 3.0,
+                hub_fraction: 0.0,
+                hub_factor: 1.0,
+                shuffle: true,
+                ..Default::default()
+            },
+            5,
+        );
+        let opts = SimOptions::default();
+        let base = PreparedKernel::prepare(KernelKind::CusparseLike, &m, Arch::A800, 128)
+            .unwrap()
+            .profile(Arch::A800, &opts);
+        let acc = PreparedKernel::prepare(KernelKind::AccSpmm, &m, Arch::A800, 128)
+            .unwrap()
+            .profile(Arch::A800, &opts);
+        assert!(
+            acc.time_s < base.time_s,
+            "Acc {} vs cuSPARSE {}",
+            acc.time_s,
+            base.time_s
+        );
+    }
+
+    #[test]
+    fn symmetric_reorder_mode_is_numerically_identical() {
+        let (m, b) = workload();
+        let reference = m.spmm_dense(&b).unwrap();
+        let tol = tf32_tolerance(m.nrows());
+        let mut cfg = AccConfig::full();
+        cfg.symmetric_reorder = true;
+        let k =
+            PreparedKernel::prepare_with_config(KernelKind::AccSpmm, &m, Arch::A800, b.ncols(), cfg)
+                .unwrap();
+        let c = k.execute(&b).unwrap();
+        assert!(
+            c.approx_eq(&reference, tol, tol),
+            "symmetric mode diverges: max diff {}",
+            c.max_abs_diff(&reference)
+        );
+    }
+
+    #[test]
+    fn symmetric_reorder_improves_dense_locality() {
+        // The §6 future-work claim: with columns relabeled alongside rows
+        // (and B permuted to match), the B-gather stream becomes local.
+        let m = clustered(
+            ClusteredConfig {
+                n: 1024,
+                cluster_size: 128,
+                intra_deg: 24.0,
+                inter_deg: 3.0,
+                hub_fraction: 0.0,
+                hub_factor: 1.0,
+                shuffle: true,
+                ..Default::default()
+            },
+            8,
+        );
+        let opts = SimOptions::scaled(8.0);
+        let run = |symmetric: bool| {
+            let mut cfg = AccConfig::full();
+            cfg.symmetric_reorder = symmetric;
+            PreparedKernel::prepare_with_config(KernelKind::AccSpmm, &m, Arch::A800, 128, cfg)
+                .unwrap()
+                .profile(Arch::A800, &opts)
+        };
+        let rows_only = run(false);
+        let symmetric = run(true);
+        assert!(
+            symmetric.l1_hit_rate >= rows_only.l1_hit_rate,
+            "symmetric {:.3} vs rows-only {:.3}",
+            symmetric.l1_hit_rate,
+            rows_only.l1_hit_rate
+        );
+        assert!(symmetric.time_s <= rows_only.time_s * 1.01);
+    }
+
+    #[test]
+    fn invalid_feature_dim_rejected() {
+        let (m, _) = workload();
+        assert!(PreparedKernel::prepare(KernelKind::AccSpmm, &m, Arch::H100, 0).is_err());
+    }
+}

@@ -1,0 +1,426 @@
+//! Compressed Sparse Row format — the canonical input format of the
+//! library, matching what cuSPARSE and all compared kernels consume.
+
+use crate::coo::CooMatrix;
+use crate::dense::DenseMatrix;
+use rayon::prelude::*;
+use spmm_common::{Result, SpmmError};
+
+/// A CSR sparse matrix with `f32` values and `u32` column indices.
+///
+/// Invariants (checked by [`CsrMatrix::validate`], maintained by all
+/// constructors):
+/// * `row_ptr.len() == nrows + 1`, `row_ptr[0] == 0`, monotone
+///   non-decreasing, `row_ptr[nrows] == col_idx.len() == values.len()`;
+/// * within each row, column indices are strictly increasing and
+///   `< ncols`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    nrows: usize,
+    ncols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<u32>,
+    values: Vec<f32>,
+}
+
+impl CsrMatrix {
+    /// Construct from raw arrays, validating every invariant.
+    pub fn new(
+        nrows: usize,
+        ncols: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<u32>,
+        values: Vec<f32>,
+    ) -> Result<Self> {
+        let m = CsrMatrix {
+            nrows,
+            ncols,
+            row_ptr,
+            col_idx,
+            values,
+        };
+        m.validate()?;
+        Ok(m)
+    }
+
+    /// Check the structural invariants; used by constructors and tests.
+    pub fn validate(&self) -> Result<()> {
+        if self.row_ptr.len() != self.nrows + 1 {
+            return Err(SpmmError::MalformedFormat {
+                detail: format!(
+                    "row_ptr has {} entries for {} rows",
+                    self.row_ptr.len(),
+                    self.nrows
+                ),
+            });
+        }
+        if self.row_ptr[0] != 0 {
+            return Err(SpmmError::MalformedFormat {
+                detail: "row_ptr[0] != 0".into(),
+            });
+        }
+        if self.col_idx.len() != self.values.len() {
+            return Err(SpmmError::MalformedFormat {
+                detail: "col_idx and values lengths differ".into(),
+            });
+        }
+        if *self.row_ptr.last().unwrap() != self.col_idx.len() {
+            return Err(SpmmError::MalformedFormat {
+                detail: "row_ptr does not terminate at nnz".into(),
+            });
+        }
+        for r in 0..self.nrows {
+            let (s, e) = (self.row_ptr[r], self.row_ptr[r + 1]);
+            if e < s {
+                return Err(SpmmError::MalformedFormat {
+                    detail: format!("row_ptr decreases at row {r}"),
+                });
+            }
+            let mut prev: Option<u32> = None;
+            for &c in &self.col_idx[s..e] {
+                if c as usize >= self.ncols {
+                    return Err(SpmmError::IndexOutOfBounds {
+                        what: "column",
+                        index: c as usize,
+                        bound: self.ncols,
+                    });
+                }
+                if let Some(p) = prev {
+                    if c <= p {
+                        return Err(SpmmError::MalformedFormat {
+                            detail: format!("row {r} columns not strictly increasing"),
+                        });
+                    }
+                }
+                prev = Some(c);
+            }
+        }
+        Ok(())
+    }
+
+    /// Convert from COO (duplicates are summed, entries sorted).
+    pub fn from_coo(coo: &CooMatrix) -> Self {
+        let mut coo = coo.clone();
+        coo.dedup_sum(false);
+        let (rows, cols, vals) = coo.triplets();
+        let mut row_counts = vec![0usize; coo.nrows()];
+        for &r in rows {
+            row_counts[r as usize] += 1;
+        }
+        let row_ptr = spmm_common::prefix::counts_to_offsets(&row_counts);
+        // dedup_sum sorted by (row, col) so we can copy straight through.
+        CsrMatrix {
+            nrows: coo.nrows(),
+            ncols: coo.ncols(),
+            row_ptr,
+            col_idx: cols.to_vec(),
+            values: vals.to_vec(),
+        }
+    }
+
+    /// Convert to COO triplets (sorted by row then column).
+    pub fn to_coo(&self) -> CooMatrix {
+        let mut coo = CooMatrix::new(self.nrows, self.ncols);
+        for r in 0..self.nrows {
+            for k in self.row_ptr[r]..self.row_ptr[r + 1] {
+                coo.push(r as u32, self.col_idx[k], self.values[k]);
+            }
+        }
+        coo
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored non-zeros.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The row-pointer array (`nrows + 1` entries).
+    #[inline]
+    pub fn row_ptr(&self) -> &[usize] {
+        &self.row_ptr
+    }
+
+    /// All column indices, row-major.
+    #[inline]
+    pub fn col_idx(&self) -> &[u32] {
+        &self.col_idx
+    }
+
+    /// All values, row-major.
+    #[inline]
+    pub fn values(&self) -> &[f32] {
+        &self.values
+    }
+
+    /// Column indices and values of row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> (&[u32], &[f32]) {
+        let (s, e) = (self.row_ptr[r], self.row_ptr[r + 1]);
+        (&self.col_idx[s..e], &self.values[s..e])
+    }
+
+    /// Number of non-zeros in row `r`.
+    #[inline]
+    pub fn row_len(&self, r: usize) -> usize {
+        self.row_ptr[r + 1] - self.row_ptr[r]
+    }
+
+    /// Average non-zeros per row — the paper's `AvgL` dataset statistic.
+    pub fn avg_row_len(&self) -> f64 {
+        if self.nrows == 0 {
+            0.0
+        } else {
+            self.nnz() as f64 / self.nrows as f64
+        }
+    }
+
+    /// Transpose (also converts CSR→CSC interpretation).
+    pub fn transpose(&self) -> CsrMatrix {
+        let mut counts = vec![0usize; self.ncols];
+        for &c in &self.col_idx {
+            counts[c as usize] += 1;
+        }
+        let row_ptr = spmm_common::prefix::counts_to_offsets(&counts);
+        let mut next = row_ptr.clone();
+        let mut col_idx = vec![0u32; self.nnz()];
+        let mut values = vec![0f32; self.nnz()];
+        for r in 0..self.nrows {
+            for k in self.row_ptr[r]..self.row_ptr[r + 1] {
+                let c = self.col_idx[k] as usize;
+                let dst = next[c];
+                next[c] += 1;
+                col_idx[dst] = r as u32;
+                values[dst] = self.values[k];
+            }
+        }
+        CsrMatrix {
+            nrows: self.ncols,
+            ncols: self.nrows,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// Apply a row permutation: row `old` of `self` becomes row
+    /// `perm[old]` of the result. This is how reorderings are applied to
+    /// the sparse operand (the paper leaves the dense operand unpermuted,
+    /// which row-only permutation preserves exactly: only the order of
+    /// output rows changes, and kernels scatter results back through the
+    /// permutation).
+    pub fn permute_rows(&self, perm: &[u32]) -> Result<CsrMatrix> {
+        if perm.len() != self.nrows {
+            return Err(SpmmError::DimensionMismatch {
+                context: format!(
+                    "permutation of length {} applied to {} rows",
+                    perm.len(),
+                    self.nrows
+                ),
+            });
+        }
+        if !spmm_common::util::is_permutation(perm) {
+            return Err(SpmmError::InvalidConfig(
+                "row permutation is not a bijection".into(),
+            ));
+        }
+        let inv = spmm_common::util::invert_permutation(perm);
+        let mut row_ptr = Vec::with_capacity(self.nrows + 1);
+        row_ptr.push(0usize);
+        let mut col_idx = Vec::with_capacity(self.nnz());
+        let mut values = Vec::with_capacity(self.nnz());
+        for new_r in 0..self.nrows {
+            let old_r = inv[new_r] as usize;
+            let (cols, vals) = self.row(old_r);
+            col_idx.extend_from_slice(cols);
+            values.extend_from_slice(vals);
+            row_ptr.push(col_idx.len());
+        }
+        Ok(CsrMatrix {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            row_ptr,
+            col_idx,
+            values,
+        })
+    }
+
+    /// Reference SpMM: `C = self × B` in full FP32, parallelized over rows
+    /// with rayon. Every kernel's functional output is validated against
+    /// this implementation.
+    pub fn spmm_dense(&self, b: &DenseMatrix) -> Result<DenseMatrix> {
+        if self.ncols != b.nrows() {
+            return Err(SpmmError::DimensionMismatch {
+                context: format!(
+                    "A is {}x{}, B is {}x{}",
+                    self.nrows,
+                    self.ncols,
+                    b.nrows(),
+                    b.ncols()
+                ),
+            });
+        }
+        let n = b.ncols();
+        let mut c = DenseMatrix::zeros(self.nrows, n);
+        // Split the output into row chunks; each row only reads A and B.
+        c.as_mut_slice()
+            .par_chunks_mut(n)
+            .enumerate()
+            .for_each(|(r, crow)| {
+                let (cols, vals) = self.row(r);
+                for (&col, &v) in cols.iter().zip(vals.iter()) {
+                    let brow = b.row(col as usize);
+                    for j in 0..n {
+                        crow[j] += v * brow[j];
+                    }
+                }
+            });
+        Ok(c)
+    }
+
+    /// Densify (small matrices only; used in tests).
+    pub fn to_dense(&self) -> DenseMatrix {
+        let mut d = DenseMatrix::zeros(self.nrows, self.ncols);
+        for r in 0..self.nrows {
+            let (cols, vals) = self.row(r);
+            for (&c, &v) in cols.iter().zip(vals.iter()) {
+                d.set(r, c as usize, v);
+            }
+        }
+        d
+    }
+
+    /// Histogram of row lengths as `f64` (input to IBD-style statistics).
+    pub fn row_lens_f64(&self) -> Vec<f64> {
+        (0..self.nrows).map(|r| self.row_len(r) as f64).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> CsrMatrix {
+        // [1 0 2]
+        // [0 0 0]
+        // [3 4 0]
+        CsrMatrix::new(
+            3,
+            3,
+            vec![0, 2, 2, 4],
+            vec![0, 2, 0, 1],
+            vec![1.0, 2.0, 3.0, 4.0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn validate_catches_malformed() {
+        assert!(CsrMatrix::new(2, 2, vec![0, 1], vec![0], vec![1.0]).is_err());
+        assert!(CsrMatrix::new(2, 2, vec![1, 1, 1], vec![0], vec![1.0]).is_err());
+        assert!(CsrMatrix::new(2, 2, vec![0, 2, 2], vec![1, 0], vec![1.0, 1.0]).is_err());
+        assert!(CsrMatrix::new(2, 2, vec![0, 1, 1], vec![5], vec![1.0]).is_err());
+        assert!(CsrMatrix::new(2, 2, vec![0, 1, 2], vec![0, 1], vec![1.0, 2.0]).is_ok());
+    }
+
+    #[test]
+    fn coo_roundtrip() {
+        let m = small();
+        let rt = CsrMatrix::from_coo(&m.to_coo());
+        assert_eq!(m, rt);
+    }
+
+    #[test]
+    fn from_coo_sums_duplicates() {
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(0, 1, 1.0);
+        coo.push(0, 1, 2.5);
+        let m = CsrMatrix::from_coo(&coo);
+        assert_eq!(m.nnz(), 1);
+        assert_eq!(m.values(), &[3.5]);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = small();
+        let t = m.transpose();
+        assert_eq!(t.nrows(), 3);
+        assert_eq!(t.get_dense(0, 2), 3.0);
+        assert_eq!(m, t.transpose());
+    }
+
+    impl CsrMatrix {
+        fn get_dense(&self, r: usize, c: usize) -> f32 {
+            self.to_dense().get(r, c)
+        }
+    }
+
+    #[test]
+    fn permute_rows_moves_rows() {
+        let m = small();
+        // old row 0 -> new 2, 1 -> 0, 2 -> 1.
+        let p = m.permute_rows(&[2, 0, 1]).unwrap();
+        assert_eq!(p.row(2).0, m.row(0).0);
+        assert_eq!(p.row(2).1, m.row(0).1);
+        assert_eq!(p.row_len(0), 0);
+        assert_eq!(p.row(1).1, m.row(2).1);
+    }
+
+    #[test]
+    fn permute_rows_rejects_invalid() {
+        let m = small();
+        assert!(m.permute_rows(&[0, 0, 1]).is_err());
+        assert!(m.permute_rows(&[0, 1]).is_err());
+    }
+
+    #[test]
+    fn spmm_matches_dense_reference() {
+        let m = small();
+        let b = DenseMatrix::from_fn(3, 2, |i, j| (i + j) as f32);
+        let c = m.spmm_dense(&b).unwrap();
+        // Manual: row0 = 1*B[0] + 2*B[2] = [0+4, 1+6] = [4, 7]
+        assert_eq!(c.row(0), &[4.0, 7.0]);
+        assert_eq!(c.row(1), &[0.0, 0.0]);
+        // row2 = 3*B[0] + 4*B[1] = [0+4, 3+8] = [4, 11]
+        assert_eq!(c.row(2), &[4.0, 11.0]);
+    }
+
+    #[test]
+    fn spmm_rejects_mismatched_shapes() {
+        let m = small();
+        let b = DenseMatrix::zeros(4, 2);
+        assert!(m.spmm_dense(&b).is_err());
+    }
+
+    #[test]
+    fn avg_row_len_matches() {
+        let m = small();
+        assert!((m.avg_row_len() - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn permuted_spmm_equals_scattered_reference() {
+        // C_perm[perm[r]] == C[r] : row permutation only reorders output.
+        let m = small();
+        let perm = [2u32, 0, 1];
+        let pm = m.permute_rows(&perm).unwrap();
+        let b = DenseMatrix::random(3, 4, 1);
+        let c = m.spmm_dense(&b).unwrap();
+        let cp = pm.spmm_dense(&b).unwrap();
+        for r in 0..3 {
+            assert_eq!(cp.row(perm[r] as usize), c.row(r));
+        }
+    }
+}

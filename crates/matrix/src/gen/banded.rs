@@ -1,0 +1,57 @@
+//! Banded matrices — the classic scientific-computing stencil pattern,
+//! used in the 414-matrix collection's "mesh/stencil" bucket.
+
+use crate::csr::CsrMatrix;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Generate an `n × n` symmetric banded matrix: every row has non-zeros at
+/// offsets drawn from `[-bandwidth, bandwidth]`, with `fill` controlling
+/// which in-band positions are kept (1.0 = full band).
+pub fn banded(n: usize, bandwidth: usize, fill: f64, seed: u64) -> CsrMatrix {
+    assert!(n > 0 && bandwidth >= 1);
+    assert!((0.0..=1.0).contains(&fill));
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut edges = Vec::new();
+    for i in 0..n {
+        edges.push((i as u32, i as u32)); // diagonal always present
+        for off in 1..=bandwidth {
+            if i + off < n && rng.gen_bool(fill) {
+                edges.push((i as u32, (i + off) as u32));
+            }
+        }
+    }
+    super::edges_to_symmetric_csr(n, &edges, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entries_stay_in_band() {
+        let bw = 3;
+        let m = banded(100, bw, 0.8, 1);
+        for r in 0..m.nrows() {
+            for &c in m.row(r).0 {
+                assert!((r as i64 - c as i64).unsigned_abs() as usize <= bw);
+            }
+        }
+    }
+
+    #[test]
+    fn full_fill_gives_complete_band() {
+        let m = banded(50, 2, 1.0, 2);
+        // Interior rows have 5 entries: diag +/- 2.
+        assert_eq!(m.row_len(25), 5);
+        assert_eq!(m.row_len(0), 3);
+    }
+
+    #[test]
+    fn diagonal_always_present() {
+        let m = banded(30, 4, 0.1, 3);
+        for r in 0..30 {
+            assert!(m.row(r).0.contains(&(r as u32)));
+        }
+    }
+}

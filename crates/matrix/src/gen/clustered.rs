@@ -1,0 +1,193 @@
+//! Clustered (planted-partition) generator — stands in for the dense
+//! community-structured matrices: web-BerkStan (host blocks + hub pages),
+//! FraudYelp-RSR (dense relational communities), and ogbn-proteins
+//! (dense biological neighbourhoods).
+
+use crate::csr::CsrMatrix;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rustc_hash::FxHashSet;
+
+/// Configuration for the clustered generator.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusteredConfig {
+    /// Total number of vertices.
+    pub n: usize,
+    /// Vertices per community (last community may be smaller).
+    pub cluster_size: usize,
+    /// Average *within-cluster* neighbours per vertex.
+    pub intra_deg: f64,
+    /// Average *cross-cluster* neighbours per vertex.
+    pub inter_deg: f64,
+    /// Fraction of vertices promoted to hubs with `hub_factor`× degree
+    /// (models web hub pages / high-degree fraud accounts). 0 disables.
+    pub hub_fraction: f64,
+    /// Degree multiplier for hub vertices.
+    pub hub_factor: f64,
+    /// Shuffle vertex ids so clusters are not contiguous in the natural
+    /// ordering (gives reordering algorithms room to work).
+    pub shuffle: bool,
+    /// Per-vertex degree heterogeneity: each vertex's target degree is
+    /// multiplied by a log-uniform factor in `[1/(1+s), 1+s]`. Real
+    /// power-law community graphs have strongly varying member degrees,
+    /// which is what keeps RowWindow workloads imbalanced (high IBD)
+    /// even after reordering. 0 = uniform.
+    pub degree_spread: f64,
+    /// Cluster-size heterogeneity: sizes are drawn from
+    /// `[cs·(1−v), cs·(1+2v)]`. 0 = all clusters equal.
+    pub size_variance: f64,
+}
+
+impl Default for ClusteredConfig {
+    fn default() -> Self {
+        ClusteredConfig {
+            n: 1024,
+            cluster_size: 64,
+            intra_deg: 8.0,
+            inter_deg: 1.0,
+            hub_fraction: 0.0,
+            hub_factor: 1.0,
+            shuffle: true,
+            degree_spread: 0.0,
+            size_variance: 0.0,
+        }
+    }
+}
+
+/// Generate a clustered graph per `cfg`.
+pub fn clustered(cfg: ClusteredConfig, seed: u64) -> CsrMatrix {
+    assert!(cfg.n > 0 && cfg.cluster_size >= 2);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let n = cfg.n;
+    let cs = cfg.cluster_size;
+
+    // Cluster boundaries, with optional size heterogeneity.
+    let mut bounds = vec![0usize];
+    while *bounds.last().unwrap() < n {
+        let f = if cfg.size_variance > 0.0 {
+            1.0 - cfg.size_variance + rng.gen::<f64>() * 3.0 * cfg.size_variance
+        } else {
+            1.0
+        };
+        let size = ((cs as f64 * f) as usize).clamp(2, n);
+        bounds.push((bounds.last().unwrap() + size).min(n));
+    }
+    let nclusters = bounds.len() - 1;
+    let cluster_of = |v: usize| match bounds.binary_search(&v) {
+        Ok(i) => i.min(nclusters - 1),
+        Err(i) => i - 1,
+    };
+    let cluster_range = |c: usize| (bounds[c], bounds[c + 1]);
+
+    // Per-vertex degree factor (log-uniform in [1/(1+s), 1+s]).
+    let spread = cfg.degree_spread.max(0.0);
+    let degree_factor = |rng: &mut SmallRng| {
+        if spread > 0.0 {
+            let u: f64 = rng.gen_range(-1.0..1.0);
+            (1.0 + spread).powf(u)
+        } else {
+            1.0
+        }
+    };
+
+    let mut set = FxHashSet::default();
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    let add = |set: &mut FxHashSet<u64>, edges: &mut Vec<(u32, u32)>, a: u32, b: u32| {
+        if a == b {
+            return;
+        }
+        let (lo, hi) = (a.min(b), a.max(b));
+        if set.insert(((lo as u64) << 32) | hi as u64) {
+            edges.push((lo, hi));
+        }
+    };
+
+    for v in 0..n {
+        let is_hub = cfg.hub_fraction > 0.0 && rng.gen_bool(cfg.hub_fraction);
+        let boost = if is_hub { cfg.hub_factor } else { 1.0 } * degree_factor(&mut rng);
+        let c = cluster_of(v);
+        let (lo, hi) = cluster_range(c);
+        // Within-cluster edges (halved: each undirected edge counted once).
+        let intra = ((cfg.intra_deg * boost) / 2.0).round() as usize;
+        for _ in 0..intra {
+            let u = rng.gen_range(lo..hi);
+            add(&mut set, &mut edges, v as u32, u as u32);
+        }
+        // Cross-cluster edges.
+        let inter = ((cfg.inter_deg * boost) / 2.0).round() as usize;
+        for _ in 0..inter {
+            let oc = rng.gen_range(0..nclusters);
+            let (olo, ohi) = cluster_range(oc);
+            let u = rng.gen_range(olo..ohi);
+            add(&mut set, &mut edges, v as u32, u as u32);
+        }
+    }
+
+    if cfg.shuffle {
+        let mut perm: Vec<u32> = (0..n as u32).collect();
+        for i in (1..n).rev() {
+            let j = rng.gen_range(0..=i);
+            perm.swap(i, j);
+        }
+        for e in &mut edges {
+            *e = (perm[e.0 as usize], perm[e.1 as usize]);
+        }
+    }
+    super::edges_to_symmetric_csr(n, &edges, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_cfg() -> ClusteredConfig {
+        ClusteredConfig {
+            n: 2048,
+            cluster_size: 64,
+            intra_deg: 12.0,
+            inter_deg: 2.0,
+            hub_fraction: 0.0,
+            hub_factor: 1.0,
+            shuffle: false,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn density_near_target() {
+        let m = clustered(base_cfg(), 1);
+        let avg = m.avg_row_len();
+        // Duplicate collisions lose a few edges; expect within 25%.
+        assert!((9.0..15.0).contains(&avg), "avgL {avg}");
+    }
+
+    #[test]
+    fn clusters_dominate_edges() {
+        let cfg = base_cfg();
+        let m = clustered(cfg, 2);
+        let intra = (0..m.nrows())
+            .flat_map(|r| m.row(r).0.iter().map(move |&c| (r, c as usize)))
+            .filter(|&(r, c)| r / cfg.cluster_size == c / cfg.cluster_size)
+            .count();
+        assert!(
+            intra as f64 > 0.7 * m.nnz() as f64,
+            "intra-cluster edges should dominate: {intra}/{}",
+            m.nnz()
+        );
+    }
+
+    #[test]
+    fn hubs_create_skew() {
+        let mut cfg = base_cfg();
+        cfg.hub_fraction = 0.02;
+        cfg.hub_factor = 10.0;
+        let m = clustered(cfg, 3);
+        let max = (0..m.nrows()).map(|r| m.row_len(r)).max().unwrap() as f64;
+        assert!(max > 3.0 * m.avg_row_len(), "hub degree skew expected");
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(clustered(base_cfg(), 9), clustered(base_cfg(), 9));
+    }
+}

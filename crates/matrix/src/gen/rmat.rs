@@ -1,0 +1,126 @@
+//! R-MAT power-law graph generator — stands in for the large social /
+//! GNN graphs (reddit and similar SNAP-style power-law matrices).
+
+use crate::csr::CsrMatrix;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rustc_hash::FxHashSet;
+
+/// R-MAT quadrant probabilities. The defaults `(0.57, 0.19, 0.19, 0.05)`
+/// are the classic Graph500 parameters producing a heavy power-law degree
+/// distribution with a dense "celebrity" corner — the structure of the
+/// reddit graph.
+#[derive(Debug, Clone, Copy)]
+pub struct RmatConfig {
+    /// Probability of recursing into the top-left quadrant.
+    pub a: f64,
+    /// Top-right quadrant probability.
+    pub b: f64,
+    /// Bottom-left quadrant probability.
+    pub c: f64,
+    /// log2 of the number of vertices.
+    pub scale: u32,
+    /// Average number of (undirected) neighbours per vertex.
+    pub avg_deg: f64,
+}
+
+impl Default for RmatConfig {
+    fn default() -> Self {
+        RmatConfig {
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+            scale: 12,
+            avg_deg: 16.0,
+        }
+    }
+}
+
+/// Generate a symmetric R-MAT graph adjacency matrix.
+pub fn rmat(cfg: RmatConfig, seed: u64) -> CsrMatrix {
+    assert!(cfg.a + cfg.b + cfg.c < 1.0, "quadrant probabilities must sum < 1");
+    let n = 1usize << cfg.scale;
+    let target_edges = ((n as f64 * cfg.avg_deg) / 2.0).round() as usize;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut set = FxHashSet::default();
+    let mut edges = Vec::with_capacity(target_edges);
+    let mut attempts = 0usize;
+    // Duplicate edges are common in R-MAT; retry until the target count or
+    // an attempt cap (the cap only matters for pathological configs).
+    while edges.len() < target_edges && attempts < target_edges * 40 {
+        attempts += 1;
+        let (mut r, mut c) = (0usize, 0usize);
+        for level in (0..cfg.scale).rev() {
+            let p: f64 = rng.gen();
+            let bit = 1usize << level;
+            if p < cfg.a {
+                // top-left: nothing to add
+            } else if p < cfg.a + cfg.b {
+                c |= bit;
+            } else if p < cfg.a + cfg.b + cfg.c {
+                r |= bit;
+            } else {
+                r |= bit;
+                c |= bit;
+            }
+        }
+        if r == c {
+            continue;
+        }
+        let (a, b) = (r.min(c) as u32, r.max(c) as u32);
+        if set.insert(((a as u64) << 32) | b as u64) {
+            edges.push((a, b));
+        }
+    }
+    super::edges_to_symmetric_csr(n, &edges, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_and_density() {
+        let m = rmat(
+            RmatConfig {
+                scale: 10,
+                avg_deg: 8.0,
+                ..Default::default()
+            },
+            1,
+        );
+        assert_eq!(m.nrows(), 1024);
+        let avg = m.avg_row_len();
+        assert!((avg - 8.0).abs() < 1.5, "avgL {avg}");
+    }
+
+    #[test]
+    fn degree_distribution_is_skewed() {
+        let m = rmat(
+            RmatConfig {
+                scale: 11,
+                avg_deg: 16.0,
+                ..Default::default()
+            },
+            2,
+        );
+        let mut lens: Vec<usize> = (0..m.nrows()).map(|r| m.row_len(r)).collect();
+        lens.sort_unstable();
+        let max = *lens.last().unwrap() as f64;
+        let median = lens[lens.len() / 2] as f64;
+        assert!(
+            max > median * 8.0,
+            "power law expected: max {max} median {median}"
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = RmatConfig {
+            scale: 8,
+            avg_deg: 4.0,
+            ..Default::default()
+        };
+        assert_eq!(rmat(cfg, 5), rmat(cfg, 5));
+    }
+}

@@ -1,0 +1,64 @@
+//! Uniform random sparse matrices — the "no structure" control workload.
+
+use crate::csr::CsrMatrix;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rustc_hash::FxHashSet;
+
+/// Generate an `n × n` symmetric random matrix with ~`avg_deg` non-zeros
+/// per row and no locality structure at all (worst case for reordering).
+pub fn uniform_random(n: usize, avg_deg: f64, seed: u64) -> CsrMatrix {
+    assert!(n > 0, "uniform_random requires n > 0");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    // Each undirected edge contributes 2 to total degree.
+    let target_edges = ((n as f64 * avg_deg) / 2.0).round() as usize;
+    let mut set = FxHashSet::default();
+    let mut edges = Vec::with_capacity(target_edges);
+    let mut attempts = 0usize;
+    while edges.len() < target_edges && attempts < target_edges * 20 {
+        attempts += 1;
+        let a = rng.gen_range(0..n as u32);
+        let b = rng.gen_range(0..n as u32);
+        if a == b {
+            continue;
+        }
+        let key = if a < b {
+            ((a as u64) << 32) | b as u64
+        } else {
+            ((b as u64) << 32) | a as u64
+        };
+        if set.insert(key) {
+            edges.push((a, b));
+        }
+    }
+    super::edges_to_symmetric_csr(n, &edges, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn respects_target_density() {
+        let m = uniform_random(512, 8.0, 3);
+        let avg = m.avg_row_len();
+        assert!(
+            (avg - 8.0).abs() < 1.0,
+            "requested avgL 8, generated {avg}"
+        );
+        assert_eq!(m.nrows(), 512);
+    }
+
+    #[test]
+    fn deterministic_across_calls() {
+        assert_eq!(uniform_random(128, 4.0, 9), uniform_random(128, 4.0, 9));
+        assert_ne!(uniform_random(128, 4.0, 9), uniform_random(128, 4.0, 10));
+    }
+
+    #[test]
+    fn symmetric_pattern() {
+        let m = uniform_random(64, 4.0, 5);
+        let t = m.transpose();
+        assert_eq!(m, t);
+    }
+}

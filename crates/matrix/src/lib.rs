@@ -1,0 +1,21 @@
+//! Sparse and dense matrix substrate for the Acc-SpMM reproduction.
+//!
+//! Provides the storage formats every other crate consumes (COO, CSR,
+//! dense), Matrix Market I/O, deterministic synthetic workload generators
+//! that stand in for the paper's SuiteSparse/SNAP/DGL/OGB datasets, the
+//! Table-2 dataset registry, and the 414-matrix evaluation collection.
+
+pub mod collection;
+pub mod coo;
+pub mod csr;
+pub mod datasets;
+pub mod dense;
+pub mod gen;
+pub mod mm;
+pub mod ops;
+pub mod stats;
+
+pub use coo::CooMatrix;
+pub use csr::CsrMatrix;
+pub use datasets::{Dataset, DatasetKind, TABLE2};
+pub use dense::DenseMatrix;

@@ -1,0 +1,289 @@
+//! Additional linear-algebra operations on the matrix types: symmetric
+//! permutation (the paper's future-work column+dense-row reorder needs
+//! it), sparse arithmetic, submatrix extraction, and a dense GEMM used by
+//! the GNN layers.
+
+use crate::coo::CooMatrix;
+use crate::csr::CsrMatrix;
+use crate::dense::DenseMatrix;
+use spmm_common::{Result, SpmmError};
+
+impl CsrMatrix {
+    /// Apply the same permutation to rows **and** columns:
+    /// `B[perm[i], perm[j]] = A[i, j]`. This is the graph-relabeling
+    /// permutation of the paper's future-work variant, where the dense
+    /// operand's rows are permuted alongside (see
+    /// [`DenseMatrix::permute_rows`]).
+    pub fn permute_symmetric(&self, perm: &[u32]) -> Result<CsrMatrix> {
+        if self.nrows() != self.ncols() {
+            return Err(SpmmError::DimensionMismatch {
+                context: format!(
+                    "symmetric permutation requires a square matrix, got {}x{}",
+                    self.nrows(),
+                    self.ncols()
+                ),
+            });
+        }
+        if perm.len() != self.nrows() || !spmm_common::util::is_permutation(perm) {
+            return Err(SpmmError::InvalidConfig(
+                "symmetric permutation is not a bijection over the rows".into(),
+            ));
+        }
+        let mut coo = CooMatrix::new(self.nrows(), self.ncols());
+        for r in 0..self.nrows() {
+            let (cols, vals) = self.row(r);
+            for (&c, &v) in cols.iter().zip(vals.iter()) {
+                coo.push(perm[r], perm[c as usize], v);
+            }
+        }
+        Ok(CsrMatrix::from_coo(&coo))
+    }
+
+    /// Multiply every stored value by `s`.
+    pub fn scale(&self, s: f32) -> CsrMatrix {
+        let mut coo = self.to_coo();
+        let scaled = {
+            let (rows, cols, vals) = coo.triplets();
+            CooMatrix::from_triplets(
+                self.nrows(),
+                self.ncols(),
+                rows.to_vec(),
+                cols.to_vec(),
+                vals.iter().map(|&v| v * s).collect(),
+            )
+            .expect("scaling preserves structure")
+        };
+        coo = scaled;
+        CsrMatrix::from_coo(&coo)
+    }
+
+    /// Sparse addition `self + other` (patterns merged, values summed).
+    pub fn add(&self, other: &CsrMatrix) -> Result<CsrMatrix> {
+        if self.nrows() != other.nrows() || self.ncols() != other.ncols() {
+            return Err(SpmmError::DimensionMismatch {
+                context: format!(
+                    "add: {}x{} vs {}x{}",
+                    self.nrows(),
+                    self.ncols(),
+                    other.nrows(),
+                    other.ncols()
+                ),
+            });
+        }
+        let mut coo = self.to_coo();
+        for r in 0..other.nrows() {
+            let (cols, vals) = other.row(r);
+            for (&c, &v) in cols.iter().zip(vals.iter()) {
+                coo.push(r as u32, c, v);
+            }
+        }
+        coo.dedup_sum(true);
+        Ok(CsrMatrix::from_coo(&coo))
+    }
+
+    /// Extract the submatrix of rows `rows` and columns `cols`
+    /// (half-open ranges).
+    pub fn submatrix(
+        &self,
+        rows: std::ops::Range<usize>,
+        cols: std::ops::Range<usize>,
+    ) -> Result<CsrMatrix> {
+        if rows.end > self.nrows() || cols.end > self.ncols() {
+            return Err(SpmmError::IndexOutOfBounds {
+                what: "submatrix bound",
+                index: rows.end.max(cols.end),
+                bound: self.nrows().max(self.ncols()),
+            });
+        }
+        let mut coo = CooMatrix::new(rows.len(), cols.len());
+        for r in rows.clone() {
+            let (cidx, vals) = self.row(r);
+            for (&c, &v) in cidx.iter().zip(vals.iter()) {
+                if cols.contains(&(c as usize)) {
+                    coo.push((r - rows.start) as u32, c - cols.start as u32, v);
+                }
+            }
+        }
+        Ok(CsrMatrix::from_coo(&coo))
+    }
+
+    /// Symmetrize: `(A + Aᵀ)` with duplicate coordinates keeping the
+    /// first value (adjacency semantics, matching the graph view).
+    pub fn symmetrized(&self) -> CsrMatrix {
+        let mut coo = self.to_coo();
+        coo.symmetrize();
+        CsrMatrix::from_coo(&coo)
+    }
+}
+
+impl DenseMatrix {
+    /// Dense GEMM: `self × other` in FP32. A simple cache-blocked
+    /// implementation — the dense weight multiply of the GNN layers, not
+    /// a performance kernel.
+    pub fn matmul(&self, other: &DenseMatrix) -> Result<DenseMatrix> {
+        if self.ncols() != other.nrows() {
+            return Err(SpmmError::DimensionMismatch {
+                context: format!(
+                    "matmul: {}x{} times {}x{}",
+                    self.nrows(),
+                    self.ncols(),
+                    other.nrows(),
+                    other.ncols()
+                ),
+            });
+        }
+        let (m, k, n) = (self.nrows(), self.ncols(), other.ncols());
+        let mut c = DenseMatrix::zeros(m, n);
+        const BK: usize = 64;
+        for k0 in (0..k).step_by(BK) {
+            let k1 = (k0 + BK).min(k);
+            for i in 0..m {
+                let arow = self.row(i);
+                let crow = c.row_mut(i);
+                for kk in k0..k1 {
+                    let a = arow[kk];
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let brow = other.row(kk);
+                    for j in 0..n {
+                        crow[j] += a * brow[j];
+                    }
+                }
+            }
+        }
+        Ok(c)
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> DenseMatrix {
+        DenseMatrix::from_fn(self.ncols(), self.nrows(), |i, j| self.get(j, i))
+    }
+
+    /// Apply a row permutation: row `old` becomes row `perm[old]` — the
+    /// dense-side half of the paper's future-work symmetric reordering.
+    pub fn permute_rows(&self, perm: &[u32]) -> Result<DenseMatrix> {
+        if perm.len() != self.nrows() || !spmm_common::util::is_permutation(perm) {
+            return Err(SpmmError::InvalidConfig(
+                "dense row permutation is not a bijection".into(),
+            ));
+        }
+        let mut out = DenseMatrix::zeros(self.nrows(), self.ncols());
+        for old in 0..self.nrows() {
+            out.row_mut(perm[old] as usize).copy_from_slice(self.row(old));
+        }
+        Ok(out)
+    }
+
+    /// `self += alpha · other`, elementwise.
+    pub fn add_assign_scaled(&mut self, other: &DenseMatrix, alpha: f32) -> Result<()> {
+        if self.nrows() != other.nrows() || self.ncols() != other.ncols() {
+            return Err(SpmmError::DimensionMismatch {
+                context: "add_assign_scaled shape mismatch".into(),
+            });
+        }
+        for (a, &b) in self.as_mut_slice().iter_mut().zip(other.as_slice()) {
+            *a += alpha * b;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::uniform_random;
+
+    #[test]
+    fn symmetric_permute_relabels_both_sides() {
+        let mut coo = CooMatrix::new(3, 3);
+        coo.push(0, 1, 5.0);
+        coo.push(2, 0, 7.0);
+        let m = CsrMatrix::from_coo(&coo);
+        // 0->2, 1->0, 2->1.
+        let p = m.permute_symmetric(&[2, 0, 1]).unwrap();
+        let d = p.to_dense();
+        assert_eq!(d.get(2, 0), 5.0, "A[0,1] -> B[2,0]");
+        assert_eq!(d.get(1, 2), 7.0, "A[2,0] -> B[1,2]");
+        assert_eq!(p.nnz(), 2);
+    }
+
+    #[test]
+    fn symmetric_permute_preserves_spmm_with_permuted_dense() {
+        // The future-work identity: (P A Pᵀ)(P B) = P (A B).
+        let a = uniform_random(64, 6.0, 3);
+        let b = DenseMatrix::random(64, 8, 4);
+        let perm: Vec<u32> = (0..64u32).map(|i| (i * 13 + 5) % 64).collect();
+        assert!(spmm_common::util::is_permutation(&perm));
+        let pa = a.permute_symmetric(&perm).unwrap();
+        let pb = b.permute_rows(&perm).unwrap();
+        let lhs = pa.spmm_dense(&pb).unwrap();
+        let rhs = a.spmm_dense(&b).unwrap().permute_rows(&perm).unwrap();
+        assert!(lhs.approx_eq(&rhs, 1e-6, 1e-6));
+    }
+
+    #[test]
+    fn scale_and_add() {
+        let a = uniform_random(32, 4.0, 1);
+        let doubled = a.scale(2.0);
+        let summed = a.add(&a).unwrap();
+        assert_eq!(doubled, summed);
+        // A + (-1)*A == empty after zero-dropping.
+        let zero = a.add(&a.scale(-1.0)).unwrap();
+        assert_eq!(zero.nnz(), 0);
+    }
+
+    #[test]
+    fn submatrix_extracts_block() {
+        let mut coo = CooMatrix::new(6, 6);
+        coo.push(2, 3, 1.0);
+        coo.push(4, 4, 2.0);
+        coo.push(0, 0, 3.0);
+        let m = CsrMatrix::from_coo(&coo);
+        let s = m.submatrix(2..5, 3..6).unwrap();
+        assert_eq!(s.nrows(), 3);
+        assert_eq!(s.ncols(), 3);
+        assert_eq!(s.nnz(), 2);
+        assert_eq!(s.to_dense().get(0, 0), 1.0);
+        assert_eq!(s.to_dense().get(2, 1), 2.0);
+        assert!(m.submatrix(0..7, 0..2).is_err());
+    }
+
+    #[test]
+    fn dense_matmul_matches_manual() {
+        let a = DenseMatrix::from_fn(2, 3, |i, j| (i * 3 + j) as f32);
+        let b = DenseMatrix::from_fn(3, 2, |i, j| (i * 2 + j) as f32);
+        let c = a.matmul(&b).unwrap();
+        // [[0,1,2],[3,4,5]] x [[0,1],[2,3],[4,5]] = [[10,13],[28,40]]
+        assert_eq!(c.row(0), &[10.0, 13.0]);
+        assert_eq!(c.row(1), &[28.0, 40.0]);
+        assert!(a.matmul(&a).is_err(), "2x3 times 2x3 must fail");
+    }
+
+    #[test]
+    fn dense_matmul_associates_with_spmm() {
+        // (A × B) × W == A × (B × W): both are exact in FP32 only up to
+        // rounding, so compare loosely.
+        let a = uniform_random(48, 5.0, 9);
+        let b = DenseMatrix::random(48, 16, 2);
+        let w = DenseMatrix::random(16, 8, 3);
+        let lhs = a.spmm_dense(&b).unwrap().matmul(&w).unwrap();
+        let rhs = a.spmm_dense(&b.matmul(&w).unwrap()).unwrap();
+        assert!(lhs.approx_eq(&rhs, 1e-4, 1e-4));
+    }
+
+    #[test]
+    fn dense_transpose_involutive() {
+        let a = DenseMatrix::random(5, 7, 1);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn add_assign_scaled_axpy() {
+        let mut a = DenseMatrix::from_fn(2, 2, |_, _| 1.0);
+        let b = DenseMatrix::from_fn(2, 2, |_, _| 2.0);
+        a.add_assign_scaled(&b, 0.5).unwrap();
+        assert!(a.as_slice().iter().all(|&x| x == 2.0));
+        assert!(a.add_assign_scaled(&DenseMatrix::zeros(3, 2), 1.0).is_err());
+    }
+}

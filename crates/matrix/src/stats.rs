@@ -1,0 +1,129 @@
+//! Structural statistics of sparse matrices — the quantities used to
+//! characterize datasets (Table 2) and to reason about reordering
+//! quality beyond MeanNNZTC.
+
+use crate::csr::CsrMatrix;
+
+/// Summary statistics of a sparse matrix's structure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MatrixStats {
+    /// Rows.
+    pub nrows: usize,
+    /// Columns.
+    pub ncols: usize,
+    /// Stored non-zeros.
+    pub nnz: usize,
+    /// Mean non-zeros per row (`AvgL`).
+    pub avg_row_len: f64,
+    /// Maximum row length.
+    pub max_row_len: usize,
+    /// Fraction of empty rows.
+    pub empty_row_fraction: f64,
+    /// Population standard deviation of row lengths (load-imbalance
+    /// indicator at row granularity).
+    pub row_len_stddev: f64,
+    /// Mean |row − col| over all entries — the average bandwidth, a
+    /// crude data-locality indicator that reordering reduces.
+    pub mean_bandwidth: f64,
+    /// Density `nnz / (nrows · ncols)`.
+    pub density: f64,
+}
+
+/// Compute [`MatrixStats`] in one pass.
+pub fn stats(m: &CsrMatrix) -> MatrixStats {
+    let nrows = m.nrows();
+    let nnz = m.nnz();
+    let mut max_row_len = 0usize;
+    let mut empty = 0usize;
+    let mut sum_sq = 0.0f64;
+    let mut bw_sum = 0.0f64;
+    for r in 0..nrows {
+        let len = m.row_len(r);
+        max_row_len = max_row_len.max(len);
+        if len == 0 {
+            empty += 1;
+        }
+        sum_sq += (len * len) as f64;
+        for &c in m.row(r).0 {
+            bw_sum += (r as f64 - c as f64).abs();
+        }
+    }
+    let avg = if nrows == 0 { 0.0 } else { nnz as f64 / nrows as f64 };
+    let var = if nrows == 0 {
+        0.0
+    } else {
+        sum_sq / nrows as f64 - avg * avg
+    };
+    MatrixStats {
+        nrows,
+        ncols: m.ncols(),
+        nnz,
+        avg_row_len: avg,
+        max_row_len,
+        empty_row_fraction: if nrows == 0 {
+            0.0
+        } else {
+            empty as f64 / nrows as f64
+        },
+        row_len_stddev: var.max(0.0).sqrt(),
+        mean_bandwidth: if nnz == 0 { 0.0 } else { bw_sum / nnz as f64 },
+        density: if nrows == 0 || m.ncols() == 0 {
+            0.0
+        } else {
+            nnz as f64 / (nrows as f64 * m.ncols() as f64)
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::CooMatrix;
+
+    fn sample() -> CsrMatrix {
+        // [1 0 0 0]
+        // [0 0 0 0]
+        // [1 1 1 0]
+        // [0 0 0 1]
+        let mut coo = CooMatrix::new(4, 4);
+        for &(r, c) in &[(0u32, 0u32), (2, 0), (2, 1), (2, 2), (3, 3)] {
+            coo.push(r, c, 1.0);
+        }
+        CsrMatrix::from_coo(&coo)
+    }
+
+    #[test]
+    fn counts_and_means() {
+        let s = stats(&sample());
+        assert_eq!(s.nnz, 5);
+        assert_eq!(s.max_row_len, 3);
+        assert!((s.avg_row_len - 1.25).abs() < 1e-12);
+        assert!((s.empty_row_fraction - 0.25).abs() < 1e-12);
+        assert!((s.density - 5.0 / 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bandwidth_reflects_diagonal_distance() {
+        // Entries at |r-c|: 0, 2, 1, 0, 0 -> mean 0.6.
+        let s = stats(&sample());
+        assert!((s.mean_bandwidth - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stddev_zero_for_uniform_rows() {
+        let mut coo = CooMatrix::new(3, 3);
+        for r in 0..3u32 {
+            coo.push(r, r, 1.0);
+        }
+        let s = stats(&CsrMatrix::from_coo(&coo));
+        assert_eq!(s.row_len_stddev, 0.0);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let s = stats(&CsrMatrix::from_coo(&CooMatrix::new(0, 0)));
+        assert_eq!(s.nnz, 0);
+        assert_eq!(s.avg_row_len, 0.0);
+        assert_eq!(s.density, 0.0);
+    }
+}

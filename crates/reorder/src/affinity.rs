@@ -1,0 +1,215 @@
+//! The paper's data-affinity-based reordering (Algorithm 1).
+//!
+//! **Step I — dendrogram construction**: visit vertices in ascending
+//! degree; for each vertex `v`, find the neighbour `u` maximizing ΔQ
+//! (Equation 1) and merge `v` into `u` when ΔQ > 0, recording the merge
+//! in a dendrogram.
+//!
+//! **Step II — ordering generation**: walk the dendrogram leaves in DFS
+//! order; from each unvisited leaf, repeatedly jump to the unvisited
+//! vertex sharing the most common neighbours (ties broken by DFS
+//! position), assigning consecutive new ids along the chain.
+//!
+//! The paper states O(n log n) complexity; the common-neighbour search is
+//! restricted to the 2-hop neighbourhood (the only vertices that *can*
+//! share a neighbour) with a deterministic per-hop cap on high-degree
+//! vertices, keeping total work near-linear in the number of edges.
+
+use spmm_graph::{CommunityTracker, Dendrogram, GraphView};
+use spmm_matrix::CsrMatrix;
+
+/// Per-hop neighbour cap for the common-neighbour candidate search.
+/// Power-law matrices (reddit-like) have vertices with hundreds of
+/// neighbours; capping bounds step II at `CAP²` work per vertex.
+const TWO_HOP_CAP: usize = 64;
+
+/// Number of approximate candidates re-scored with the exact
+/// common-neighbour count each chain step.
+const RESCORE: usize = 8;
+
+/// Compute the data-affinity permutation (`perm[old] = new`).
+pub fn affinity_order(m: &CsrMatrix) -> Vec<u32> {
+    let g = GraphView::from_csr(m);
+    let dendro = build_dendrogram(&g);
+    ordering_generation(&g, &dendro)
+}
+
+/// Step I: ΔQ-greedy merging in ascending degree order.
+pub(crate) fn build_dendrogram(g: &GraphView) -> Dendrogram {
+    let n = g.num_vertices();
+    let mut ct = CommunityTracker::new(g);
+    let mut dendro = Dendrogram::new(n);
+    for v in g.vertices_by_ascending_degree() {
+        // Find the neighbour whose community merge maximizes ΔQ.
+        let mut best: Option<(f64, u32)> = None;
+        for &u in g.neighbors(v) {
+            if ct.same(u, v) {
+                continue;
+            }
+            let dq = ct.delta_q(u, v, 1.0);
+            if best.map_or(true, |(b, _)| dq > b) {
+                best = Some((dq, u));
+            }
+        }
+        if let Some((dq, u)) = best {
+            if dq > 0.0 {
+                let ru = ct.find(u);
+                let rv = ct.find(v);
+                dendro.record_merge(ru, rv);
+                let surviving = ct.merge(u, v);
+                // Keep the dendrogram's root mapping in sync with the
+                // union-find's surviving representative.
+                let node = dendro.node_of(ru);
+                dendro.set_node_of(surviving, node);
+            }
+        }
+    }
+    dendro
+}
+
+/// Step II: DFS over dendrogram leaves with common-neighbour chaining.
+pub(crate) fn ordering_generation(g: &GraphView, dendro: &Dendrogram) -> Vec<u32> {
+    let n = g.num_vertices();
+    let leaves = dendro.dfs_leaves();
+    // DFS position of each vertex, used for tie-breaking ("according to
+    // the order of DFS").
+    let mut dfs_pos = vec![0u32; n];
+    for (pos, &v) in leaves.iter().enumerate() {
+        dfs_pos[v as usize] = pos as u32;
+    }
+
+    let mut perm = vec![u32::MAX; n];
+    let mut visited = vec![false; n];
+    let mut next_id = 0u32;
+
+    for &start in &leaves {
+        if visited[start as usize] {
+            continue;
+        }
+        visited[start as usize] = true;
+        perm[start as usize] = next_id;
+        next_id += 1;
+
+        // Chain: hop to the unvisited vertex with the most common
+        // neighbours until the chain dries up. Candidates come from the
+        // (sampled) 2-hop neighbourhood; the top few by approximate count
+        // are re-scored with the exact sorted-merge intersection, and
+        // ties prefer the leaf closest in DFS order (staying inside the
+        // current dendrogram community).
+        let mut v = start;
+        let mut top: Vec<(u32, u32)> = Vec::new();
+        loop {
+            let counts = g.two_hop_common_counts(v, TWO_HOP_CAP);
+            top.clear();
+            top.extend(
+                counts
+                    .iter()
+                    .filter(|&(&u, _)| !visited[u as usize])
+                    .map(|(&u, &c)| (c, u)),
+            );
+            if top.is_empty() {
+                break;
+            }
+            // Keep the RESCORE best approximate candidates.
+            top.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+            top.truncate(RESCORE);
+            let pos_v = dfs_pos[v as usize];
+            let mut best: Option<(usize, u32, u32)> = None; // (exact, dfs distance key)
+            for &(_, u) in top.iter() {
+                let exact = g.common_neighbors(v, u);
+                let dist = dfs_pos[u as usize].abs_diff(pos_v);
+                let better = match best {
+                    None => true,
+                    Some((be, bd, _)) => exact > be || (exact == be && dist < bd),
+                };
+                if better {
+                    best = Some((exact, dist, u));
+                }
+            }
+            let (_, _, u) = best.expect("top is non-empty");
+            visited[u as usize] = true;
+            perm[u as usize] = next_id;
+            next_id += 1;
+            v = u;
+        }
+    }
+    debug_assert_eq!(next_id as usize, n);
+    perm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::mean_nnz_tc;
+    use spmm_common::util::is_permutation;
+    use spmm_matrix::gen::{molecule_union, uniform_random};
+    use spmm_matrix::{CooMatrix, CsrMatrix};
+
+    #[test]
+    fn produces_valid_permutation() {
+        let m = uniform_random(256, 6.0, 1);
+        let perm = affinity_order(&m);
+        assert!(is_permutation(&perm));
+    }
+
+    #[test]
+    fn paper_figure2_example_groups_communities() {
+        // The Figure 2 graph: 8 vertices, two natural communities
+        // {0,2,4,5,7} (around hub 0) and {1,3,6}.
+        let edges = [
+            (0u32, 2u32),
+            (0, 4),
+            (0, 5),
+            (0, 7),
+            (2, 5),
+            (4, 7),
+            (1, 3),
+            (1, 6),
+            (3, 6),
+        ];
+        let mut coo = CooMatrix::new(8, 8);
+        for &(a, b) in &edges {
+            coo.push(a, b, 1.0);
+        }
+        let m = CsrMatrix::from_coo(&coo);
+        let perm = affinity_order(&m);
+        assert!(is_permutation(&perm));
+        // Community {1,3,6} must be contiguous in the new order.
+        let mut ids: Vec<u32> = [1usize, 3, 6].iter().map(|&v| perm[v]).collect();
+        ids.sort_unstable();
+        assert_eq!(ids[2] - ids[0], 2, "community {{1,3,6}} stays together: {ids:?}");
+        // And so must the other community.
+        let mut ids: Vec<u32> = [0usize, 2, 4, 5, 7].iter().map(|&v| perm[v]).collect();
+        ids.sort_unstable();
+        assert_eq!(ids[4] - ids[0], 4, "community around 0 stays together: {ids:?}");
+    }
+
+    #[test]
+    fn improves_mean_nnz_tc_on_shuffled_molecules() {
+        let m = molecule_union(2048, 8, 20, true, 5);
+        let before = mean_nnz_tc(&m, 8);
+        let perm = affinity_order(&m);
+        let pm = m.permute_rows(&perm).unwrap();
+        let after = mean_nnz_tc(&pm, 8);
+        // Chain molecules with ~2 nnz/row cap out near 8 nnz/block (rows
+        // of a chain share almost no columns); 1.2x is a solid gain here.
+        assert!(
+            after > before * 1.2,
+            "reordering should densify TC blocks: {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn handles_empty_and_diagonal_matrices() {
+        let empty = CsrMatrix::from_coo(&CooMatrix::new(16, 16));
+        let perm = affinity_order(&empty);
+        assert!(is_permutation(&perm));
+
+        let mut coo = CooMatrix::new(8, 8);
+        for i in 0..8 {
+            coo.push(i, i, 1.0);
+        }
+        let diag = CsrMatrix::from_coo(&coo);
+        assert!(is_permutation(&affinity_order(&diag)));
+    }
+}

@@ -1,0 +1,119 @@
+//! Reordering quality metrics.
+//!
+//! `MeanNNZTC` — the paper's Figure-10 metric — is the average number of
+//! non-zeros per TC block after the TC-GNN-style window condensation:
+//! rows are grouped into windows of `tile` rows, the distinct columns of
+//! each window are squeezed together, and every `tile` consecutive
+//! distinct columns form one TC block.
+
+use spmm_matrix::CsrMatrix;
+
+/// Number of TC blocks the matrix produces with `tile × tile` blocks.
+pub fn num_tc_blocks(m: &CsrMatrix, tile: usize) -> usize {
+    assert!(tile >= 1);
+    let mut blocks = 0usize;
+    let mut cols: Vec<u32> = Vec::new();
+    for w in 0..m.nrows().div_ceil(tile) {
+        cols.clear();
+        let lo = w * tile;
+        let hi = ((w + 1) * tile).min(m.nrows());
+        for r in lo..hi {
+            cols.extend_from_slice(m.row(r).0);
+        }
+        cols.sort_unstable();
+        cols.dedup();
+        blocks += cols.len().div_ceil(tile);
+    }
+    blocks
+}
+
+/// Average non-zeros per TC block (`MeanNNZTC`). Returns 0 for an empty
+/// matrix. Upper bound is `tile²` (fully dense blocks).
+pub fn mean_nnz_tc(m: &CsrMatrix, tile: usize) -> f64 {
+    let blocks = num_tc_blocks(m, tile);
+    if blocks == 0 {
+        0.0
+    } else {
+        m.nnz() as f64 / blocks as f64
+    }
+}
+
+/// Per-window TC-block counts — the inputs of the IBD imbalance metric
+/// (Equation 3) and of Figure 14's load-balancing analysis.
+pub fn tc_blocks_per_window(m: &CsrMatrix, tile: usize) -> Vec<usize> {
+    let mut out = Vec::with_capacity(m.nrows().div_ceil(tile));
+    let mut cols: Vec<u32> = Vec::new();
+    for w in 0..m.nrows().div_ceil(tile) {
+        cols.clear();
+        let lo = w * tile;
+        let hi = ((w + 1) * tile).min(m.nrows());
+        for r in lo..hi {
+            cols.extend_from_slice(m.row(r).0);
+        }
+        cols.sort_unstable();
+        cols.dedup();
+        out.push(cols.len().div_ceil(tile));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spmm_matrix::{CooMatrix, CsrMatrix};
+
+    fn from_edges(n: usize, entries: &[(u32, u32)]) -> CsrMatrix {
+        let mut coo = CooMatrix::new(n, n);
+        for &(r, c) in entries {
+            coo.push(r, c, 1.0);
+        }
+        CsrMatrix::from_coo(&coo)
+    }
+
+    #[test]
+    fn single_dense_block() {
+        // 8x8 fully dense in the first window.
+        let mut entries = Vec::new();
+        for r in 0..8u32 {
+            for c in 0..8u32 {
+                entries.push((r, c));
+            }
+        }
+        let m = from_edges(8, &entries);
+        assert_eq!(num_tc_blocks(&m, 8), 1);
+        assert_eq!(mean_nnz_tc(&m, 8), 64.0);
+    }
+
+    #[test]
+    fn distinct_columns_drive_block_count() {
+        // One window, rows hit 9 distinct columns -> 2 blocks.
+        let entries: Vec<(u32, u32)> = (0..9u32).map(|c| (0, c)).collect();
+        let m = from_edges(16, &entries);
+        assert_eq!(num_tc_blocks(&m, 8), 2);
+        assert!((mean_nnz_tc(&m, 8) - 4.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn column_sharing_within_window_is_free() {
+        // All 8 rows of the window share the same single column -> 1 block
+        // of 8 nnz.
+        let entries: Vec<(u32, u32)> = (0..8u32).map(|r| (r, 3)).collect();
+        let m = from_edges(8, &entries);
+        assert_eq!(num_tc_blocks(&m, 8), 1);
+        assert_eq!(mean_nnz_tc(&m, 8), 8.0);
+    }
+
+    #[test]
+    fn per_window_counts_sum_to_total() {
+        let m = spmm_matrix::gen::uniform_random(128, 6.0, 4);
+        let per = tc_blocks_per_window(&m, 8);
+        assert_eq!(per.len(), 16);
+        assert_eq!(per.iter().sum::<usize>(), num_tc_blocks(&m, 8));
+    }
+
+    #[test]
+    fn empty_matrix_yields_zero() {
+        let m = from_edges(8, &[]);
+        assert_eq!(mean_nnz_tc(&m, 8), 0.0);
+    }
+}

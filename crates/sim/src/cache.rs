@@ -1,0 +1,274 @@
+//! Set-associative cache simulation with PTX cache-operator semantics
+//! (Table 1 of the paper).
+
+/// PTX cache operators (Table 1). Load operators control allocation
+/// level; store operators control write-allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CacheOp {
+    /// Cache at all levels (default load).
+    Ca,
+    /// Cache in L2 and below, bypass L1.
+    Cg,
+    /// Cache streaming: allocate with evict-first priority.
+    Cs,
+    /// Last use: read and release the line.
+    Lu,
+    /// Don't cache, fetch again (volatile).
+    Cv,
+    /// Write-back at all coherent levels (default store).
+    Wb,
+    /// Write-through L2 without allocation — the paper's choice for the
+    /// C result, keeping L2 free for B reuse.
+    Wt,
+}
+
+impl CacheOp {
+    /// Human-readable PTX mnemonic.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            CacheOp::Ca => ".ca",
+            CacheOp::Cg => ".cg",
+            CacheOp::Cs => ".cs",
+            CacheOp::Lu => ".lu",
+            CacheOp::Cv => ".cv",
+            CacheOp::Wb => ".wb",
+            CacheOp::Wt => ".wt",
+        }
+    }
+
+    /// Table-1 description.
+    pub fn meaning(&self) -> &'static str {
+        match self {
+            CacheOp::Ca => "Cache at all levels, likely to be accessed again",
+            CacheOp::Cg => "Cache in L2 and below, not L1",
+            CacheOp::Cs => "Cache streaming, likely to be accessed once",
+            CacheOp::Lu => "Last use",
+            CacheOp::Cv => "Don't cache and fetch again",
+            CacheOp::Wb => "Cache write-back all coherent levels",
+            CacheOp::Wt => "Cache write-through the L2 Cache",
+        }
+    }
+
+    /// Does a load with this operator allocate in L1?
+    pub fn allocates_l1(&self) -> bool {
+        matches!(self, CacheOp::Ca | CacheOp::Cs | CacheOp::Lu | CacheOp::Wb)
+    }
+
+    /// Does it allocate in L2?
+    pub fn allocates_l2(&self) -> bool {
+        !matches!(self, CacheOp::Cv | CacheOp::Wt)
+    }
+
+    /// Streaming (evict-first) insertion?
+    pub fn evict_first(&self) -> bool {
+        matches!(self, CacheOp::Cs | CacheOp::Lu)
+    }
+}
+
+/// Which memory level served an access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum MemLevel {
+    /// Served from the SM-local L1.
+    L1,
+    /// Served from the shared L2.
+    L2,
+    /// Went to DRAM.
+    Dram,
+}
+
+/// A set-associative LRU cache over line tags.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    sets: usize,
+    ways: usize,
+    line_shift: u32,
+    /// `sets × ways` tags, MRU first within each set. `u64::MAX` = empty.
+    tags: Vec<u64>,
+    hits: u64,
+    misses: u64,
+}
+
+impl Cache {
+    /// Build a cache of `capacity_bytes` with `ways` associativity and
+    /// `line_bytes` lines (both powers of two recommended; sets are
+    /// rounded up to at least 1).
+    pub fn new(capacity_bytes: usize, ways: usize, line_bytes: usize) -> Self {
+        assert!(ways >= 1 && line_bytes.is_power_of_two());
+        let lines = (capacity_bytes / line_bytes).max(ways);
+        let sets = (lines / ways).max(1);
+        Cache {
+            sets,
+            ways,
+            line_shift: line_bytes.trailing_zeros(),
+            tags: vec![u64::MAX; sets * ways],
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Access one line-aligned address. Returns whether it hit. On miss,
+    /// allocates only if `allocate`; `evict_first` inserts at LRU
+    /// position (streaming data that should not displace reused lines).
+    pub fn access_line(&mut self, addr: u64, allocate: bool, evict_first: bool) -> bool {
+        let line = addr >> self.line_shift;
+        let set = (line % self.sets as u64) as usize;
+        let base = set * self.ways;
+        let ways = &mut self.tags[base..base + self.ways];
+        if let Some(pos) = ways.iter().position(|&t| t == line) {
+            // Move to MRU.
+            ways[..=pos].rotate_right(1);
+            self.hits += 1;
+            return true;
+        }
+        self.misses += 1;
+        if allocate {
+            if evict_first {
+                // Insert at LRU: replaces the current LRU way and stays
+                // the first eviction candidate.
+                let last = self.ways - 1;
+                ways[last] = line;
+            } else {
+                ways.rotate_right(1);
+                ways[0] = line;
+            }
+        }
+        false
+    }
+
+    /// Access a byte range, touching every line it spans. Returns the
+    /// number of lines that hit and the total lines touched.
+    pub fn access_range(
+        &mut self,
+        addr: u64,
+        bytes: usize,
+        allocate: bool,
+        evict_first: bool,
+    ) -> (u32, u32) {
+        let line_bytes = 1u64 << self.line_shift;
+        let first = addr >> self.line_shift;
+        let last = (addr + bytes.max(1) as u64 - 1) >> self.line_shift;
+        let mut hits = 0u32;
+        for line in first..=last {
+            if self.access_line(line << self.line_shift, allocate, evict_first) {
+                hits += 1;
+            }
+        }
+        let _ = line_bytes;
+        (hits, (last - first + 1) as u32)
+    }
+
+    /// Invalidate everything (new kernel launch).
+    pub fn clear(&mut self) {
+        self.tags.iter_mut().for_each(|t| *t = u64::MAX);
+        self.hits = 0;
+        self.misses = 0;
+    }
+
+    /// Hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Hit rate in `[0, 1]`; 0 when untouched.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Line size in bytes.
+    pub fn line_bytes(&self) -> usize {
+        1usize << self.line_shift
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_after_allocate() {
+        let mut c = Cache::new(1024, 4, 64);
+        assert!(!c.access_line(0, true, false));
+        assert!(c.access_line(32, true, false), "same line");
+        assert!(!c.access_line(64, true, false), "next line");
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 2);
+    }
+
+    #[test]
+    fn no_allocate_never_caches() {
+        let mut c = Cache::new(1024, 4, 64);
+        assert!(!c.access_line(0, false, false));
+        assert!(!c.access_line(0, false, false));
+        assert_eq!(c.hits(), 0);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        // 4 lines total, 4-way single set.
+        let mut c = Cache::new(256, 4, 64);
+        for i in 0..4u64 {
+            c.access_line(i * 64, true, false);
+        }
+        // Touch line 0 to make it MRU, then insert a 5th line.
+        assert!(c.access_line(0, true, false));
+        c.access_line(4 * 64, true, false);
+        // Line 1 was LRU and must be gone; line 0 must survive.
+        assert!(c.access_line(0, true, false));
+        assert!(!c.access_line(64, true, false));
+    }
+
+    #[test]
+    fn evict_first_insertion_does_not_displace_mru() {
+        let mut c = Cache::new(256, 4, 64);
+        for i in 0..4u64 {
+            c.access_line(i * 64, true, false);
+        }
+        // Streaming insert replaces only the LRU way (line 0).
+        c.access_line(100 * 64, true, true);
+        assert!(c.access_line(3 * 64, true, false), "MRU survives");
+        assert!(c.access_line(2 * 64, true, false));
+        assert!(!c.access_line(0, true, false), "LRU was displaced");
+    }
+
+    #[test]
+    fn access_range_spans_lines() {
+        let mut c = Cache::new(4096, 4, 64);
+        let (hits, lines) = c.access_range(0, 200, true, false);
+        assert_eq!(lines, 4, "200 bytes from 0 touch 4 64B lines");
+        assert_eq!(hits, 0);
+        let (hits, lines) = c.access_range(0, 200, true, false);
+        assert_eq!((hits, lines), (4, 4));
+    }
+
+    #[test]
+    fn operator_semantics() {
+        assert!(CacheOp::Ca.allocates_l1());
+        assert!(!CacheOp::Cg.allocates_l1());
+        assert!(CacheOp::Cg.allocates_l2());
+        assert!(!CacheOp::Cv.allocates_l2());
+        assert!(!CacheOp::Wt.allocates_l2());
+        assert!(CacheOp::Wb.allocates_l2());
+        assert!(CacheOp::Cs.evict_first());
+        assert_eq!(CacheOp::Wt.mnemonic(), ".wt");
+        assert!(!CacheOp::Cs.meaning().is_empty());
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut c = Cache::new(1024, 2, 64);
+        c.access_line(0, true, false);
+        c.clear();
+        assert_eq!(c.hits() + c.misses(), 0);
+        assert!(!c.access_line(0, true, false));
+    }
+}

@@ -1,0 +1,127 @@
+//! Execution-trace export: turn a simulated kernel schedule into the
+//! Chrome tracing JSON format (`chrome://tracing`, Perfetto), the same
+//! artifact real profilers emit — invaluable for eyeballing load
+//! imbalance and wave structure.
+
+use crate::sched::ScheduleResult;
+use spmm_common::Result;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+
+/// A simulated execution timeline (per-TB spans on SMs).
+#[derive(Debug, Clone)]
+pub struct ExecutionTrace {
+    /// Per-TB (start, duration, sm) in seconds.
+    pub spans: Vec<(f64, f64, usize)>,
+    /// Kernel makespan in seconds.
+    pub makespan: f64,
+}
+
+impl ExecutionTrace {
+    /// Build from a schedule and the per-TB latencies it placed.
+    pub fn from_schedule(sched: &ScheduleResult, tb_times: &[f64]) -> Self {
+        let spans = sched
+            .starts
+            .iter()
+            .zip(tb_times.iter())
+            .zip(sched.assignment.iter())
+            .map(|((&s, &t), &sm)| (s, t, sm))
+            .collect();
+        ExecutionTrace {
+            spans,
+            makespan: sched.makespan,
+        }
+    }
+
+    /// Write Chrome tracing JSON ("X" complete events, microsecond
+    /// timestamps, one row per SM).
+    pub fn write_chrome_trace<W: Write>(&self, w: W) -> Result<()> {
+        let mut w = BufWriter::new(w);
+        writeln!(w, "[")?;
+        for (i, &(start, dur, sm)) in self.spans.iter().enumerate() {
+            let comma = if i + 1 == self.spans.len() { "" } else { "," };
+            writeln!(
+                w,
+                "  {{\"name\": \"TB{i}\", \"cat\": \"tb\", \"ph\": \"X\", \"ts\": {:.3}, \"dur\": {:.3}, \"pid\": 0, \"tid\": {sm}}}{comma}",
+                start * 1e6,
+                dur * 1e6
+            )?;
+        }
+        writeln!(w, "]")?;
+        w.flush()?;
+        Ok(())
+    }
+
+    /// Save to a `.json` file openable in `chrome://tracing` / Perfetto.
+    pub fn save_chrome_trace(&self, path: impl AsRef<Path>) -> Result<()> {
+        self.write_chrome_trace(std::fs::File::create(path)?)
+    }
+
+    /// Number of SMs that received work.
+    pub fn sms_used(&self) -> usize {
+        self.spans
+            .iter()
+            .map(|&(_, _, sm)| sm + 1)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::schedule;
+
+    #[test]
+    fn spans_are_disjoint_per_sm() {
+        let times = vec![1.0, 2.0, 3.0, 1.5, 0.5, 2.5];
+        let sched = schedule(&times, 2);
+        let trace = ExecutionTrace::from_schedule(&sched, &times);
+        assert_eq!(trace.spans.len(), 6);
+        // On each SM, sorted spans must not overlap.
+        for sm in 0..trace.sms_used() {
+            let mut spans: Vec<(f64, f64)> = trace
+                .spans
+                .iter()
+                .filter(|&&(_, _, s)| s == sm)
+                .map(|&(a, d, _)| (a, d))
+                .collect();
+            spans.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            for w in spans.windows(2) {
+                assert!(w[0].0 + w[0].1 <= w[1].0 + 1e-9, "overlap on SM {sm}");
+            }
+        }
+        // Last end equals the makespan.
+        let end = trace
+            .spans
+            .iter()
+            .map(|&(s, d, _)| s + d)
+            .fold(0.0f64, f64::max);
+        assert!((end - trace.makespan).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chrome_json_is_well_formed() {
+        let times = vec![1.0, 2.0];
+        let sched = schedule(&times, 2);
+        let trace = ExecutionTrace::from_schedule(&sched, &times);
+        let mut buf = Vec::new();
+        trace.write_chrome_trace(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let parsed: serde_json::Value = serde_json::from_str(&text).expect("valid JSON");
+        assert_eq!(parsed.as_array().unwrap().len(), 2);
+        assert_eq!(parsed[0]["ph"], "X");
+    }
+
+    #[test]
+    fn empty_schedule_exports_empty_array() {
+        let sched = schedule(&[], 4);
+        let trace = ExecutionTrace::from_schedule(&sched, &[]);
+        let mut buf = Vec::new();
+        trace.write_chrome_trace(&mut buf).unwrap();
+        let parsed: serde_json::Value =
+            serde_json::from_str(&String::from_utf8(buf).unwrap()).unwrap();
+        assert!(parsed.as_array().unwrap().is_empty());
+        assert_eq!(trace.sms_used(), 0);
+    }
+}

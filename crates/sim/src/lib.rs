@@ -1,0 +1,31 @@
+//! GPU timing and cache simulator — the substrate standing in for the
+//! paper's RTX 4090 / A800 / H100 testbed.
+//!
+//! The simulator is analytical + trace-driven: kernels compile their work
+//! into per-thread-block traces ([`trace::TbTrace`]); a cache pass runs
+//! every B-gather and A-stream through set-associative L1s (one per SM)
+//! and a shared L2 honouring PTX cache operators ([`cache`]); a timing
+//! pass composes per-block load/compute/write times through one of four
+//! pipeline models ([`pipeline`]); and a list scheduler maps thread
+//! blocks onto SMs to produce the kernel makespan ([`sched`]).
+//!
+//! Nothing here knows about sparse formats — the kernels crate translates
+//! formats into traces — so the simulator stays a reusable GPU model.
+
+pub mod arch;
+pub mod cache;
+pub mod engine;
+pub mod export;
+pub mod mma;
+pub mod pipeline;
+pub mod report;
+pub mod sched;
+pub mod trace;
+
+pub use arch::{Arch, GpuArch};
+pub use cache::{Cache, CacheOp, MemLevel};
+pub use engine::{simulate, simulate_traced, SimOptions};
+pub use export::ExecutionTrace;
+pub use pipeline::PipelineKind;
+pub use report::KernelReport;
+pub use trace::{BlockTrace, CachePolicy, KernelDesc, TbTrace};

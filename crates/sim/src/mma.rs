@@ -1,0 +1,276 @@
+//! Warp-level `mma.sync.aligned.m16n8k8.row.col.f32.tf32.tf32.f32` —
+//! a faithful software model of the PTX instruction the kernel issues,
+//! including the per-lane fragment register layout.
+//!
+//! The paper's §3.4 trick ("we load the matrix followed by swapping the
+//! computation of the left-handed matrix and the right-handed matrix")
+//! computes a 8-row × 16-column C chunk as
+//! `Cᵀ(16×8) = Bᵀ(16×8) × Aᵀ(8×8)` so the *sparse* operand can be the
+//! small 8×8 right-hand tile. [`swapped_spmm_block`] packages exactly
+//! that and is validated against the direct product.
+//!
+//! Fragment layouts follow the PTX ISA (warp of 32 lanes, groups of 4):
+//! for lane `l`, `group = l / 4`, `tid = l % 4`:
+//!
+//! * **A (16×8, row-major)** — 4 registers:
+//!   `a0=(group, tid)`, `a1=(group, tid+4)`, `a2=(group+8, tid)`,
+//!   `a3=(group+8, tid+4)`;
+//! * **B (8×8, col-major operand)** — 2 registers:
+//!   `b0=(tid, group)`, `b1=(tid+4, group)`;
+//! * **C/D (16×8, row-major)** — 4 registers:
+//!   `c0=(group, 2·tid)`, `c1=(group, 2·tid+1)`, `c2=(group+8, 2·tid)`,
+//!   `c3=(group+8, 2·tid+1)`.
+
+use spmm_common::scalar::to_tf32;
+
+/// Number of lanes in a warp.
+pub const WARP: usize = 32;
+
+/// Per-lane fragment registers for one `m16n8k8` issue.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LaneFragments {
+    /// A-operand registers (4 × tf32).
+    pub a: [f32; 4],
+    /// B-operand registers (2 × tf32).
+    pub b: [f32; 2],
+    /// Accumulator registers (4 × f32).
+    pub c: [f32; 4],
+}
+
+/// A warp's worth of fragments.
+pub type WarpFragments = [LaneFragments; WARP];
+
+/// Load a row-major 16×8 matrix into the per-lane A fragments.
+pub fn load_a_fragments(a: &[f32; 16 * 8], frags: &mut WarpFragments) {
+    for (lane, f) in frags.iter_mut().enumerate() {
+        let (group, tid) = (lane / 4, lane % 4);
+        f.a[0] = a[group * 8 + tid];
+        f.a[1] = a[group * 8 + tid + 4];
+        f.a[2] = a[(group + 8) * 8 + tid];
+        f.a[3] = a[(group + 8) * 8 + tid + 4];
+    }
+}
+
+/// Load a row-major 8×8 matrix into the per-lane B fragments (the
+/// operand is consumed column-major by the instruction; the loader does
+/// the transposition the `ldmatrix`/layout qualifiers imply).
+pub fn load_b_fragments(b: &[f32; 8 * 8], frags: &mut WarpFragments) {
+    for (lane, f) in frags.iter_mut().enumerate() {
+        let (group, tid) = (lane / 4, lane % 4);
+        f.b[0] = b[tid * 8 + group];
+        f.b[1] = b[(tid + 4) * 8 + group];
+    }
+}
+
+/// Execute the warp-synchronous MMA: every lane's accumulators are
+/// updated from the *warp-wide* operand fragments, exactly as the
+/// hardware gathers them. Operands are rounded to TF32; accumulation is
+/// FP32.
+pub fn mma_sync(frags: &mut WarpFragments) {
+    // Reassemble the full operands from the distributed registers (the
+    // hardware does this internally through the octet datapaths).
+    let mut a = [0.0f32; 16 * 8];
+    let mut b = [0.0f32; 8 * 8];
+    for (lane, f) in frags.iter().enumerate() {
+        let (group, tid) = (lane / 4, lane % 4);
+        a[group * 8 + tid] = f.a[0];
+        a[group * 8 + tid + 4] = f.a[1];
+        a[(group + 8) * 8 + tid] = f.a[2];
+        a[(group + 8) * 8 + tid + 4] = f.a[3];
+        b[tid * 8 + group] = f.b[0];
+        b[(tid + 4) * 8 + group] = f.b[1];
+    }
+    // d = a × b (+ c), 16x8 × 8x8.
+    for (lane, f) in frags.iter_mut().enumerate() {
+        let (group, tid) = (lane / 4, lane % 4);
+        let positions = [
+            (group, 2 * tid),
+            (group, 2 * tid + 1),
+            (group + 8, 2 * tid),
+            (group + 8, 2 * tid + 1),
+        ];
+        for (r, &(row, col)) in positions.iter().enumerate() {
+            let mut acc = f.c[r];
+            for k in 0..8 {
+                acc += to_tf32(a[row * 8 + k]) * to_tf32(b[k * 8 + col]);
+            }
+            f.c[r] = acc;
+        }
+    }
+}
+
+/// Store the per-lane accumulators back to a row-major 16×8 matrix.
+pub fn store_c_fragments(frags: &WarpFragments, out: &mut [f32; 16 * 8]) {
+    for (lane, f) in frags.iter().enumerate() {
+        let (group, tid) = (lane / 4, lane % 4);
+        out[group * 8 + 2 * tid] = f.c[0];
+        out[group * 8 + 2 * tid + 1] = f.c[1];
+        out[(group + 8) * 8 + 2 * tid] = f.c[2];
+        out[(group + 8) * 8 + 2 * tid + 1] = f.c[3];
+    }
+}
+
+/// One full warp-level MMA: `D = A(16×8) × B(8×8) + C`, through the
+/// fragment machinery.
+pub fn warp_mma(a: &[f32; 16 * 8], b: &[f32; 8 * 8], c: &mut [f32; 16 * 8]) {
+    let mut frags: WarpFragments = [LaneFragments::default(); WARP];
+    load_a_fragments(a, &mut frags);
+    load_b_fragments(b, &mut frags);
+    // Seed accumulators from C with the store layout inverted.
+    for (lane, f) in frags.iter_mut().enumerate() {
+        let (group, tid) = (lane / 4, lane % 4);
+        f.c[0] = c[group * 8 + 2 * tid];
+        f.c[1] = c[group * 8 + 2 * tid + 1];
+        f.c[2] = c[(group + 8) * 8 + 2 * tid];
+        f.c[3] = c[(group + 8) * 8 + 2 * tid + 1];
+    }
+    mma_sync(&mut frags);
+    store_c_fragments(&frags, c);
+}
+
+/// The paper's swapped SpMM block: given an 8×8 sparse tile `a_tile`
+/// (row-major) and a 16-column chunk of gathered dense rows
+/// `b_chunk` (8 rows × 16 columns, row-major), compute the 8×16 C chunk
+/// as `(Bᵀ × Aᵀ)ᵀ` with one `m16n8k8` issue — the left operand is the
+/// *dense* 16×8 matrix, the right operand is the *sparse* 8×8 tile.
+pub fn swapped_spmm_block(
+    a_tile: &[f32; 8 * 8],
+    b_chunk: &[f32; 8 * 16],
+    c_chunk: &mut [f32; 8 * 16],
+) {
+    // Left operand: Bᵀ, 16×8 row-major.
+    let mut bt = [0.0f32; 16 * 8];
+    for r in 0..8 {
+        for j in 0..16 {
+            bt[j * 8 + r] = b_chunk[r * 16 + j];
+        }
+    }
+    // Right operand: Aᵀ, 8×8 row-major.
+    let mut at = [0.0f32; 8 * 8];
+    for i in 0..8 {
+        for k in 0..8 {
+            at[k * 8 + i] = a_tile[i * 8 + k];
+        }
+    }
+    // Accumulator: Cᵀ, 16×8.
+    let mut ct = [0.0f32; 16 * 8];
+    for i in 0..8 {
+        for j in 0..16 {
+            ct[j * 8 + i] = c_chunk[i * 16 + j];
+        }
+    }
+    warp_mma(&bt, &at, &mut ct);
+    for i in 0..8 {
+        for j in 0..16 {
+            c_chunk[i * 16 + j] = ct[j * 8 + i];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spmm_common::scalar::tf32_mma_8x8;
+
+    fn det(v: u64) -> f32 {
+        // Small deterministic values, exactly representable in TF32.
+        ((spmm_common::util::splitmix64(v) % 17) as f32 - 8.0) / 4.0
+    }
+
+    #[test]
+    fn fragment_roundtrip_preserves_operands() {
+        let mut a = [0.0f32; 128];
+        for (i, x) in a.iter_mut().enumerate() {
+            *x = det(i as u64);
+        }
+        let mut frags: WarpFragments = [LaneFragments::default(); WARP];
+        load_a_fragments(&a, &mut frags);
+        // Every element of A must appear in exactly one lane register.
+        let mut seen = vec![0u32; 128];
+        for (lane, f) in frags.iter().enumerate() {
+            let (group, tid) = (lane / 4, lane % 4);
+            for (r, idx) in [
+                group * 8 + tid,
+                group * 8 + tid + 4,
+                (group + 8) * 8 + tid,
+                (group + 8) * 8 + tid + 4,
+            ]
+            .into_iter()
+            .enumerate()
+            {
+                assert_eq!(f.a[r], a[idx]);
+                seen[idx] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&s| s == 1), "each element in one register");
+    }
+
+    #[test]
+    fn warp_mma_matches_direct_product() {
+        let mut a = [0.0f32; 128];
+        let mut b = [0.0f32; 64];
+        for (i, x) in a.iter_mut().enumerate() {
+            *x = det(100 + i as u64);
+        }
+        for (i, x) in b.iter_mut().enumerate() {
+            *x = det(300 + i as u64);
+        }
+        let mut c = [0.0f32; 128];
+        warp_mma(&a, &b, &mut c);
+        // Direct reference with identical rounding.
+        for row in 0..16 {
+            for col in 0..8 {
+                let mut acc = 0.0f32;
+                for k in 0..8 {
+                    acc += spmm_common::to_tf32(a[row * 8 + k])
+                        * spmm_common::to_tf32(b[k * 8 + col]);
+                }
+                assert_eq!(c[row * 8 + col], acc, "({row},{col})");
+            }
+        }
+    }
+
+    #[test]
+    fn warp_mma_accumulates_into_c() {
+        let a = [1.0f32; 128];
+        let b = [1.0f32; 64];
+        let mut c = [10.0f32; 128];
+        warp_mma(&a, &b, &mut c);
+        assert!(c.iter().all(|&x| x == 18.0), "10 + 8·1·1");
+    }
+
+    #[test]
+    fn swapped_block_equals_unswapped_semantics() {
+        // The §3.4 claim: the swap computes the same C as A(8x8)·B(8x16).
+        let mut a = [0.0f32; 64];
+        let mut b = [0.0f32; 128];
+        for (i, x) in a.iter_mut().enumerate() {
+            *x = det(500 + i as u64);
+        }
+        for (i, x) in b.iter_mut().enumerate() {
+            *x = det(700 + i as u64);
+        }
+        let mut c = [0.0f32; 128];
+        swapped_spmm_block(&a, &b, &mut c);
+
+        let mut reference = [0.0f32; 128];
+        tf32_mma_8x8(&a, &b, &mut reference, 16);
+        for i in 0..128 {
+            assert!(
+                (c[i] - reference[i]).abs() < 1e-5,
+                "element {i}: swapped {} vs direct {}",
+                c[i],
+                reference[i]
+            );
+        }
+    }
+
+    #[test]
+    fn swapped_block_accumulates() {
+        let a = [0.5f32; 64];
+        let b = [2.0f32; 128];
+        let mut c = [1.0f32; 128];
+        swapped_spmm_block(&a, &b, &mut c);
+        assert!(c.iter().all(|&x| (x - 9.0).abs() < 1e-6), "1 + 8·0.5·2");
+    }
+}

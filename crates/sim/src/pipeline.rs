@@ -1,0 +1,236 @@
+//! Per-thread-block pipeline composition (Figure 5).
+//!
+//! Given the per-block load/compute times produced by the memory model,
+//! each pipeline composes them into the TB's latency and its bubble time
+//! (cycles the compute unit sat idle waiting on memory):
+//!
+//! * [`PipelineKind::SerialScalar`] — CUDA-core kernels: high occupancy
+//!   gives partial memory/compute overlap but no explicit staging;
+//! * [`PipelineKind::TcgnnSync`] — TC-GNN: synchronous load→compute per
+//!   block, full bubbles;
+//! * [`PipelineKind::DtcDoubleBuffer`] — DTC-SpMM (Fig 5a): A tiles are
+//!   double-buffered, but the dense-B `GToReg` sits on the critical path
+//!   before every MMA;
+//! * [`PipelineKind::AccLeastBubble`] — the paper's pipeline (Fig 5b):
+//!   B prefetch + double-buffered A/AToB, steady-state iteration cost
+//!   `max(mma, loadB, loadA)`.
+
+/// Pipeline structures implemented by the kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PipelineKind {
+    /// CUDA-core kernel with occupancy-driven overlap.
+    SerialScalar,
+    /// Synchronous TC kernel (TC-GNN).
+    TcgnnSync,
+    /// DTC-SpMM double-buffer pipeline (Fig 5a).
+    DtcDoubleBuffer,
+    /// Acc-SpMM least-bubble double-buffer pipeline (Fig 5b).
+    AccLeastBubble,
+}
+
+/// Per-block times (seconds) of one TB, plus its write-back time.
+#[derive(Debug, Clone, Default)]
+pub struct TbTimes {
+    /// Dense-B gather time per block.
+    pub load_b: Vec<f64>,
+    /// Sparse-A (tile + metadata) load time per block.
+    pub load_a: Vec<f64>,
+    /// MMA/FMA time per block.
+    pub compute: Vec<f64>,
+    /// Decode (decompression) time per block.
+    pub decode: Vec<f64>,
+    /// C write-back time (once per segment, aggregated).
+    pub writeback: f64,
+    /// Synchronization cost charged per iteration (seconds).
+    pub sync: f64,
+}
+
+/// Composition result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TbLatency {
+    /// Total TB latency in seconds.
+    pub total: f64,
+    /// Time the compute pipe idled waiting on memory.
+    pub bubbles: f64,
+}
+
+/// Fraction of the shorter of (memory, compute) hidden by occupancy in
+/// scalar kernels.
+const SCALAR_OVERLAP: f64 = 0.85;
+
+/// Compose a TB's latency under the given pipeline.
+pub fn compose(kind: PipelineKind, t: &TbTimes) -> TbLatency {
+    let n = t.compute.len();
+    debug_assert_eq!(t.load_b.len(), n);
+    debug_assert_eq!(t.load_a.len(), n);
+    if n == 0 {
+        return TbLatency {
+            total: t.writeback,
+            bubbles: 0.0,
+        };
+    }
+    let decode_at = |i: usize| t.decode.get(i).copied().unwrap_or(0.0);
+    match kind {
+        PipelineKind::SerialScalar => {
+            let mem: f64 =
+                t.load_b.iter().sum::<f64>() + t.load_a.iter().sum::<f64>() + t.writeback;
+            let comp: f64 = t.compute.iter().sum::<f64>()
+                + t.decode.iter().sum::<f64>()
+                + t.sync * n as f64;
+            let overlapped = SCALAR_OVERLAP * mem.min(comp);
+            TbLatency {
+                total: mem + comp - overlapped,
+                bubbles: (mem - overlapped).max(0.0),
+            }
+        }
+        PipelineKind::TcgnnSync => {
+            // load A, load B, decode, compute, sync — strictly in order,
+            // every block.
+            let mut total = 0.0;
+            let mut bubbles = 0.0;
+            for i in 0..n {
+                let stall = t.load_a[i] + t.load_b[i] + decode_at(i) + t.sync;
+                total += stall + t.compute[i];
+                bubbles += stall;
+            }
+            TbLatency {
+                total: total + t.writeback,
+                bubbles,
+            }
+        }
+        PipelineKind::DtcDoubleBuffer => {
+            // Warm-up: first A tile staged.
+            let mut total = t.load_a[0] + decode_at(0);
+            let mut bubbles = total;
+            // Iteration i: B load is serial before the MMA (implicit
+            // sync, Fig 5a); the *next* A tile load overlaps the MMA.
+            for i in 0..n {
+                let next_a = if i + 1 < n {
+                    t.load_a[i + 1] + decode_at(i + 1)
+                } else {
+                    0.0
+                };
+                let iter = t.load_b[i] + t.sync + t.compute[i].max(next_a);
+                total += iter;
+                bubbles += iter - t.compute[i];
+            }
+            TbLatency {
+                total: total + t.writeback,
+                bubbles,
+            }
+        }
+        PipelineKind::AccLeastBubble => {
+            // Warm-up: A tile + AToB staged, first B prefetched; loads
+            // overlap each other via cp.async.
+            let warm = (t.load_a[0] + decode_at(0)).max(t.load_b[0]);
+            let mut total = warm;
+            let mut bubbles = warm;
+            // Steady state: MMA i overlaps B prefetch i+1 and A stage
+            // i+1; per-iteration cost is the max of the three.
+            for i in 0..n {
+                let next_b = if i + 1 < n { t.load_b[i + 1] } else { 0.0 };
+                let next_a = if i + 1 < n {
+                    t.load_a[i + 1] + decode_at(i + 1)
+                } else {
+                    0.0
+                };
+                let iter = t.compute[i].max(next_b).max(next_a) + t.sync;
+                total += iter;
+                bubbles += iter - t.compute[i];
+            }
+            TbLatency {
+                total: total + t.writeback,
+                bubbles,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn times(load_b: &[f64], load_a: &[f64], compute: &[f64], wb: f64) -> TbTimes {
+        TbTimes {
+            load_b: load_b.to_vec(),
+            load_a: load_a.to_vec(),
+            compute: compute.to_vec(),
+            decode: vec![0.0; compute.len()],
+            writeback: wb,
+            sync: 0.0,
+        }
+    }
+
+    #[test]
+    fn acc_is_never_slower_than_dtc() {
+        let t = times(
+            &[3.0, 3.0, 3.0, 3.0],
+            &[1.0, 1.0, 1.0, 1.0],
+            &[2.0, 2.0, 2.0, 2.0],
+            1.0,
+        );
+        let acc = compose(PipelineKind::AccLeastBubble, &t);
+        let dtc = compose(PipelineKind::DtcDoubleBuffer, &t);
+        let tcgnn = compose(PipelineKind::TcgnnSync, &t);
+        assert!(acc.total < dtc.total, "acc {} dtc {}", acc.total, dtc.total);
+        assert!(dtc.total < tcgnn.total);
+        assert!(acc.bubbles < dtc.bubbles);
+    }
+
+    #[test]
+    fn acc_steady_state_is_max_of_streams() {
+        // Long chain: per-iteration cost must approach max(B, A, mma)=3.
+        let n = 100;
+        let t = times(
+            &vec![3.0; n],
+            &vec![1.0; n],
+            &vec![2.0; n],
+            0.0,
+        );
+        let acc = compose(PipelineKind::AccLeastBubble, &t);
+        let per_iter = acc.total / n as f64;
+        assert!((per_iter - 3.0).abs() < 0.2, "per-iter {per_iter}");
+    }
+
+    #[test]
+    fn dtc_pays_b_load_every_iteration() {
+        let n = 50;
+        let t = times(&vec![3.0; n], &vec![1.0; n], &vec![2.0; n], 0.0);
+        let dtc = compose(PipelineKind::DtcDoubleBuffer, &t);
+        // Per iteration: 3 (B) + 2 (mma) = 5.
+        let per_iter = dtc.total / n as f64;
+        assert!((per_iter - 5.0).abs() < 0.2, "per-iter {per_iter}");
+    }
+
+    #[test]
+    fn compute_bound_pipelines_converge() {
+        // When mma dominates, Acc total ≈ Σ mma and bubbles ≈ warm-up.
+        let n = 20;
+        let t = times(&vec![0.1; n], &vec![0.1; n], &vec![5.0; n], 0.0);
+        let acc = compose(PipelineKind::AccLeastBubble, &t);
+        assert!((acc.total - (n as f64 * 5.0 + 0.1)).abs() < 1e-9);
+        assert!(acc.bubbles < 0.2);
+    }
+
+    #[test]
+    fn scalar_overlap_bounded_by_components() {
+        let t = times(&[4.0], &[1.0], &[3.0], 1.0);
+        let s = compose(PipelineKind::SerialScalar, &t);
+        // mem = 6, comp = 3: total in [max, sum].
+        assert!(s.total >= 6.0 - 1e-12);
+        assert!(s.total <= 9.0 + 1e-12);
+    }
+
+    #[test]
+    fn empty_tb_costs_only_writeback() {
+        let t = times(&[], &[], &[], 2.0);
+        for kind in [
+            PipelineKind::SerialScalar,
+            PipelineKind::TcgnnSync,
+            PipelineKind::DtcDoubleBuffer,
+            PipelineKind::AccLeastBubble,
+        ] {
+            assert_eq!(compose(kind, &t).total, 2.0);
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Simulation output: everything the paper's figures plot.
+
+/// The measured quantities of one simulated kernel execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelReport {
+    /// Kernel wall time (seconds, simulated).
+    pub time_s: f64,
+    /// Effective GFLOPS: `2 · nnz · N / time` — the paper's headline
+    /// metric.
+    pub gflops: f64,
+    /// GFLOPS counting the dense work actually executed (≥ `gflops` for
+    /// TC kernels, which multiply zeros inside blocks).
+    pub dense_gflops: f64,
+    /// Bytes served by DRAM.
+    pub dram_bytes: u64,
+    /// Bytes served by the L2 cache.
+    pub l2_bytes: u64,
+    /// Bytes served by L1 caches.
+    pub l1_bytes: u64,
+    /// Global-load L1 hit rate (line granularity).
+    pub l1_hit_rate: f64,
+    /// L2 hit rate among L1 misses.
+    pub l2_hit_rate: f64,
+    /// Aggregate pipeline bubble time across TBs (seconds).
+    pub bubble_s: f64,
+    /// Aggregate TB busy time (seconds; `bubble_s / busy_s` is the idle
+    /// fraction).
+    pub busy_s: f64,
+    /// DRAM throughput achieved (GB/s) — Figure 14's memory throughput.
+    pub mem_throughput_gbps: f64,
+    /// Compute throughput achieved (GFLOPS of executed dense work) —
+    /// Figure 14's compute throughput.
+    pub compute_throughput_gflops: f64,
+    /// Thread blocks launched.
+    pub num_tbs: usize,
+    /// SM utilization from the scheduler.
+    pub sm_utilization: f64,
+}
+
+impl KernelReport {
+    /// Speedup of `self` over `baseline` (time ratio).
+    pub fn speedup_over(&self, baseline: &KernelReport) -> f64 {
+        baseline.time_s / self.time_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(time: f64) -> KernelReport {
+        KernelReport {
+            time_s: time,
+            gflops: 1.0 / time,
+            dense_gflops: 0.0,
+            dram_bytes: 0,
+            l2_bytes: 0,
+            l1_bytes: 0,
+            l1_hit_rate: 0.0,
+            l2_hit_rate: 0.0,
+            bubble_s: 0.0,
+            busy_s: 0.0,
+            mem_throughput_gbps: 0.0,
+            compute_throughput_gflops: 0.0,
+            num_tbs: 0,
+            sm_utilization: 1.0,
+        }
+    }
+
+    #[test]
+    fn speedup_is_time_ratio() {
+        let fast = report(1.0);
+        let slow = report(4.0);
+        assert!((fast.speedup_over(&slow) - 4.0).abs() < 1e-12);
+        assert!((slow.speedup_over(&fast) - 0.25).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,177 @@
+//! Property-based tests for the simulator's load-bearing algebra:
+//! cache replacement, list scheduling, and pipeline composition.
+
+use proptest::prelude::*;
+use spmm_sim::pipeline::{compose, PipelineKind, TbTimes};
+use spmm_sim::sched::schedule;
+use spmm_sim::Cache;
+
+prop_compose! {
+    fn arb_times()(n in 1usize..12, seed in 0u64..1000) -> TbTimes {
+        let mut t = TbTimes::default();
+        for i in 0..n {
+            let h = |k: u64| {
+                (spmm_common::util::splitmix64(seed * 1000 + i as u64 * 10 + k) % 1000) as f64
+                    / 100.0
+                    + 0.01
+            };
+            t.load_b.push(h(1));
+            t.load_a.push(h(2));
+            t.compute.push(h(3));
+            t.decode.push(0.0);
+        }
+        t.writeback = 0.5;
+        t
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    // ---------------- cache ----------------
+
+    #[test]
+    fn working_set_within_capacity_always_hits_on_reuse(
+        lines in proptest::collection::vec(0u64..64, 1..16)
+    ) {
+        // 16 lines of 64B, fully associative enough (16 ways, 1 set):
+        // any <=16-line working set must fully hit on the second pass.
+        let mut c = Cache::new(16 * 64, 16, 64);
+        let mut distinct: Vec<u64> = lines.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        for &l in &distinct {
+            c.access_line(l * 64, true, false);
+        }
+        let before_hits = c.hits();
+        for &l in &distinct {
+            prop_assert!(c.access_line(l * 64, true, false));
+        }
+        prop_assert_eq!(c.hits(), before_hits + distinct.len() as u64);
+    }
+
+    #[test]
+    fn hit_rate_is_a_probability(
+        addrs in proptest::collection::vec(0u64..10_000, 1..200)
+    ) {
+        let mut c = Cache::new(1024, 4, 64);
+        for &a in &addrs {
+            c.access_line(a * 64, true, false);
+        }
+        let hr = c.hit_rate();
+        prop_assert!((0.0..=1.0).contains(&hr));
+        prop_assert_eq!(c.hits() + c.misses(), addrs.len() as u64);
+    }
+
+    #[test]
+    fn no_allocate_accesses_never_hit_later(
+        addrs in proptest::collection::vec(0u64..100, 1..50)
+    ) {
+        let mut c = Cache::new(4096, 4, 64);
+        for &a in &addrs {
+            c.access_line(a * 64, false, false);
+        }
+        prop_assert_eq!(c.hits(), 0, "nothing was ever allocated");
+    }
+
+    // ---------------- scheduler ----------------
+
+    #[test]
+    fn makespan_respects_classical_bounds(
+        times in proptest::collection::vec(0.001f64..10.0, 1..64),
+        workers in 1usize..16
+    ) {
+        let r = schedule(&times, workers);
+        let sum: f64 = times.iter().sum();
+        let max = times.iter().copied().fold(0.0f64, f64::max);
+        prop_assert!(r.makespan >= max - 1e-9, "makespan under max task");
+        prop_assert!(r.makespan >= sum / workers as f64 - 1e-9, "under mean bound");
+        prop_assert!(r.makespan <= sum + 1e-9, "over serial bound");
+        // Greedy list scheduling is 2-competitive.
+        prop_assert!(
+            r.makespan <= 2.0 * (sum / workers as f64 + max) + 1e-9,
+            "beyond the 2-approximation bound"
+        );
+        prop_assert!(r.utilization > 0.0 && r.utilization <= 1.0 + 1e-9);
+        prop_assert_eq!(r.assignment.len(), times.len());
+    }
+
+    #[test]
+    fn busy_times_partition_total_work(
+        times in proptest::collection::vec(0.001f64..5.0, 1..64),
+        workers in 1usize..8
+    ) {
+        let r = schedule(&times, workers);
+        let sum: f64 = times.iter().sum();
+        let busy: f64 = r.busy.iter().sum();
+        prop_assert!((busy - sum).abs() < 1e-9);
+    }
+
+    // ---------------- pipelines ----------------
+
+    #[test]
+    fn pipeline_hierarchy_holds(t in arb_times()) {
+        // With equal per-iteration sync, the paper's pipeline hierarchy
+        // must hold for ANY per-block time vector.
+        let acc = compose(PipelineKind::AccLeastBubble, &t);
+        let dtc = compose(PipelineKind::DtcDoubleBuffer, &t);
+        let tcgnn = compose(PipelineKind::TcgnnSync, &t);
+        prop_assert!(acc.total <= dtc.total + 1e-9, "acc {} dtc {}", acc.total, dtc.total);
+        prop_assert!(dtc.total <= tcgnn.total + 1e-9, "dtc {} tcgnn {}", dtc.total, tcgnn.total);
+        prop_assert!(acc.bubbles <= tcgnn.bubbles + 1e-9);
+    }
+
+    #[test]
+    fn bubbles_never_exceed_total(t in arb_times()) {
+        for kind in [
+            PipelineKind::SerialScalar,
+            PipelineKind::TcgnnSync,
+            PipelineKind::DtcDoubleBuffer,
+            PipelineKind::AccLeastBubble,
+        ] {
+            let l = compose(kind, &t);
+            prop_assert!(l.bubbles >= -1e-12, "{kind:?}");
+            prop_assert!(l.bubbles <= l.total + 1e-9, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn total_at_least_compute_and_at_least_memory_critical_path(t in arb_times()) {
+        let compute_sum: f64 = t.compute.iter().sum();
+        for kind in [
+            PipelineKind::TcgnnSync,
+            PipelineKind::DtcDoubleBuffer,
+            PipelineKind::AccLeastBubble,
+        ] {
+            let l = compose(kind, &t);
+            prop_assert!(
+                l.total >= compute_sum - 1e-9,
+                "{kind:?}: total {} under compute {compute_sum}",
+                l.total
+            );
+            prop_assert!(l.total >= t.writeback - 1e-9);
+        }
+    }
+
+    #[test]
+    fn slower_memory_never_speeds_a_pipeline_up(t in arb_times(), idx in 0usize..12) {
+        for kind in [
+            PipelineKind::SerialScalar,
+            PipelineKind::TcgnnSync,
+            PipelineKind::DtcDoubleBuffer,
+            PipelineKind::AccLeastBubble,
+        ] {
+            let base = compose(kind, &t);
+            let mut slower = t.clone();
+            let i = idx % slower.load_b.len();
+            slower.load_b[i] += 1.0;
+            let after = compose(kind, &slower);
+            prop_assert!(
+                after.total >= base.total - 1e-9,
+                "{kind:?}: raising load_b[{i}] lowered total {} -> {}",
+                base.total,
+                after.total
+            );
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! Graph analytics on the SpMM handle: multi-source personalized
+//! PageRank and spectral structure via block power iteration — the
+//! "graph analysis" applications the paper's introduction motivates.
+//!
+//! Run with: `cargo run --release --example graph_analytics`
+
+use acc_spmm::solvers::{block_power_iteration, personalized_pagerank};
+use acc_spmm::Arch;
+use spmm_matrix::gen;
+
+fn main() {
+    // A web-like graph: host communities plus hub pages.
+    let g = gen::clustered(
+        gen::ClusteredConfig {
+            n: 4096,
+            cluster_size: 128,
+            intra_deg: 12.0,
+            inter_deg: 2.0,
+            hub_fraction: 0.01,
+            hub_factor: 12.0,
+            shuffle: false,
+            degree_spread: 0.8,
+            size_variance: 0.4,
+        },
+        11,
+    );
+    println!(
+        "graph: {} vertices, {} edges, AvgL {:.1}",
+        g.nrows(),
+        g.nnz() / 2,
+        g.avg_row_len()
+    );
+
+    // 16 personalized PageRank computations as ONE SpMM stream.
+    let sources: Vec<u32> = (0..16u32).map(|i| i * 229).collect();
+    let t0 = std::time::Instant::now();
+    let scores = personalized_pagerank(&g, &sources, 0.85, 30, Arch::A800).expect("pagerank");
+    println!(
+        "\n16-source personalized PageRank, 30 iterations: {:.0} ms",
+        t0.elapsed().as_secs_f64() * 1e3
+    );
+    for (j, &s) in sources.iter().take(4).enumerate() {
+        // Top-3 vertices for this source.
+        let mut ranked: Vec<usize> = (0..g.nrows()).collect();
+        ranked.sort_by(|&a, &b| scores.get(b, j).partial_cmp(&scores.get(a, j)).unwrap());
+        println!(
+            "  source {s:>4}: top vertices {:?} (same 128-cluster: {})",
+            &ranked[..3],
+            ranked[..3].iter().all(|&v| v / 128 == s as usize / 128)
+        );
+    }
+
+    // Spectral structure: the four dominant eigenvalues.
+    let t0 = std::time::Instant::now();
+    let eig = block_power_iteration(&g, 4, 40, Arch::A800).expect("power iteration");
+    println!(
+        "\nblock power iteration (4 vectors, 40 iters): {:.0} ms",
+        t0.elapsed().as_secs_f64() * 1e3
+    );
+    println!("  dominant eigenvalue estimates: {:?}", eig.eigenvalues);
+    println!(
+        "  (hubs with degree ~{} push the spectral radius well above AvgL {:.1})",
+        (12.0f32 * 12.0) as u32,
+        g.avg_row_len()
+    );
+}

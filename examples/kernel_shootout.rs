@@ -1,0 +1,54 @@
+//! Kernel shoot-out: run all six kernel strategies on one matrix across
+//! the three simulated GPU architectures and print the Figure-7-style
+//! speedup grid — the quickest way to see where each design choice pays.
+//!
+//! Run with: `cargo run --release --example kernel_shootout [abbr]`
+//! where `abbr` is a Table-2 dataset abbreviation (default: DD).
+
+use acc_spmm::comparison::compare_all;
+use acc_spmm::matrix::Dataset;
+use acc_spmm::sim::{Arch, SimOptions};
+
+fn main() {
+    let abbr = std::env::args().nth(1).unwrap_or_else(|| "DD".into());
+    let d = Dataset::by_abbr(&abbr).unwrap_or_else(|| {
+        eprintln!("unknown dataset {abbr}; available:");
+        for d in &acc_spmm::matrix::TABLE2 {
+            eprintln!("  {}", d.abbr);
+        }
+        std::process::exit(1);
+    });
+    println!("building {} analog ({} rows)...", d.name, d.scaled_rows);
+    let m = d.build();
+    let opts = SimOptions::scaled(d.scale_factor());
+    let n = 128;
+
+    println!(
+        "\n{:<12} {:>10} {:>10} {:>10}",
+        "kernel", "RTX 4090", "A800", "H100"
+    );
+    let mut grids = Vec::new();
+    for arch in Arch::ALL {
+        grids.push(compare_all(&m, arch, n, &opts).expect("comparison"));
+    }
+    for k in 0..grids[0].len() {
+        print!("{:<12}", grids[0][k].kind.name());
+        for g in &grids {
+            print!(" {:>9.2}x", g[k].speedup);
+        }
+        println!();
+    }
+    println!("\n(speedups normalized to cuSPARSE per architecture, N = {n})");
+
+    for (arch, g) in Arch::ALL.iter().zip(&grids) {
+        let acc = g.last().unwrap();
+        println!(
+            "{}: Acc-SpMM {:.2} ms, {:.0} GFLOPS, {:.0} GB/s DRAM, SM util {:.0}%",
+            arch.spec().name,
+            acc.report.time_s * 1e3,
+            acc.report.gflops,
+            acc.report.mem_throughput_gbps,
+            acc.report.sm_utilization * 100.0
+        );
+    }
+}

@@ -1,0 +1,15 @@
+//! Umbrella crate for the Acc-SpMM reproduction workspace.
+//!
+//! This crate only hosts the workspace-level `examples/` and `tests/`.
+//! The library proper lives in [`acc_spmm`] and the substrate crates it
+//! re-exports; see the repository README for the architecture overview.
+
+pub use acc_spmm;
+pub use spmm_balance;
+pub use spmm_common;
+pub use spmm_format;
+pub use spmm_graph;
+pub use spmm_kernels;
+pub use spmm_matrix;
+pub use spmm_reorder;
+pub use spmm_sim;

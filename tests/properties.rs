@@ -1,0 +1,200 @@
+//! Property-based tests over the core data structures and invariants.
+
+use proptest::prelude::*;
+use spmm_balance::{plan, BalanceStrategy, ModelParams, PerfModel, MAX_BLOCKS_PER_TB};
+use spmm_common::util::is_permutation;
+use spmm_format::{BitTcf, MeTcf, Tcf, WindowPartition, TILE};
+use spmm_matrix::{CooMatrix, CsrMatrix, DenseMatrix};
+use spmm_reorder::Algorithm;
+
+/// Strategy: an arbitrary small sparse square matrix (duplicates summed).
+fn arb_matrix(max_n: usize, max_nnz: usize) -> impl Strategy<Value = CsrMatrix> {
+    (2usize..max_n).prop_flat_map(move |n| {
+        proptest::collection::vec(
+            (0..n as u32, 0..n as u32, -8i16..8i16),
+            0..max_nnz,
+        )
+        .prop_map(move |entries| {
+            let mut coo = CooMatrix::new(n, n);
+            for (r, c, v) in entries {
+                coo.push(r, c, v as f32 / 2.0);
+            }
+            CsrMatrix::from_coo(&coo)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn csr_coo_roundtrip(m in arb_matrix(64, 200)) {
+        let rt = CsrMatrix::from_coo(&m.to_coo());
+        prop_assert_eq!(m, rt);
+    }
+
+    #[test]
+    fn transpose_is_involutive(m in arb_matrix(48, 150)) {
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn all_tc_formats_roundtrip(m in arb_matrix(64, 256)) {
+        prop_assert_eq!(BitTcf::from_csr(&m).to_csr(), m.clone());
+        prop_assert_eq!(MeTcf::from_csr(&m).to_csr(), m.clone());
+        prop_assert_eq!(Tcf::from_csr(&m).to_csr(), m);
+    }
+
+    #[test]
+    fn bitmap_popcount_equals_offsets(m in arb_matrix(64, 256)) {
+        let t = BitTcf::from_csr(&m);
+        let mut total = 0usize;
+        for b in 0..t.num_tc_blocks() {
+            let pop = t.tc_local_bit[b].count_ones();
+            prop_assert_eq!(pop, t.tc_offset[b + 1] - t.tc_offset[b]);
+            total += pop as usize;
+        }
+        prop_assert_eq!(total, m.nnz());
+        // Offsets are monotone and terminate at nnz.
+        prop_assert!(t.tc_offset.windows(2).all(|w| w[0] <= w[1]));
+        prop_assert!(t.row_window_offset.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn window_partition_counts_are_consistent(m in arb_matrix(64, 256)) {
+        let wp = WindowPartition::build(&m);
+        prop_assert_eq!(wp.num_windows(), m.nrows().div_ceil(TILE));
+        prop_assert_eq!(
+            wp.blocks_per_window().iter().sum::<usize>(),
+            wp.num_tc_blocks()
+        );
+        // Each window's block count is exactly ceil(distinct cols / TILE).
+        for w in 0..wp.num_windows() {
+            prop_assert_eq!(
+                wp.window_blocks(w).len(),
+                wp.window_columns(w).len().div_ceil(TILE)
+            );
+        }
+    }
+
+    #[test]
+    fn every_reorder_is_a_permutation(m in arb_matrix(48, 150)) {
+        for alg in Algorithm::ALL {
+            let perm = spmm_reorder::reorder(&m, alg);
+            prop_assert!(is_permutation(&perm), "{}", alg.name());
+        }
+    }
+
+    #[test]
+    fn reorder_preserves_nnz_and_row_multiset(m in arb_matrix(48, 150)) {
+        let (pm, perm) = spmm_reorder::reorder_apply(&m, Algorithm::Affinity);
+        prop_assert_eq!(pm.nnz(), m.nnz());
+        for old in 0..m.nrows() {
+            let new = perm[old] as usize;
+            prop_assert_eq!(pm.row(new), m.row(old));
+        }
+    }
+
+    #[test]
+    fn balance_plans_cover_blocks_exactly_once(
+        bpw in proptest::collection::vec(0usize..40, 1..64)
+    ) {
+        let model = PerfModel::new(ModelParams {
+            feature_dim: 128,
+            bandwidth: 1e12,
+            flops: 1e14,
+            num_sms: 108,
+        });
+        let total: usize = bpw.iter().sum();
+        for strategy in [
+            BalanceStrategy::None,
+            BalanceStrategy::DtcStyle,
+            BalanceStrategy::AccAdaptive,
+        ] {
+            let p = plan(&bpw, strategy, &model);
+            let mut next = 0u32;
+            for tb in &p.tbs {
+                prop_assert!(tb.num_blocks() > 0);
+                // The 32-block cap binds only when redistribution was
+                // actually applied (the adaptive strategy declines
+                // balanced inputs and leaves windows whole).
+                if p.applied {
+                    prop_assert!(tb.num_blocks() <= MAX_BLOCKS_PER_TB);
+                }
+                for s in &tb.segments {
+                    prop_assert_eq!(s.block_start, next);
+                    prop_assert!(s.block_end > s.block_start);
+                    next = s.block_end;
+                }
+            }
+            prop_assert_eq!(next as usize, total, "strategy {:?}", strategy);
+        }
+    }
+
+    #[test]
+    fn tc_spmm_matches_reference(m in arb_matrix(40, 120), seed in 0u64..1000) {
+        let n = 8;
+        let b = DenseMatrix::random(m.ncols(), n, seed);
+        let reference = m.spmm_dense(&b).unwrap();
+        let c = BitTcf::from_csr(&m).spmm(&b).unwrap();
+        let tol = spmm_common::scalar::tf32_tolerance(m.ncols()) * 8.0;
+        prop_assert!(
+            c.approx_eq(&reference, tol, tol),
+            "max diff {}",
+            c.max_abs_diff(&reference)
+        );
+    }
+
+    #[test]
+    fn tf32_rounding_is_monotone(a in any::<f32>(), b in any::<f32>()) {
+        prop_assume!(a.is_finite() && b.is_finite());
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let (rl, rh) = (spmm_common::to_tf32(lo), spmm_common::to_tf32(hi));
+        prop_assert!(rl <= rh, "rounding must preserve order: {lo} -> {rl}, {hi} -> {rh}");
+    }
+
+    #[test]
+    fn mm_io_roundtrip(m in arb_matrix(32, 80)) {
+        let mut buf = Vec::new();
+        spmm_matrix::mm::write_csr(&mut buf, &m).unwrap();
+        let rt = CsrMatrix::from_coo(
+            &spmm_matrix::mm::read_coo(std::io::Cursor::new(buf)).unwrap()
+        );
+        prop_assert_eq!(m, rt);
+    }
+
+    #[test]
+    fn mm_parser_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        // Arbitrary bytes: the parser must return Err or Ok, never panic.
+        let _ = spmm_matrix::mm::read_coo(std::io::Cursor::new(bytes));
+    }
+
+    #[test]
+    fn mm_parser_never_panics_on_header_plus_garbage(
+        lines in proptest::collection::vec("[ -~]{0,40}", 0..20)
+    ) {
+        // A valid header followed by arbitrary printable lines.
+        let mut text = String::from("%%MatrixMarket matrix coordinate real general\n");
+        for l in &lines {
+            text.push_str(l);
+            text.push('\n');
+        }
+        let _ = spmm_matrix::mm::read_coo(std::io::Cursor::new(text.into_bytes()));
+    }
+
+    #[test]
+    fn bittcf_loader_never_panics_on_garbage(
+        bytes in proptest::collection::vec(any::<u8>(), 0..256)
+    ) {
+        let _ = spmm_format::io::read_bittcf(std::io::Cursor::new(bytes));
+    }
+
+    #[test]
+    fn bittcf_binary_roundtrip(m in arb_matrix(48, 160)) {
+        let t = BitTcf::from_csr(&m);
+        let mut buf = Vec::new();
+        spmm_format::io::write_bittcf(&mut buf, &t).unwrap();
+        let rt = spmm_format::io::read_bittcf(std::io::Cursor::new(buf)).unwrap();
+        prop_assert_eq!(rt.to_csr(), m);
+    }
+}
