@@ -60,7 +60,9 @@ impl PerfModel {
     /// Total Equation-(4) time for a TB with `tc_blocks_per_tb` blocks
     /// spanning `segments` RowWindows.
     pub fn tb_time(&self, tc_blocks_per_tb: usize, segments: usize) -> f64 {
-        self.load_dense_time(tc_blocks_per_tb) + self.mma_time(tc_blocks_per_tb) + self.wb_time(segments)
+        self.load_dense_time(tc_blocks_per_tb)
+            + self.mma_time(tc_blocks_per_tb)
+            + self.wb_time(segments)
     }
 
     /// Estimated kernel makespan if `total_blocks` are split into chunks

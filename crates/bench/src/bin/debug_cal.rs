@@ -19,7 +19,12 @@ fn main() {
         m.nnz(),
         m.avg_row_len()
     );
-    for alg in [Algorithm::Identity, Algorithm::DtcLsh, Algorithm::Rabbit, Algorithm::Affinity] {
+    for alg in [
+        Algorithm::Identity,
+        Algorithm::DtcLsh,
+        Algorithm::Rabbit,
+        Algorithm::Affinity,
+    ] {
         let t0 = std::time::Instant::now();
         let (pm, _) = reorder_apply(&m, alg);
         println!(

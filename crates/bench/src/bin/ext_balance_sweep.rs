@@ -9,18 +9,23 @@ use acc_spmm::balance::{plan_with_params, BalanceStrategy, ModelParams, PerfMode
 use acc_spmm::matrix::{Dataset, TABLE2};
 use acc_spmm::sim::Arch;
 use acc_spmm::{AccConfig, KernelKind};
-use serde::Serialize;
 use spmm_bench::{f2, print_table, save_json, sim_options_for, DETAIL_DIM};
 use spmm_format::BitTcf;
 use spmm_kernels::PreparedKernel;
 
-#[derive(Serialize)]
 struct Record {
     dataset: String,
     parameter: String,
     value: f64,
     time_ms: f64,
 }
+
+spmm_common::impl_to_json!(Record {
+    dataset,
+    parameter,
+    value,
+    time_ms
+});
 
 /// Simulate Acc-SpMM on `d` with an explicit balance plan built from the
 /// given gate/cap.
@@ -80,7 +85,9 @@ fn main() {
     }
     print_table(
         "Extension: IBD-gate sweep (kernel ms on A800, cap=32; paper gate = 8)",
-        &["dataset", "gate 0", "gate 2", "gate 8", "gate 32", "gate 128"],
+        &[
+            "dataset", "gate 0", "gate 2", "gate 8", "gate 32", "gate 128",
+        ],
         &rows,
     );
 

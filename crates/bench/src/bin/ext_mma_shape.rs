@@ -10,17 +10,22 @@
 use acc_spmm::matrix::TABLE2;
 use acc_spmm::sim::Arch;
 use acc_spmm::{AccConfig, KernelKind};
-use serde::Serialize;
 use spmm_bench::{f2, print_table, save_json, sim_options_for, DETAIL_DIM};
 use spmm_kernels::PreparedKernel;
 
-#[derive(Serialize)]
 struct Record {
     dataset: String,
     k8_us: f64,
     k4_us: f64,
     k8_over_k4: f64,
 }
+
+spmm_common::impl_to_json!(Record {
+    dataset,
+    k8_us,
+    k4_us,
+    k8_over_k4
+});
 
 fn main() {
     let arch = Arch::A800;

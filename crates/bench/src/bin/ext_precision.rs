@@ -11,18 +11,23 @@ use acc_spmm::format::BitTcf;
 use acc_spmm::matrix::{DenseMatrix, TABLE2};
 use acc_spmm::sim::Arch;
 use acc_spmm::{AccConfig, KernelKind};
-use serde::Serialize;
 use spmm_bench::{print_table, save_json, sim_options_for, DETAIL_DIM};
 use spmm_common::Precision;
 use spmm_kernels::PreparedKernel;
 
-#[derive(Serialize)]
 struct Record {
     dataset: String,
     precision: String,
     rel_error: f64,
     modeled_speedup_vs_tf32: f64,
 }
+
+spmm_common::impl_to_json!(Record {
+    dataset,
+    precision,
+    rel_error,
+    modeled_speedup_vs_tf32
+});
 
 fn main() {
     let mut rows = Vec::new();

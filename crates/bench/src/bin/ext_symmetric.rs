@@ -9,11 +9,9 @@
 use acc_spmm::matrix::TABLE2;
 use acc_spmm::sim::Arch;
 use acc_spmm::{AccConfig, KernelKind};
-use serde::Serialize;
 use spmm_bench::{f2, print_table, save_json, sim_options_for};
 use spmm_kernels::PreparedKernel;
 
-#[derive(Serialize)]
 struct Record {
     dataset: String,
     feature_dim: usize,
@@ -21,6 +19,14 @@ struct Record {
     symmetric_l1: f64,
     speedup: f64,
 }
+
+spmm_common::impl_to_json!(Record {
+    dataset,
+    feature_dim,
+    rows_only_l1,
+    symmetric_l1,
+    speedup
+});
 
 fn main() {
     let arch = Arch::A800;

@@ -11,8 +11,7 @@
 
 use acc_spmm::matrix::TABLE2;
 use acc_spmm::reorder::{metrics, reorder_apply, Algorithm};
-use serde::Serialize;
-use spmm_bench::{build_dataset, f2, print_table, save_json};
+use spmm_bench::{build_dataset, print_table, save_json};
 
 /// Generalized BitTCF index bytes for a `t × t` tile: RowWindowOffset +
 /// TCOffset + SparseAToB (t u32 per block) + bitmap (`t²/8` bytes,
@@ -21,7 +20,6 @@ fn bittcf_bytes(nrows: usize, blocks: usize, t: usize) -> usize {
     (nrows.div_ceil(t) + 1 + blocks + 1 + blocks * t) * 4 + blocks * (t * t).div_ceil(8)
 }
 
-#[derive(Serialize)]
 struct Record {
     dataset: String,
     tile: usize,
@@ -30,6 +28,15 @@ struct Record {
     index_bytes: usize,
     flop_inflation: f64,
 }
+
+spmm_common::impl_to_json!(Record {
+    dataset,
+    tile,
+    mean_nnz_tc,
+    blocks,
+    index_bytes,
+    flop_inflation
+});
 
 fn main() {
     let tiles = [4usize, 8, 16];

@@ -3,15 +3,19 @@
 
 use acc_spmm::matrix::TABLE2;
 use acc_spmm::reorder::{metrics::mean_nnz_tc, reorder_apply, Algorithm};
-use serde::Serialize;
 use spmm_bench::{build_dataset, f2, print_table, save_json};
 
-#[derive(Serialize)]
 struct Record {
     dataset: String,
     algorithm: String,
     mean_nnz_tc: f64,
 }
+
+spmm_common::impl_to_json!(Record {
+    dataset,
+    algorithm,
+    mean_nnz_tc
+});
 
 fn main() {
     let algs = [
@@ -51,7 +55,11 @@ fn main() {
     let headers: Vec<&str> = std::iter::once("dataset")
         .chain(algs.iter().map(|a| a.name()))
         .collect();
-    print_table("Figure 10: MeanNNZTC by reordering algorithm", &headers, &rows);
+    print_table(
+        "Figure 10: MeanNNZTC by reordering algorithm",
+        &headers,
+        &rows,
+    );
     println!(
         "\nAcc-Reorder vs DTC-LSH: avg gain {:.2}x | vs Rabbit Order: avg gain {:.2}x (paper: 1.28x / 1.10x)",
         spmm_common::stats::mean(&gains_vs_dtc),

@@ -2,14 +2,12 @@
 //! data-affinity reordering, N = 128.
 
 use acc_spmm::matrix::TABLE2;
+use acc_spmm::reorder::Algorithm;
 use acc_spmm::sim::Arch;
 use acc_spmm::{AccConfig, KernelKind};
-use acc_spmm::reorder::Algorithm;
-use serde::Serialize;
 use spmm_bench::{build_dataset, print_table, save_json, sim_options_for, DETAIL_DIM};
 use spmm_kernels::PreparedKernel;
 
-#[derive(Serialize)]
 struct Record {
     dataset: String,
     l1_original: f64,
@@ -17,6 +15,14 @@ struct Record {
     l2_original: f64,
     l2_reordered: f64,
 }
+
+spmm_common::impl_to_json!(Record {
+    dataset,
+    l1_original,
+    l1_reordered,
+    l2_original,
+    l2_reordered
+});
 
 fn main() {
     let arch = Arch::A800;
@@ -28,14 +34,9 @@ fn main() {
         let run = |reorder: Algorithm| {
             let mut cfg = AccConfig::full();
             cfg.reorder = reorder;
-            let k = PreparedKernel::prepare_with_config(
-                KernelKind::AccSpmm,
-                &m,
-                arch,
-                DETAIL_DIM,
-                cfg,
-            )
-            .expect("prepare");
+            let k =
+                PreparedKernel::prepare_with_config(KernelKind::AccSpmm, &m, arch, DETAIL_DIM, cfg)
+                    .expect("prepare");
             k.profile(arch, &opts)
         };
         let orig = run(Algorithm::Identity);
@@ -59,7 +60,9 @@ fn main() {
     }
     print_table(
         "Figure 11: A800 cache hit rates, original vs data-affinity reordering (N=128)",
-        &["dataset", "L1 orig", "L1 reord", "L1 Δ", "L2 orig", "L2 reord", "L2 Δ"],
+        &[
+            "dataset", "L1 orig", "L1 reord", "L1 Δ", "L2 orig", "L2 reord", "L2 Δ",
+        ],
         &rows,
     );
     save_json("fig11_cache", &records);

@@ -5,16 +5,21 @@
 use acc_spmm::format::compression::{conversion_cost, CompressionReport};
 use acc_spmm::matrix::TABLE2;
 use acc_spmm::reorder::{reorder_apply, Algorithm};
-use serde::Serialize;
 use spmm_bench::{build_dataset, f2, print_table, save_json};
 
-#[derive(Serialize)]
 struct Record {
     dataset: String,
     csr_ratio: f64,
     metcf_ratio: f64,
     bittcf_ratio: f64,
 }
+
+spmm_common::impl_to_json!(Record {
+    dataset,
+    csr_ratio,
+    metcf_ratio,
+    bittcf_ratio
+});
 
 fn main() {
     let with_conversion = std::env::args().any(|a| a == "--conversion");

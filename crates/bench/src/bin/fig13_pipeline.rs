@@ -5,11 +5,9 @@
 use acc_spmm::matrix::TABLE2;
 use acc_spmm::sim::Arch;
 use acc_spmm::{AccConfig, KernelKind};
-use serde::Serialize;
 use spmm_bench::{build_dataset, f1, f2, print_table, save_json, sim_options_for, DETAIL_DIM};
 use spmm_kernels::PreparedKernel;
 
-#[derive(Serialize)]
 struct Record {
     dataset: String,
     dtc_pipeline_gflops: f64,
@@ -17,6 +15,14 @@ struct Record {
     speedup: f64,
     bubble_reduction: f64,
 }
+
+spmm_common::impl_to_json!(Record {
+    dataset,
+    dtc_pipeline_gflops,
+    acc_pipeline_gflops,
+    speedup,
+    bubble_reduction
+});
 
 fn main() {
     let arch = Arch::A800;

@@ -2,15 +2,13 @@
 //! adaptive load balancing, on A800 (a) and H100 (b), for the imbalanced
 //! (type-2) matrices.
 
+use acc_spmm::balance::BalanceStrategy;
 use acc_spmm::matrix::TABLE2;
 use acc_spmm::sim::Arch;
 use acc_spmm::{AccConfig, KernelKind};
-use acc_spmm::balance::BalanceStrategy;
-use serde::Serialize;
 use spmm_bench::{build_dataset, f1, print_table, save_json, sim_options_for, DETAIL_DIM};
 use spmm_kernels::PreparedKernel;
 
-#[derive(Serialize)]
 struct Record {
     arch: String,
     dataset: String,
@@ -19,6 +17,15 @@ struct Record {
     memory_no_lb: f64,
     memory_lb: f64,
 }
+
+spmm_common::impl_to_json!(Record {
+    arch,
+    dataset,
+    compute_no_lb,
+    compute_lb,
+    memory_no_lb,
+    memory_lb
+});
 
 fn main() {
     let mut records = Vec::new();

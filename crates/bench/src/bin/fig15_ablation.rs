@@ -4,17 +4,22 @@
 use acc_spmm::matrix::TABLE2;
 use acc_spmm::sim::Arch;
 use acc_spmm::{AccConfig, KernelKind};
-use serde::Serialize;
 use spmm_bench::{build_dataset, f2, print_table, save_json, sim_options_for, DETAIL_DIM};
 use spmm_kernels::PreparedKernel;
 
-#[derive(Serialize)]
 struct Record {
     dataset: String,
     stage: String,
     speedup_over_base: f64,
     gflops: f64,
 }
+
+spmm_common::impl_to_json!(Record {
+    dataset,
+    stage,
+    speedup_over_base,
+    gflops
+});
 
 fn main() {
     let arch = Arch::H100;
@@ -26,23 +31,18 @@ fn main() {
         let opts = sim_options_for(d);
         let mut row = vec![d.abbr.to_string()];
         let mut base_time = 0.0f64;
-        for stage in 0..6 {
+        for (stage, means) in stage_means.iter_mut().enumerate() {
             let cfg = AccConfig::ablation_stage(stage);
-            let r = PreparedKernel::prepare_with_config(
-                KernelKind::AccSpmm,
-                &m,
-                arch,
-                DETAIL_DIM,
-                cfg,
-            )
-            .expect("prepare")
-            .profile(arch, &opts);
+            let r =
+                PreparedKernel::prepare_with_config(KernelKind::AccSpmm, &m, arch, DETAIL_DIM, cfg)
+                    .expect("prepare")
+                    .profile(arch, &opts);
             if stage == 0 {
                 base_time = r.time_s;
             }
             let speedup = base_time / r.time_s;
             row.push(f2(speedup));
-            stage_means[stage].push(speedup);
+            means.push(speedup);
             records.push(Record {
                 dataset: d.abbr.into(),
                 stage: AccConfig::STAGE_NAMES[stage].into(),

@@ -10,10 +10,8 @@ use acc_spmm::comparison::compare_all;
 use acc_spmm::matrix::TABLE2;
 use acc_spmm::sim::Arch;
 use acc_spmm::KernelKind;
-use serde::Serialize;
 use spmm_bench::{build_dataset, f2, print_table, save_json, sim_options_for, FEATURE_DIMS};
 
-#[derive(Serialize)]
 struct Record {
     arch: String,
     dataset: String,
@@ -21,6 +19,14 @@ struct Record {
     speedup: f64,
     gflops: f64,
 }
+
+spmm_common::impl_to_json!(Record {
+    arch,
+    dataset,
+    kernel,
+    speedup,
+    gflops
+});
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();

@@ -9,16 +9,21 @@ use acc_spmm::comparison::compare_all;
 use acc_spmm::matrix::collection::specs;
 use acc_spmm::sim::{Arch, SimOptions};
 use acc_spmm::KernelKind;
-use serde::Serialize;
 use spmm_bench::{f2, print_table, save_json, DETAIL_DIM};
 
-#[derive(Serialize)]
 struct Record {
     arch: String,
     kernel: String,
     geomean_speedup: f64,
     matrices: usize,
 }
+
+spmm_common::impl_to_json!(Record {
+    arch,
+    kernel,
+    geomean_speedup,
+    matrices
+});
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();

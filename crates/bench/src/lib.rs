@@ -7,7 +7,7 @@
 
 use acc_spmm::matrix::{CsrMatrix, Dataset, TABLE2};
 use acc_spmm::sim::SimOptions;
-use serde::Serialize;
+use spmm_common::json::ToJson;
 use std::io::Write;
 use std::path::PathBuf;
 
@@ -62,15 +62,14 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
 
 /// Write a JSON record under `results/` (best effort — the printed table
 /// is the primary artifact).
-pub fn save_json<T: Serialize>(name: &str, value: &T) {
+pub fn save_json<T: ToJson>(name: &str, value: &T) {
     let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results");
     if std::fs::create_dir_all(&dir).is_err() {
         return;
     }
-    if let Ok(json) = serde_json::to_string_pretty(value) {
-        if let Ok(mut f) = std::fs::File::create(dir.join(format!("{name}.json"))) {
-            let _ = f.write_all(json.as_bytes());
-        }
+    let json = value.to_json().to_string_pretty();
+    if let Ok(mut f) = std::fs::File::create(dir.join(format!("{name}.json"))) {
+        let _ = f.write_all(json.as_bytes());
     }
 }
 

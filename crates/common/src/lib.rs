@@ -6,6 +6,7 @@
 //! and index helpers ([`util`]).
 
 pub mod error;
+pub mod json;
 pub mod precision;
 pub mod prefix;
 pub mod scalar;

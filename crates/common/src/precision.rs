@@ -85,7 +85,11 @@ pub fn to_fp16(x: f32) -> f32 {
     }
     const F16_MAX: f32 = 65504.0;
     if x.abs() > F16_MAX {
-        return if x > 0.0 { f32::INFINITY } else { f32::NEG_INFINITY };
+        return if x > 0.0 {
+            f32::INFINITY
+        } else {
+            f32::NEG_INFINITY
+        };
     }
     if x == 0.0 {
         return x;
@@ -154,7 +158,10 @@ mod tests {
         }
         assert_eq!(worst[0], 0.0, "FP32 is exact");
         assert!(worst[1] <= 2.0f64.powi(-11) * 1.001, "TF32 bound");
-        assert!(worst[3] <= 2.0f64.powi(-11) * 1.001, "FP16 bound (normal range)");
+        assert!(
+            worst[3] <= 2.0f64.powi(-11) * 1.001,
+            "FP16 bound (normal range)"
+        );
         assert!(worst[2] <= 2.0f64.powi(-8) * 1.001, "BF16 bound");
         assert!(worst[2] > worst[1], "BF16 coarser than TF32");
     }

@@ -3,7 +3,7 @@
 /// Ceiling division for usize, used everywhere tiles are counted.
 #[inline]
 pub const fn div_ceil(a: usize, b: usize) -> usize {
-    (a + b - 1) / b
+    a.div_ceil(b)
 }
 
 /// Round `a` up to the next multiple of `b`.

@@ -52,7 +52,10 @@ fn cmd_stats(path: &str) {
     println!("{path}:");
     println!("  shape        {} x {}", s.nrows, s.ncols);
     println!("  nnz          {}", s.nnz);
-    println!("  AvgL         {:.2} (max row {}, stddev {:.2})", s.avg_row_len, s.max_row_len, s.row_len_stddev);
+    println!(
+        "  AvgL         {:.2} (max row {}, stddev {:.2})",
+        s.avg_row_len, s.max_row_len, s.row_len_stddev
+    );
     println!("  density      {:.5}%", s.density * 100.0);
     println!("  empty rows   {:.2}%", s.empty_row_fraction * 100.0);
     println!("  mean |r-c|   {:.1}", s.mean_bandwidth);
@@ -100,9 +103,15 @@ fn cmd_multiply(path: &str, rest: &[String]) {
     );
     let t0 = std::time::Instant::now();
     let c = handle.multiply(&b).expect("multiply");
-    println!("multiply (CPU functional path): {:.1} ms", t0.elapsed().as_secs_f64() * 1e3);
+    println!(
+        "multiply (CPU functional path): {:.1} ms",
+        t0.elapsed().as_secs_f64() * 1e3
+    );
     let reference = m.spmm_dense(&b).expect("reference");
-    println!("  max deviation vs FP32 reference: {:.3e}", c.max_abs_diff(&reference));
+    println!(
+        "  max deviation vs FP32 reference: {:.3e}",
+        c.max_abs_diff(&reference)
+    );
     let r = handle.profile(&SimOptions::default());
     println!(
         "simulated {}: {:.3} ms, {:.1} GFLOPS, DRAM {:.1} GB/s, L1 {:.1}%, L2 {:.1}%",

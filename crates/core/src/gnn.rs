@@ -31,20 +31,16 @@ pub fn gcn_normalize(a: &CsrMatrix) -> Result<CsrMatrix> {
     // Degrees of A + I (row sums of the pattern-weighted matrix).
     let ai = CsrMatrix::from_coo(&coo);
     let mut inv_sqrt_deg = vec![0.0f32; n];
-    for r in 0..n {
+    for (r, d) in inv_sqrt_deg.iter_mut().enumerate() {
         let deg: f32 = ai.row(r).1.iter().map(|v| v.abs()).sum();
-        inv_sqrt_deg[r] = if deg > 0.0 { deg.sqrt().recip() } else { 0.0 };
+        *d = if deg > 0.0 { deg.sqrt().recip() } else { 0.0 };
     }
     // Scale both sides.
     let mut out = CooMatrix::new(n, n);
     for r in 0..n {
         let (cols, vals) = ai.row(r);
         for (&c, &v) in cols.iter().zip(vals.iter()) {
-            out.push(
-                r as u32,
-                c,
-                v * inv_sqrt_deg[r] * inv_sqrt_deg[c as usize],
-            );
+            out.push(r as u32, c, v * inv_sqrt_deg[r] * inv_sqrt_deg[c as usize]);
         }
     }
     Ok(CsrMatrix::from_coo(&out))
@@ -107,6 +103,12 @@ impl GcnLayer {
 
     /// Forward: `σ(spmm(Â, H) · W)`.
     pub fn forward(&self, spmm: &AccSpmm, h: &DenseMatrix) -> Result<DenseMatrix> {
+        self.check_input(h)?;
+        let aggregated = spmm.multiply(h)?;
+        self.combine(aggregated)
+    }
+
+    fn check_input(&self, h: &DenseMatrix) -> Result<()> {
         if h.ncols() != self.in_dim() {
             return Err(SpmmError::DimensionMismatch {
                 context: format!(
@@ -116,7 +118,11 @@ impl GcnLayer {
                 ),
             });
         }
-        let aggregated = spmm.multiply(h)?;
+        Ok(())
+    }
+
+    /// The dense half of the layer: `σ(aggregated · W)`.
+    fn combine(&self, aggregated: DenseMatrix) -> Result<DenseMatrix> {
         let mut out = aggregated.matmul(&self.weight)?;
         self.activation.apply(&mut out);
         Ok(out)
@@ -166,6 +172,27 @@ impl Gcn {
             h = layer.forward(&self.spmm, &h)?;
         }
         Ok(h)
+    }
+
+    /// Forward a whole batch of feature matrices (e.g. mini-batched
+    /// graph samples sharing one adjacency): each layer aggregates the
+    /// entire batch in one [`AccSpmm::multiply_batch`] call, which
+    /// parallelizes across batch members instead of spawning a worker
+    /// round per SpMM. Results are bit-identical to mapping
+    /// [`Gcn::forward`] over the batch.
+    pub fn forward_batch(&self, xs: &[DenseMatrix]) -> Result<Vec<DenseMatrix>> {
+        let mut hs: Vec<DenseMatrix> = xs.to_vec();
+        for layer in &self.layers {
+            for h in &hs {
+                layer.check_input(h)?;
+            }
+            let aggregated = self.spmm.multiply_batch(&hs)?;
+            hs = aggregated
+                .into_iter()
+                .map(|agg| layer.combine(agg))
+                .collect::<Result<Vec<_>>>()?;
+        }
+        Ok(hs)
     }
 
     /// The underlying SpMM handle (for profiling).
@@ -262,11 +289,7 @@ mod tests {
         let layer = GcnLayer::with_weight(w.clone(), Activation::None);
         let x = DenseMatrix::random(a.nrows(), 16, 8);
         let got = layer.forward(&spmm, &x).unwrap();
-        let expect = normalized
-            .spmm_dense(&x)
-            .unwrap()
-            .matmul(&w)
-            .unwrap();
+        let expect = normalized.spmm_dense(&x).unwrap().matmul(&w).unwrap();
         let tol = spmm_common::scalar::tf32_tolerance(a.nrows()) * 4.0;
         assert!(
             got.approx_eq(&expect, tol, tol),

@@ -45,17 +45,21 @@ pub fn block_power_iteration(
         )));
     }
     let handle = AccSpmm::new(a, arch, block)?;
+    // One workspace + one output buffer serve every iteration: the
+    // steady-state loop allocates nothing.
+    let mut ws = handle.workspace();
     let mut q = DenseMatrix::random(a.nrows(), block, 0x9E37);
     orthonormalize(&mut q);
+    let mut aq = DenseMatrix::zeros(a.nrows(), block);
     let mut iterations = 0;
     for _ in 0..iters {
-        let aq = handle.multiply(&q)?;
-        q = aq;
+        handle.multiply_into(&q, &mut aq, &mut ws)?;
+        std::mem::swap(&mut q, &mut aq);
         orthonormalize(&mut q);
         iterations += 1;
     }
     // Rayleigh quotients: λ_j ≈ q_jᵀ A q_j.
-    let aq = handle.multiply(&q)?;
+    handle.multiply_into(&q, &mut aq, &mut ws)?;
     let mut eigenvalues: Vec<f32> = (0..block)
         .map(|j| {
             (0..a.nrows())
@@ -109,7 +113,9 @@ pub fn personalized_pagerank(
         });
     }
     if !(0.0..1.0).contains(&alpha) {
-        return Err(SpmmError::InvalidConfig(format!("alpha {alpha} not in [0,1)")));
+        return Err(SpmmError::InvalidConfig(format!(
+            "alpha {alpha} not in [0,1)"
+        )));
     }
     let n = a.nrows();
     if let Some(&s) = sources.iter().find(|&&s| s as usize >= n) {
@@ -133,6 +139,7 @@ pub fn personalized_pagerank(
     }
     let p = CsrMatrix::from_coo(&coo);
     let handle = AccSpmm::new(&p, arch, sources.len())?;
+    let mut ws = handle.workspace();
 
     // Restart matrix E: one-hot columns at each source.
     let mut e = DenseMatrix::zeros(n, sources.len());
@@ -140,10 +147,11 @@ pub fn personalized_pagerank(
         e.set(s as usize, j, 1.0);
     }
     let mut x = e.clone();
+    let mut px = DenseMatrix::zeros(n, sources.len());
     for _ in 0..iters {
-        let px = handle.multiply(&x)?;
+        handle.multiply_into(&x, &mut px, &mut ws)?;
         // x = alpha * P x + (1 - alpha) * E.
-        x = DenseMatrix::zeros(n, sources.len());
+        x.as_mut_slice().fill(0.0);
         x.add_assign_scaled(&px, alpha)?;
         x.add_assign_scaled(&e, 1.0 - alpha)?;
     }
@@ -173,10 +181,10 @@ pub fn jacobi_smooth(
     }
     // Diagonal (must be nonzero everywhere for Jacobi).
     let mut inv_diag = vec![0.0f32; a.nrows()];
-    for r in 0..a.nrows() {
+    for (r, d) in inv_diag.iter_mut().enumerate() {
         let (cols, vals) = a.row(r);
         match cols.iter().position(|&c| c as usize == r) {
-            Some(k) if vals[k] != 0.0 => inv_diag[r] = 1.0 / vals[k],
+            Some(k) if vals[k] != 0.0 => *d = 1.0 / vals[k],
             _ => {
                 return Err(SpmmError::InvalidConfig(format!(
                     "Jacobi requires a nonzero diagonal (row {r})"
@@ -185,16 +193,19 @@ pub fn jacobi_smooth(
         }
     }
     let handle = AccSpmm::new(a, arch, b.ncols())?;
+    let mut ws = handle.workspace();
     let n = b.ncols();
     let mut x = DenseMatrix::zeros(a.nrows(), n);
+    let mut ax = DenseMatrix::zeros(a.nrows(), n);
+    let mut r = DenseMatrix::zeros(a.nrows(), n);
     let mut residual_norm = 0.0f32;
     for _ in 0..sweeps {
-        let ax = handle.multiply(&x)?;
-        let mut r = b.clone();
+        handle.multiply_into(&x, &mut ax, &mut ws)?;
+        r.as_mut_slice().copy_from_slice(b.as_slice());
         r.add_assign_scaled(&ax, -1.0)?;
         residual_norm = r.frobenius_norm();
-        for i in 0..a.nrows() {
-            let scale = omega * inv_diag[i];
+        for (i, &d) in inv_diag.iter().enumerate() {
+            let scale = omega * d;
             let rrow = r.row(i).to_vec();
             let xrow = x.row_mut(i);
             for j in 0..n {
@@ -277,9 +288,8 @@ mod tests {
         }
         // The source itself holds the largest personalized score.
         for (j, &s) in [0u32, 100, 300].iter().enumerate() {
-            let best = (0..512).max_by(|&x, &y| {
-                scores.get(x, j).partial_cmp(&scores.get(y, j)).unwrap()
-            });
+            let best =
+                (0..512).max_by(|&x, &y| scores.get(x, j).partial_cmp(&scores.get(y, j)).unwrap());
             assert_eq!(best, Some(s as usize), "source {s} should rank first");
         }
     }

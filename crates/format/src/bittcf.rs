@@ -13,6 +13,7 @@
 //! the value index of the non-zero at bit `t` is the popcount of the bits
 //! below `t`.
 
+use crate::scratch::TileScratch;
 use crate::window::{WindowPartition, PAD_COL, TILE};
 use spmm_common::scalar::tf32_mma_8x8;
 use spmm_common::{Result, SpmmError};
@@ -227,44 +228,143 @@ impl BitTcf {
     /// RowWindows write disjoint C rows, so the window loop parallelizes
     /// over the output exactly like the GPU's thread-block grid.
     pub fn spmm(&self, b: &DenseMatrix) -> Result<DenseMatrix> {
+        let mut c = DenseMatrix::zeros(self.nrows, b.ncols());
+        self.spmm_into(b, &mut c)?;
+        Ok(c)
+    }
+
+    /// [`BitTcf::spmm`] writing into a caller-provided output matrix.
+    /// Parallel over RowWindows with one [`TileScratch`] per worker, so
+    /// the hot path allocates nothing proportional to the matrix.
+    pub fn spmm_into(&self, b: &DenseMatrix, c: &mut DenseMatrix) -> Result<()> {
         use rayon::prelude::*;
-        if self.ncols != b.nrows() {
-            return Err(SpmmError::DimensionMismatch {
-                context: format!(
-                    "A is {}x{}, B is {}x{}",
-                    self.nrows,
-                    self.ncols,
-                    b.nrows(),
-                    b.ncols()
-                ),
-            });
-        }
+        self.check_spmm_shapes(b, c)?;
         let n = b.ncols();
-        let mut c = DenseMatrix::zeros(self.nrows, n);
         c.as_mut_slice()
             .par_chunks_mut(TILE * n)
             .enumerate()
-            .for_each(|(w, cslab)| {
-                let mut btile = vec![0.0f32; TILE * n];
-                let mut ctile = vec![0.0f32; TILE * n];
-                for blk in self.window_blocks(w) {
-                    let a = self.decompress_block(blk);
-                    // Gather the 8 B rows selected by SparseAToB (padding
-                    // contributes zero rows, exactly like the zero-filled
-                    // shared-memory slots on the GPU).
-                    for (i, &col) in self.block_cols(blk).iter().enumerate() {
-                        if col == PAD_COL {
-                            btile[i * n..(i + 1) * n].iter_mut().for_each(|x| *x = 0.0);
-                        } else {
-                            btile[i * n..(i + 1) * n].copy_from_slice(b.row(col as usize));
-                        }
+            .for_each_init(
+                || TileScratch::with_feature_dim(n),
+                |scratch, (w, cslab)| {
+                    let (btile, ctile) = scratch.ensure(n);
+                    ctile.iter_mut().for_each(|x| *x = 0.0);
+                    self.window_product(w, b, btile, ctile);
+                    // Write the window's C rows back (last slab may be
+                    // ragged).
+                    cslab.copy_from_slice(&ctile[..cslab.len()]);
+                },
+            );
+        Ok(())
+    }
+
+    /// Accumulate window `w`'s TC blocks into `ctile`.
+    fn window_product(&self, w: usize, b: &DenseMatrix, btile: &mut [f32], ctile: &mut [f32]) {
+        let n = b.ncols();
+        for blk in self.window_blocks(w) {
+            let a = self.decompress_block(blk);
+            self.gather_block(blk, b, btile);
+            tf32_mma_8x8(&a, &btile[..TILE * n], ctile, n);
+        }
+    }
+
+    /// Accumulate window `w` into a combined ctile for the whole batch,
+    /// decompressing each TC block **once** and running **one wide MMA**
+    /// over the concatenated columns — the CPU analog of a batched GPU
+    /// kernel keeping the A tile in registers while cycling B tiles.
+    /// `btile` and `ctiles` are `TILE × Σ ncols` floats laid out
+    /// row-major with the RHS column blocks side by side: row `i` is
+    /// `[rhs0[i] | rhs1[i] | …]`. Per output element the k-accumulation
+    /// order is exactly [`BitTcf::spmm_into_seq`]'s, so results stay
+    /// bit-identical to one-at-a-time execution.
+    pub fn window_product_batch(
+        &self,
+        w: usize,
+        bs: &[&DenseMatrix],
+        btile: &mut [f32],
+        ctiles: &mut [f32],
+    ) {
+        let total_n: usize = bs.iter().map(|b| b.ncols()).sum();
+        for blk in self.window_blocks(w) {
+            let a = self.decompress_block(blk);
+            for (i, &col) in self.block_cols(blk).iter().enumerate() {
+                let dst = &mut btile[i * total_n..(i + 1) * total_n];
+                if col == PAD_COL {
+                    dst.fill(0.0);
+                } else {
+                    let mut off = 0;
+                    for b in bs {
+                        let n = b.ncols();
+                        dst[off..off + n].copy_from_slice(b.row(col as usize));
+                        off += n;
                     }
-                    tf32_mma_8x8(&a, &btile, &mut ctile, n);
                 }
-                // Write the window's C rows back (last slab may be ragged).
-                cslab.copy_from_slice(&ctile[..cslab.len()]);
+            }
+            tf32_mma_8x8(
+                &a,
+                &btile[..TILE * total_n],
+                &mut ctiles[..TILE * total_n],
+                total_n,
+            );
+        }
+    }
+
+    /// Gather the 8 B rows selected by SparseAToB into `btile`'s prefix
+    /// (padding contributes zero rows, exactly like the zero-filled
+    /// shared-memory slots on the GPU).
+    fn gather_block(&self, blk: usize, b: &DenseMatrix, btile: &mut [f32]) {
+        let n = b.ncols();
+        for (i, &col) in self.block_cols(blk).iter().enumerate() {
+            if col == PAD_COL {
+                btile[i * n..(i + 1) * n].iter_mut().for_each(|x| *x = 0.0);
+            } else {
+                btile[i * n..(i + 1) * n].copy_from_slice(b.row(col as usize));
+            }
+        }
+    }
+
+    /// Sequential zero-allocation SpMM into a caller-provided output,
+    /// borrowing tiles from `scratch`. Window-sequential execution
+    /// computes exactly the same floats as the parallel [`BitTcf::spmm`]
+    /// (windows write disjoint output rows and the per-window math is
+    /// identical), which is what lets batched execution parallelize over
+    /// RHS matrices instead and stay bit-identical.
+    pub fn spmm_into_seq(
+        &self,
+        b: &DenseMatrix,
+        c: &mut DenseMatrix,
+        scratch: &mut TileScratch,
+    ) -> Result<()> {
+        self.check_spmm_shapes(b, c)?;
+        let n = b.ncols();
+        let (btile, ctile) = scratch.ensure(n);
+        for w in 0..self.num_windows() {
+            ctile.iter_mut().for_each(|x| *x = 0.0);
+            self.window_product(w, b, btile, ctile);
+            let lo = w * TILE;
+            let hi = ((w + 1) * TILE).min(self.nrows);
+            for r in lo..hi {
+                c.row_mut(r)
+                    .copy_from_slice(&ctile[(r - lo) * n..(r - lo + 1) * n]);
+            }
+        }
+        Ok(())
+    }
+
+    fn check_spmm_shapes(&self, b: &DenseMatrix, c: &DenseMatrix) -> Result<()> {
+        if self.ncols != b.nrows() || c.nrows() != self.nrows || c.ncols() != b.ncols() {
+            return Err(SpmmError::DimensionMismatch {
+                context: format!(
+                    "A is {}x{}, B is {}x{}, C is {}x{}",
+                    self.nrows,
+                    self.ncols,
+                    b.nrows(),
+                    b.ncols(),
+                    c.nrows(),
+                    c.ncols()
+                ),
             });
-        Ok(c)
+        }
+        Ok(())
     }
 
     /// [`BitTcf::spmm`] with a selectable operand precision (TF32 is the
@@ -295,12 +395,15 @@ impl BitTcf {
                         btile[i * n..(i + 1) * n].copy_from_slice(b.row(col as usize));
                     }
                 }
-                spmm_common::precision::mma_8x8_with_precision(&a, &btile, &mut ctile, n, precision);
+                spmm_common::precision::mma_8x8_with_precision(
+                    &a, &btile, &mut ctile, n, precision,
+                );
             }
             let lo = w * TILE;
             let hi = ((w + 1) * TILE).min(self.nrows);
             for r in lo..hi {
-                c.row_mut(r).copy_from_slice(&ctile[(r - lo) * n..(r - lo + 1) * n]);
+                c.row_mut(r)
+                    .copy_from_slice(&ctile[(r - lo) * n..(r - lo + 1) * n]);
             }
         }
         Ok(c)
@@ -315,10 +418,10 @@ impl BitTcf {
                 let tile = self.decompress_block(blk);
                 let cols = self.block_cols(blk);
                 let bits = self.tc_local_bit[blk];
-                for t in 0..TILE * TILE {
+                for (t, &v) in tile.iter().enumerate() {
                     if bits & (1u64 << t) != 0 {
                         let (lr, lc) = (t / TILE, t % TILE);
-                        coo.push((lo + lr) as u32, cols[lc], tile[t]);
+                        coo.push((lo + lr) as u32, cols[lc], v);
                     }
                 }
             }
@@ -420,6 +523,80 @@ mod tests {
     fn spmm_shape_mismatch_rejected() {
         let t = BitTcf::from_csr(&small());
         assert!(t.spmm(&DenseMatrix::zeros(5, 4)).is_err());
+    }
+
+    #[test]
+    fn spmm_into_variants_are_bit_identical() {
+        let m = uniform_random(200, 6.0, 11);
+        let b = DenseMatrix::random(200, 20, 3);
+        let t = BitTcf::from_csr(&m);
+        let via_alloc = t.spmm(&b).unwrap();
+        let mut via_into = DenseMatrix::zeros(200, 20);
+        t.spmm_into(&b, &mut via_into).unwrap();
+        assert_eq!(via_alloc, via_into);
+        let mut scratch = TileScratch::new();
+        let mut via_seq = DenseMatrix::zeros(200, 20);
+        t.spmm_into_seq(&b, &mut via_seq, &mut scratch).unwrap();
+        assert_eq!(via_alloc, via_seq, "sequential path must match parallel");
+        // Reusing the (now dirty) scratch and output must still be exact.
+        t.spmm_into_seq(&b, &mut via_seq, &mut scratch).unwrap();
+        assert_eq!(via_alloc, via_seq);
+    }
+
+    #[test]
+    fn window_product_batch_is_bit_identical_to_sequential() {
+        let m = uniform_random(96, 6.0, 13);
+        let t = BitTcf::from_csr(&m);
+        // Mixed feature dims exercise the side-by-side ctile offsets.
+        let bs: Vec<DenseMatrix> = (0..3)
+            .map(|i| DenseMatrix::random(96, 8 + 4 * i, 50 + i as u64))
+            .collect();
+        let total_n: usize = bs.iter().map(|b| b.ncols()).sum();
+        let mut scratch = TileScratch::new();
+        let (btile, ctiles) = scratch.ensure(total_n);
+        let brefs: Vec<&DenseMatrix> = bs.iter().collect();
+        let mut got: Vec<DenseMatrix> = bs
+            .iter()
+            .map(|b| DenseMatrix::zeros(96, b.ncols()))
+            .collect();
+        for w in 0..t.num_windows() {
+            ctiles.iter_mut().for_each(|x| *x = 0.0);
+            t.window_product_batch(w, &brefs, btile, ctiles);
+            let lo = w * TILE;
+            let hi = ((w + 1) * TILE).min(96);
+            for r in lo..hi {
+                let crow = &ctiles[(r - lo) * total_n..(r - lo + 1) * total_n];
+                let mut off = 0;
+                for (j, b) in bs.iter().enumerate() {
+                    let n = b.ncols();
+                    got[j].row_mut(r).copy_from_slice(&crow[off..off + n]);
+                    off += n;
+                }
+            }
+        }
+        for (j, b) in bs.iter().enumerate() {
+            assert_eq!(got[j], t.spmm(b).unwrap(), "rhs {j} diverged");
+        }
+    }
+
+    #[test]
+    fn spmm_into_rejects_misshapen_output() {
+        let t = BitTcf::from_csr(&small());
+        let b = DenseMatrix::zeros(12, 4);
+        let mut bad = DenseMatrix::zeros(11, 4);
+        assert!(t.spmm_into(&b, &mut bad).is_err());
+        let mut bad2 = DenseMatrix::zeros(12, 5);
+        assert!(t
+            .spmm_into_seq(&b, &mut bad2, &mut TileScratch::new())
+            .is_err());
+    }
+
+    #[test]
+    fn partition_footprint_formula_matches_built_format() {
+        let m = uniform_random(300, 7.0, 2);
+        let wp = WindowPartition::build(&m);
+        let t = BitTcf::from_partition(&m, &wp);
+        assert_eq!(wp.bittcf_index_bytes(), t.index_bytes());
     }
 
     #[test]

@@ -19,10 +19,12 @@ pub mod bittcf;
 pub mod compression;
 pub mod io;
 pub mod metcf;
+pub mod scratch;
 pub mod tcf;
 pub mod window;
 
 pub use bittcf::BitTcf;
 pub use metcf::MeTcf;
+pub use scratch::TileScratch;
 pub use tcf::Tcf;
 pub use window::{WindowPartition, TILE};

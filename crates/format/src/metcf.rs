@@ -7,6 +7,7 @@
 //! flat 8 bytes, so ME-TCF loses ground as blocks densify (> 8 nnz per
 //! block) — the effect Figure 12 measures.
 
+use crate::scratch::TileScratch;
 use crate::window::{WindowPartition, PAD_COL, TILE};
 use spmm_common::{Result, SpmmError};
 use spmm_matrix::{CooMatrix, CsrMatrix, DenseMatrix};
@@ -129,8 +130,7 @@ impl MeTcf {
     /// Index-structure footprint in bytes: the BitTCF skeleton with the
     /// bitmap replaced by one byte per nnz.
     pub fn index_bytes(&self) -> usize {
-        (self.nrows.div_ceil(TILE) + 1 + self.num_tc_blocks() + 1 + self.num_tc_blocks() * TILE)
-            * 4
+        (self.nrows.div_ceil(TILE) + 1 + self.num_tc_blocks() + 1 + self.num_tc_blocks() * TILE) * 4
             + self.nnz()
     }
 
@@ -148,36 +148,133 @@ impl MeTcf {
     /// Functional SpMM through the TC path (same numerics as
     /// [`crate::BitTcf::spmm`]).
     pub fn spmm(&self, b: &DenseMatrix) -> Result<DenseMatrix> {
-        if self.ncols != b.nrows() {
-            return Err(SpmmError::DimensionMismatch {
-                context: format!("A has {} cols, B has {} rows", self.ncols, b.nrows()),
-            });
-        }
+        let mut c = DenseMatrix::zeros(self.nrows, b.ncols());
+        self.spmm_into(b, &mut c)?;
+        Ok(c)
+    }
+
+    /// [`MeTcf::spmm`] writing into a caller-provided output, parallel
+    /// over RowWindows with one [`TileScratch`] per worker (windows own
+    /// disjoint output rows, so this computes the same floats as the
+    /// sequential path).
+    pub fn spmm_into(&self, b: &DenseMatrix, c: &mut DenseMatrix) -> Result<()> {
+        use rayon::prelude::*;
+        self.check_spmm_shapes(b, c)?;
         let n = b.ncols();
-        let mut c = DenseMatrix::zeros(self.nrows, n);
-        let mut btile = vec![0.0f32; TILE * n];
-        let mut ctile = vec![0.0f32; TILE * n];
+        c.as_mut_slice()
+            .par_chunks_mut(TILE * n)
+            .enumerate()
+            .for_each_init(
+                || TileScratch::with_feature_dim(n),
+                |scratch, (w, cslab)| {
+                    let (btile, ctile) = scratch.ensure(n);
+                    ctile.iter_mut().for_each(|x| *x = 0.0);
+                    self.window_product(w, b, btile, ctile);
+                    cslab.copy_from_slice(&ctile[..cslab.len()]);
+                },
+            );
+        Ok(())
+    }
+
+    /// Sequential zero-allocation SpMM with caller-owned scratch.
+    pub fn spmm_into_seq(
+        &self,
+        b: &DenseMatrix,
+        c: &mut DenseMatrix,
+        scratch: &mut TileScratch,
+    ) -> Result<()> {
+        self.check_spmm_shapes(b, c)?;
+        let n = b.ncols();
+        let (btile, ctile) = scratch.ensure(n);
         for w in 0..self.num_windows() {
             ctile.iter_mut().for_each(|x| *x = 0.0);
-            for blk in self.window_blocks(w) {
-                let a = self.decompress_block(blk);
-                for i in 0..TILE {
-                    let col = self.sparse_a_to_b[blk * TILE + i];
-                    if col == PAD_COL {
-                        btile[i * n..(i + 1) * n].iter_mut().for_each(|x| *x = 0.0);
-                    } else {
-                        btile[i * n..(i + 1) * n].copy_from_slice(b.row(col as usize));
-                    }
-                }
-                spmm_common::scalar::tf32_mma_8x8(&a, &btile, &mut ctile, n);
-            }
+            self.window_product(w, b, btile, ctile);
             let lo = w * TILE;
             let hi = ((w + 1) * TILE).min(self.nrows);
             for r in lo..hi {
-                c.row_mut(r).copy_from_slice(&ctile[(r - lo) * n..(r - lo + 1) * n]);
+                c.row_mut(r)
+                    .copy_from_slice(&ctile[(r - lo) * n..(r - lo + 1) * n]);
             }
         }
-        Ok(c)
+        Ok(())
+    }
+
+    /// Accumulate window `w`'s TC blocks into `ctile`.
+    fn window_product(&self, w: usize, b: &DenseMatrix, btile: &mut [f32], ctile: &mut [f32]) {
+        let n = b.ncols();
+        for blk in self.window_blocks(w) {
+            let a = self.decompress_block(blk);
+            self.gather_block(blk, b, btile);
+            spmm_common::scalar::tf32_mma_8x8(&a, &btile[..TILE * n], ctile, n);
+        }
+    }
+
+    /// Accumulate window `w` into a combined ctile for the whole batch,
+    /// scattering each block's nnz **once** and running **one wide MMA**
+    /// over the concatenated columns (see
+    /// [`crate::BitTcf::window_product_batch`] for the layout contract;
+    /// bit-identical to per-RHS [`MeTcf::spmm_into_seq`]).
+    pub fn window_product_batch(
+        &self,
+        w: usize,
+        bs: &[&DenseMatrix],
+        btile: &mut [f32],
+        ctiles: &mut [f32],
+    ) {
+        let total_n: usize = bs.iter().map(|b| b.ncols()).sum();
+        for blk in self.window_blocks(w) {
+            let a = self.decompress_block(blk);
+            for i in 0..TILE {
+                let col = self.sparse_a_to_b[blk * TILE + i];
+                let dst = &mut btile[i * total_n..(i + 1) * total_n];
+                if col == PAD_COL {
+                    dst.fill(0.0);
+                } else {
+                    let mut off = 0;
+                    for b in bs {
+                        let n = b.ncols();
+                        dst[off..off + n].copy_from_slice(b.row(col as usize));
+                        off += n;
+                    }
+                }
+            }
+            spmm_common::scalar::tf32_mma_8x8(
+                &a,
+                &btile[..TILE * total_n],
+                &mut ctiles[..TILE * total_n],
+                total_n,
+            );
+        }
+    }
+
+    /// Gather the 8 B rows selected by SparseAToB into `btile`'s prefix.
+    fn gather_block(&self, blk: usize, b: &DenseMatrix, btile: &mut [f32]) {
+        let n = b.ncols();
+        for i in 0..TILE {
+            let col = self.sparse_a_to_b[blk * TILE + i];
+            if col == PAD_COL {
+                btile[i * n..(i + 1) * n].iter_mut().for_each(|x| *x = 0.0);
+            } else {
+                btile[i * n..(i + 1) * n].copy_from_slice(b.row(col as usize));
+            }
+        }
+    }
+
+    fn check_spmm_shapes(&self, b: &DenseMatrix, c: &DenseMatrix) -> Result<()> {
+        if self.ncols != b.nrows() || c.nrows() != self.nrows || c.ncols() != b.ncols() {
+            return Err(SpmmError::DimensionMismatch {
+                context: format!(
+                    "A is {}x{}, B is {}x{}, C is {}x{}",
+                    self.nrows,
+                    self.ncols,
+                    b.nrows(),
+                    b.ncols(),
+                    c.nrows(),
+                    c.ncols()
+                ),
+            });
+        }
+        Ok(())
     }
 
     /// Reconstruct CSR (round-trip for tests).

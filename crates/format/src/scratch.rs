@@ -1,0 +1,75 @@
+//! Reusable per-call scratch for the TC SpMM paths.
+//!
+//! Every window iteration of the block formats needs an 8×N gather tile
+//! for the dense operand and an 8×N accumulator tile. Allocating them
+//! per call (let alone per window) dominates small multiplies, so the
+//! zero-allocation entry points ([`crate::BitTcf::spmm_into`] and
+//! friends) borrow them from a caller-owned `TileScratch` that grows
+//! monotonically and is reused across calls — the CPU analogue of the
+//! GPU kernel's persistent shared-memory tiles.
+
+use crate::window::TILE;
+
+/// Caller-owned tile buffers for the sequential SpMM paths.
+#[derive(Debug, Clone, Default)]
+pub struct TileScratch {
+    btile: Vec<f32>,
+    ctile: Vec<f32>,
+}
+
+impl TileScratch {
+    /// An empty scratch; buffers are grown on first use.
+    pub fn new() -> Self {
+        TileScratch::default()
+    }
+
+    /// A scratch pre-sized for dense operands with `n` columns.
+    pub fn with_feature_dim(n: usize) -> Self {
+        let mut s = TileScratch::new();
+        s.ensure(n);
+        s
+    }
+
+    /// Grow (never shrink) the tiles to hold `TILE × n` floats and hand
+    /// them out zeroed (`btile`) / untouched (`ctile` — callers reset it
+    /// per window anyway).
+    pub fn ensure(&mut self, n: usize) -> (&mut [f32], &mut [f32]) {
+        let want = TILE * n;
+        if self.btile.len() < want {
+            self.btile.resize(want, 0.0);
+            self.ctile.resize(want, 0.0);
+        }
+        (&mut self.btile[..want], &mut self.ctile[..want])
+    }
+
+    /// Current tile capacity in floats.
+    pub fn capacity(&self) -> usize {
+        self.btile.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ensure_grows_monotonically() {
+        let mut s = TileScratch::new();
+        assert_eq!(s.capacity(), 0);
+        {
+            let (b, c) = s.ensure(16);
+            assert_eq!(b.len(), TILE * 16);
+            assert_eq!(c.len(), TILE * 16);
+        }
+        s.ensure(4);
+        assert_eq!(s.capacity(), TILE * 16, "never shrinks");
+        s.ensure(32);
+        assert_eq!(s.capacity(), TILE * 32);
+    }
+
+    #[test]
+    fn with_feature_dim_presizes() {
+        let s = TileScratch::with_feature_dim(8);
+        assert_eq!(s.capacity(), TILE * 8);
+    }
+}

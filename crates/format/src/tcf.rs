@@ -114,13 +114,30 @@ impl Tcf {
     /// Functional SpMM (window-dense accumulate, numerically the TC
     /// path: TF32 operands, FP32 accumulation).
     pub fn spmm(&self, b: &DenseMatrix) -> Result<DenseMatrix> {
-        if self.ncols != b.nrows() {
+        let mut c = DenseMatrix::zeros(self.nrows, b.ncols());
+        self.spmm_into(b, &mut c)?;
+        Ok(c)
+    }
+
+    /// [`Tcf::spmm`] writing into a caller-provided output (zeroed here;
+    /// the edge loop accumulates). TC-GNN's per-edge layout scatters
+    /// writes across rows, so this path stays sequential.
+    pub fn spmm_into(&self, b: &DenseMatrix, c: &mut DenseMatrix) -> Result<()> {
+        if self.ncols != b.nrows() || c.nrows() != self.nrows || c.ncols() != b.ncols() {
             return Err(SpmmError::DimensionMismatch {
-                context: format!("A has {} cols, B has {} rows", self.ncols, b.nrows()),
+                context: format!(
+                    "A is {}x{}, B is {}x{}, C is {}x{}",
+                    self.nrows,
+                    self.ncols,
+                    b.nrows(),
+                    b.ncols(),
+                    c.nrows(),
+                    c.ncols()
+                ),
             });
         }
         let n = b.ncols();
-        let mut c = DenseMatrix::zeros(self.nrows, n);
+        c.as_mut_slice().iter_mut().for_each(|x| *x = 0.0);
         use spmm_common::scalar::to_tf32;
         for k in 0..self.nnz() {
             let r = self.edge_to_row[k] as usize;
@@ -132,7 +149,7 @@ impl Tcf {
                 crow[j] += v * to_tf32(brow[j]);
             }
         }
-        Ok(c)
+        Ok(())
     }
 
     /// Reconstruct CSR.

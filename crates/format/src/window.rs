@@ -111,7 +111,8 @@ impl WindowPartition {
     /// Squeezed (sorted, distinct) columns of window `w`.
     #[inline]
     pub fn window_columns(&self, w: usize) -> &[u32] {
-        &self.window_cols[self.window_col_offset[w] as usize..self.window_col_offset[w + 1] as usize]
+        &self.window_cols
+            [self.window_col_offset[w] as usize..self.window_col_offset[w + 1] as usize]
     }
 
     /// TC blocks per window — the `TCBlockPerRowWindow` array of the IBD
@@ -120,6 +121,15 @@ impl WindowPartition {
         (0..self.num_windows())
             .map(|w| self.window_blocks(w).len())
             .collect()
+    }
+
+    /// BitTCF index-structure footprint in bytes for a matrix with this
+    /// partition — the paper's `(⌈M/8⌉ + NumTCBlock × 11 + 2) × 4`
+    /// formula depends only on the partition shape, so callers holding a
+    /// partition (e.g. an execution plan) can report the footprint
+    /// without materializing a [`crate::BitTcf`].
+    pub fn bittcf_index_bytes(&self) -> usize {
+        (self.nrows().div_ceil(TILE) + self.num_tc_blocks() * 11 + 2) * 4
     }
 
     /// The paper's `MeanNNZTC` metric.

@@ -74,8 +74,8 @@ impl Dendrogram {
         // precede parents in the id order because merges only reference
         // existing nodes).
         let mut min_leaf = vec![u32::MAX; total];
-        for v in 0..self.n_leaves {
-            min_leaf[v] = v as u32;
+        for (v, m) in min_leaf.iter_mut().enumerate().take(self.n_leaves) {
+            *m = v as u32;
         }
         for (i, ch) in self.children.iter().enumerate() {
             let id = self.n_leaves + i;

@@ -75,8 +75,7 @@ impl AccConfig {
     }
 
     /// Stage labels as in Figure 15.
-    pub const STAGE_NAMES: [&'static str; 6] =
-        ["Base", "+BTCF", "+RO", "+CP", "+PP", "+LB"];
+    pub const STAGE_NAMES: [&'static str; 6] = ["Base", "+BTCF", "+RO", "+CP", "+PP", "+LB"];
 }
 
 #[cfg(test)]

@@ -5,9 +5,17 @@
 //!   result on the CPU with the same arithmetic the GPU kernel would use
 //!   (FP32 FMA for CUDA-core kernels, TF32-operand MMA for tensor-core
 //!   kernels), always returning C in *original* row order;
-//! * **timing** — [`PreparedKernel::trace`] compiles the kernel's work
-//!   into a [`spmm_sim::KernelDesc`] and [`PreparedKernel::profile`]
-//!   simulates it on a chosen architecture.
+//! * **timing** — [`PreparedKernel::trace`] returns the kernel's work
+//!   compiled into a [`spmm_sim::KernelDesc`] and
+//!   [`PreparedKernel::profile`] simulates it on a chosen architecture.
+//!
+//! Preprocessing runs through the staged pipeline in [`plan`]
+//! (Reorder → FormatBuild → BalancePlan → Compile); a kernel is one
+//! [`plan::StageSpec`] configuration, and [`PreparedKernel`] is a thin
+//! execution wrapper around the finished [`ExecutionPlan`]. The
+//! [`Workspace`] buffer pool plus [`PreparedKernel::execute_into`] /
+//! [`PreparedKernel::execute_batch`] serve the paper's
+//! preprocess-once-multiply-many pattern without per-call allocation.
 //!
 //! | kernel | cores | format | reorder | pipeline | balancing |
 //! |---|---|---|---|---|---|
@@ -19,17 +27,21 @@
 //! | Acc-SpMM | TC | BitTCF | data-affinity | Fig 5b least-bubble | adaptive |
 
 pub mod acc;
+pub mod plan;
 pub mod scalar;
 pub mod tc;
+pub mod workspace;
 
 pub use acc::AccConfig;
+pub use plan::{ExecutionPlan, FormatChoice, PlanContext, PlanStage, StageSpec, StageTiming};
+pub use workspace::Workspace;
 
-use spmm_balance::{BalancePlan, BalanceStrategy, ModelParams, PerfModel};
+use crate::workspace::ensure_staging;
+use spmm_balance::BalancePlan;
 use spmm_common::{Result, SpmmError};
-use spmm_format::{BitTcf, MeTcf, Tcf};
+use spmm_format::{BitTcf, MeTcf, Tcf, TileScratch, WindowPartition};
 use spmm_matrix::{CsrMatrix, DenseMatrix};
-use spmm_reorder::Algorithm;
-use spmm_sim::{simulate, Arch, KernelDesc, KernelReport, SimOptions};
+use spmm_sim::{Arch, KernelDesc, KernelReport, SimOptions};
 
 /// The compared kernels, in paper legend order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -78,6 +90,11 @@ impl KernelKind {
             KernelKind::TcGnn | KernelKind::DtcSpmm | KernelKind::AccSpmm
         )
     }
+
+    /// The pipeline stage configuration this kernel corresponds to.
+    pub fn stage_spec(&self, config: &AccConfig) -> StageSpec {
+        StageSpec::for_kernel(*self, config)
+    }
 }
 
 /// Format data held by a prepared TC kernel.
@@ -91,36 +108,35 @@ pub enum TcFormat {
     BitTcf(BitTcf),
 }
 
-/// A kernel after preprocessing (reordering, format conversion, balance
-/// planning) — ready to execute or profile any number of times, matching
-/// how the amortized-preprocessing evaluation works.
+impl TcFormat {
+    /// Index-structure footprint in bytes of the held format.
+    pub fn index_bytes(&self) -> usize {
+        match self {
+            TcFormat::Tcf(f) => f.index_bytes(),
+            TcFormat::MeTcf(f) => f.index_bytes(),
+            TcFormat::BitTcf(f) => f.index_bytes(),
+        }
+    }
+}
+
+/// A kernel after preprocessing — a thin execution wrapper around the
+/// staged [`ExecutionPlan`], ready to execute or profile any number of
+/// times (the amortized-preprocessing pattern the paper evaluates).
 #[derive(Debug, Clone)]
 pub struct PreparedKernel {
-    kind: KernelKind,
-    /// The (possibly permuted) sparse operand.
-    csr: CsrMatrix,
-    /// Row permutation applied (`perm[old] = new`), if any.
-    perm: Option<Vec<u32>>,
-    /// TC format, for tensor-core kernels.
-    format: Option<TcFormat>,
-    /// Balance plan, for tensor-core kernels.
-    plan: Option<BalancePlan>,
-    /// Acc ablation configuration (always present for `AccSpmm`).
-    acc_config: AccConfig,
-    /// Whether the permutation was applied symmetrically (columns too).
-    symmetric: bool,
-    feature_dim: usize,
+    plan: ExecutionPlan,
 }
 
 impl PreparedKernel {
     /// Preprocess `m` for the given kernel and feature dimension on the
     /// given architecture (the balance model needs its bandwidth/FLOPS).
-    pub fn prepare(kind: KernelKind, m: &CsrMatrix, arch: Arch, feature_dim: usize) -> Result<Self> {
-        let config = match kind {
-            KernelKind::AccSpmm => AccConfig::full(),
-            _ => AccConfig::full(),
-        };
-        Self::prepare_with_config(kind, m, arch, feature_dim, config)
+    pub fn prepare(
+        kind: KernelKind,
+        m: &CsrMatrix,
+        arch: Arch,
+        feature_dim: usize,
+    ) -> Result<Self> {
+        Self::prepare_with_config(kind, m, arch, feature_dim, AccConfig::full())
     }
 
     /// Like [`PreparedKernel::prepare`] but with an explicit Acc ablation
@@ -132,179 +148,273 @@ impl PreparedKernel {
         feature_dim: usize,
         acc_config: AccConfig,
     ) -> Result<Self> {
-        if feature_dim == 0 {
-            return Err(SpmmError::InvalidConfig("feature_dim must be > 0".into()));
-        }
-        let spec = arch.spec();
-        let model = PerfModel::new(ModelParams {
-            feature_dim,
-            bandwidth: spec.dram_bw_gbps * 1e9,
-            flops: spec.tc_tf32_tflops * 1e12,
-            num_sms: spec.num_sms,
-        });
-        let reorder_alg = match kind {
-            KernelKind::TcGnn => Some(Algorithm::Sgt),
-            KernelKind::DtcSpmm => Some(Algorithm::DtcLsh),
-            KernelKind::AccSpmm => Some(acc_config.reorder),
-            _ => None,
-        };
-        let symmetric = kind == KernelKind::AccSpmm && acc_config.symmetric_reorder;
-        let (csr, perm) = match reorder_alg {
-            Some(alg) if alg != Algorithm::Identity && alg != Algorithm::Sgt => {
-                let perm = spmm_reorder::reorder(m, alg);
-                let pm = if symmetric {
-                    // Future-work mode (§6): relabel rows AND columns; B's
-                    // rows are permuted to match at execution time.
-                    m.permute_symmetric(&perm)?
-                } else {
-                    m.permute_rows(&perm)?
-                };
-                (pm, Some(perm))
-            }
-            _ => (m.clone(), None),
-        };
-        let (format, plan) = match kind {
-            KernelKind::TcGnn => {
-                let f = Tcf::from_csr(&csr);
-                let bpw: Vec<usize> = f.blocks_per_window.iter().map(|&b| b as usize).collect();
-                let plan = spmm_balance::plan(&bpw, BalanceStrategy::None, &model);
-                (Some(TcFormat::Tcf(f)), Some(plan))
-            }
-            KernelKind::DtcSpmm => {
-                let f = MeTcf::from_csr(&csr);
-                let bpw = blocks_per_window_of(&f.row_window_offset);
-                let plan = spmm_balance::plan(&bpw, BalanceStrategy::DtcStyle, &model);
-                (Some(TcFormat::MeTcf(f)), Some(plan))
-            }
-            KernelKind::AccSpmm => {
-                let (format, bpw) = if acc_config.use_bittcf {
-                    let f = BitTcf::from_csr(&csr);
-                    let bpw = blocks_per_window_of(&f.row_window_offset);
-                    (TcFormat::BitTcf(f), bpw)
-                } else {
-                    let f = MeTcf::from_csr(&csr);
-                    let bpw = blocks_per_window_of(&f.row_window_offset);
-                    (TcFormat::MeTcf(f), bpw)
-                };
-                let plan = spmm_balance::plan(&bpw, acc_config.balance, &model);
-                (Some(format), Some(plan))
-            }
-            _ => (None, None),
-        };
         Ok(PreparedKernel {
-            kind,
-            csr,
-            perm,
-            format,
-            plan,
-            acc_config,
-            symmetric,
-            feature_dim,
+            plan: ExecutionPlan::build(kind, m, arch, feature_dim, acc_config)?,
         })
+    }
+
+    /// Wrap an already-built plan.
+    pub fn from_plan(plan: ExecutionPlan) -> Self {
+        PreparedKernel { plan }
+    }
+
+    /// The underlying execution plan with every preprocessing artifact.
+    pub fn execution_plan(&self) -> &ExecutionPlan {
+        &self.plan
     }
 
     /// Kernel identity.
     pub fn kind(&self) -> KernelKind {
-        self.kind
+        self.plan.kind()
     }
 
     /// The (possibly permuted) sparse operand.
     pub fn csr(&self) -> &CsrMatrix {
-        &self.csr
+        self.plan.csr()
     }
 
     /// The balance plan (TC kernels only).
     pub fn plan(&self) -> Option<&BalancePlan> {
-        self.plan.as_ref()
+        self.plan.balance()
+    }
+
+    /// The shared window partition (TC kernels only).
+    pub fn partition(&self) -> Option<&WindowPartition> {
+        self.plan.partition()
+    }
+
+    /// The compressed format (TC kernels only).
+    pub fn format(&self) -> Option<&TcFormat> {
+        self.plan.format()
+    }
+
+    /// Row permutation applied during preprocessing, if any.
+    pub fn perm(&self) -> Option<&[u32]> {
+        self.plan.perm()
     }
 
     /// The feature dimension this kernel was prepared for.
     pub fn feature_dim(&self) -> usize {
-        self.feature_dim
+        self.plan.feature_dim()
     }
 
     /// Functional SpMM: `C = A × B` in original row order.
     pub fn execute(&self, b: &DenseMatrix) -> Result<DenseMatrix> {
+        let mut out = DenseMatrix::zeros(self.csr().nrows(), b.ncols());
+        let mut ws = Workspace::new();
+        self.execute_into_impl(b, &mut out, &mut ws, true)?;
+        Ok(out)
+    }
+
+    /// [`PreparedKernel::execute`] writing into a caller-provided output
+    /// with reusable buffers: after the first call everything (staging
+    /// matrices, tile scratch) comes from `ws`, so steady-state
+    /// multiplies allocate nothing beyond the per-worker tiles of the
+    /// window-parallel loop.
+    pub fn execute_into(
+        &self,
+        b: &DenseMatrix,
+        out: &mut DenseMatrix,
+        ws: &mut Workspace,
+    ) -> Result<()> {
+        self.execute_into_impl(b, out, ws, true)
+    }
+
+    /// Execute many RHS matrices over the shared plan. The batch is
+    /// split into one contiguous group per worker (a single spawn round
+    /// instead of one per RHS), and within a group the TC formats run a
+    /// *batched* window loop: each compressed block is decompressed once
+    /// and applied to every RHS, and window results scatter straight to
+    /// the original row order without a staging matrix. Per RHS the
+    /// gather/MMA sequence is exactly the sequential single-RHS path's,
+    /// so results are bit-identical to calling
+    /// [`PreparedKernel::execute`] per matrix.
+    pub fn execute_batch(&self, bs: &[DenseMatrix]) -> Result<Vec<DenseMatrix>> {
+        use rayon::prelude::*;
+        if bs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let a_rows = self.csr().nrows();
+        let a_cols = self.csr().ncols();
+        // Validate every shape up front so the parallel region cannot
+        // fail on malformed input halfway through.
+        for b in bs {
+            if b.nrows() != a_cols {
+                return Err(SpmmError::DimensionMismatch {
+                    context: format!("A is {a_rows}x{a_cols}, B is {}x{}", b.nrows(), b.ncols()),
+                });
+            }
+        }
+        let mut outs: Vec<DenseMatrix> = bs
+            .iter()
+            .map(|b| DenseMatrix::zeros(a_rows, b.ncols()))
+            .collect();
+        let group = bs.len().div_ceil(rayon::current_num_threads()).max(1);
+        let failure = std::sync::Mutex::new(None);
+        outs.as_mut_slice()
+            .par_chunks_mut(group)
+            .enumerate()
+            .for_each_init(Workspace::new, |ws, (g, out_group)| {
+                let b_group = &bs[g * group..g * group + out_group.len()];
+                if let Err(e) = self.execute_group(b_group, out_group, ws) {
+                    *failure.lock().unwrap() = Some(e);
+                }
+            });
+        match failure.into_inner().unwrap() {
+            Some(e) => Err(e),
+            None => Ok(outs),
+        }
+    }
+
+    /// Run one worker's contiguous slice of the batch.
+    fn execute_group(
+        &self,
+        bs: &[DenseMatrix],
+        outs: &mut [DenseMatrix],
+        ws: &mut Workspace,
+    ) -> Result<()> {
+        // Symmetric mode needs a permuted copy of every B alive at once,
+        // which defeats the batched window loop — fall back to the
+        // per-RHS path (still sharing this worker's staging buffers).
+        let batched = !self.plan.symmetric()
+            && matches!(
+                self.plan.format(),
+                Some(TcFormat::BitTcf(_)) | Some(TcFormat::MeTcf(_))
+            );
+        if !batched {
+            for (b, out) in bs.iter().zip(outs.iter_mut()) {
+                self.execute_into_impl(b, out, ws, false)?;
+            }
+            return Ok(());
+        }
+        let nrows = self.csr().nrows();
+        let total_n: usize = bs.iter().map(|b| b.ncols()).sum();
+        let (btile, ctiles) = ws.tiles.ensure(total_n);
+        // With a row reorder in effect, window w computes rows of the
+        // *permuted* matrix; inverting the permutation lets each window
+        // write its rows directly in original order, skipping the
+        // staging matrix the single-RHS path uses.
+        let inv: Option<Vec<u32>> = self.plan.perm().map(|perm| {
+            let mut inv = vec![0u32; perm.len()];
+            for (old, &p) in perm.iter().enumerate() {
+                inv[p as usize] = old as u32;
+            }
+            inv
+        });
+        let brefs: Vec<&DenseMatrix> = bs.iter().collect();
+        let num_windows = nrows.div_ceil(spmm_format::TILE);
+        for w in 0..num_windows {
+            ctiles.iter_mut().for_each(|x| *x = 0.0);
+            match self.plan.format() {
+                Some(TcFormat::BitTcf(f)) => f.window_product_batch(w, &brefs, btile, ctiles),
+                Some(TcFormat::MeTcf(f)) => f.window_product_batch(w, &brefs, btile, ctiles),
+                _ => unreachable!("batched path is TC-only"),
+            }
+            let lo = w * spmm_format::TILE;
+            let hi = ((w + 1) * spmm_format::TILE).min(nrows);
+            // ctiles row (r - lo) holds every RHS's row side by side.
+            for r in lo..hi {
+                let dst = match &inv {
+                    Some(inv) => inv[r] as usize,
+                    None => r,
+                };
+                let crow = &ctiles[(r - lo) * total_n..(r - lo + 1) * total_n];
+                let mut off = 0;
+                for (j, b) in bs.iter().enumerate() {
+                    let n = b.ncols();
+                    outs[j].row_mut(dst).copy_from_slice(&crow[off..off + n]);
+                    off += n;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn execute_into_impl(
+        &self,
+        b: &DenseMatrix,
+        out: &mut DenseMatrix,
+        ws: &mut Workspace,
+        parallel: bool,
+    ) -> Result<()> {
+        let Workspace {
+            tiles,
+            staging_b,
+            staging_c,
+        } = ws;
         // Symmetric-reorder mode multiplies (P A Pᵀ)(P B) = P (A B): the
         // dense operand is row-permuted on the way in, and the usual
         // scatter below restores original row order on the way out.
-        let permuted_b;
-        let b = match (&self.perm, self.symmetric) {
+        let b_eff: &DenseMatrix = match (self.plan.perm(), self.plan.symmetric()) {
             (Some(perm), true) => {
-                permuted_b = b.permute_rows(perm)?;
-                &permuted_b
+                let staged = ensure_staging(staging_b, b.nrows(), b.ncols());
+                b.permute_rows_into(perm, staged)?;
+                staged
             }
             _ => b,
         };
-        let c_permuted = match (&self.format, self.kind) {
-            (Some(TcFormat::Tcf(f)), _) => f.spmm(b)?,
-            (Some(TcFormat::MeTcf(f)), _) => f.spmm(b)?,
-            (Some(TcFormat::BitTcf(f)), _) => f.spmm(b)?,
-            (None, _) => self.csr.spmm_dense(b)?,
-        };
-        Ok(match &self.perm {
-            None => c_permuted,
+        match self.plan.perm() {
+            None => self.spmm_dispatch(b_eff, out, tiles, parallel),
             Some(perm) => {
-                // Scatter back: C_orig[old] = C_perm[perm[old]].
-                let n = c_permuted.ncols();
-                let mut c = DenseMatrix::zeros(c_permuted.nrows(), n);
-                for old in 0..c_permuted.nrows() {
-                    let new = perm[old] as usize;
-                    c.row_mut(old).copy_from_slice(c_permuted.row(new));
+                if out.nrows() != self.csr().nrows() || out.ncols() != b.ncols() {
+                    return Err(SpmmError::DimensionMismatch {
+                        context: format!(
+                            "output is {}x{}, expected {}x{}",
+                            out.nrows(),
+                            out.ncols(),
+                            self.csr().nrows(),
+                            b.ncols()
+                        ),
+                    });
                 }
-                c
+                let staged = ensure_staging(staging_c, self.csr().nrows(), b.ncols());
+                self.spmm_dispatch(b_eff, staged, tiles, parallel)?;
+                // Scatter back: C_orig[old] = C_perm[perm[old]].
+                for (old, &p) in perm.iter().enumerate() {
+                    out.row_mut(old).copy_from_slice(staged.row(p as usize));
+                }
+                Ok(())
             }
-        })
+        }
     }
 
-    /// Compile the kernel's work into a simulator trace.
-    pub fn trace(&self) -> KernelDesc {
-        match self.kind {
-            KernelKind::CusparseLike => scalar::cusparse_trace(&self.csr, self.feature_dim),
-            KernelKind::SputnikLike => scalar::sputnik_trace(&self.csr, self.feature_dim),
-            KernelKind::SparseTirLike => scalar::sparsetir_trace(&self.csr, self.feature_dim),
-            KernelKind::TcGnn => tc::tcgnn_trace(
-                match self.format.as_ref().unwrap() {
-                    TcFormat::Tcf(f) => f,
-                    _ => unreachable!("TcGnn always holds Tcf"),
-                },
-                self.plan.as_ref().unwrap(),
-                self.feature_dim,
-            ),
-            KernelKind::DtcSpmm => tc::dtc_trace(
-                match self.format.as_ref().unwrap() {
-                    TcFormat::MeTcf(f) => f,
-                    _ => unreachable!("DtcSpmm always holds MeTcf"),
-                },
-                self.plan.as_ref().unwrap(),
-                self.feature_dim,
-            ),
-            KernelKind::AccSpmm => tc::acc_trace(
-                self.format.as_ref().unwrap(),
-                self.plan.as_ref().unwrap(),
-                self.feature_dim,
-                &self.acc_config,
-            ),
+    /// Run the format's SpMM into `c`, choosing the window-parallel or
+    /// window-sequential (zero-allocation) inner loop.
+    fn spmm_dispatch(
+        &self,
+        b: &DenseMatrix,
+        c: &mut DenseMatrix,
+        tiles: &mut TileScratch,
+        parallel: bool,
+    ) -> Result<()> {
+        match (self.plan.format(), parallel) {
+            (Some(TcFormat::Tcf(f)), _) => f.spmm_into(b, c),
+            (Some(TcFormat::MeTcf(f)), true) => f.spmm_into(b, c),
+            (Some(TcFormat::MeTcf(f)), false) => f.spmm_into_seq(b, c, tiles),
+            (Some(TcFormat::BitTcf(f)), true) => f.spmm_into(b, c),
+            (Some(TcFormat::BitTcf(f)), false) => f.spmm_into_seq(b, c, tiles),
+            (None, true) => self.csr().spmm_dense_into(b, c),
+            (None, false) => self.csr().spmm_dense_into_seq(b, c),
         }
+    }
+
+    /// The kernel's work compiled into a simulator trace (cached on the
+    /// plan at prepare time; this clones the cached description).
+    pub fn trace(&self) -> KernelDesc {
+        self.plan.compiled_trace().clone()
     }
 
     /// Simulate on the given architecture.
     pub fn profile(&self, arch: Arch, opts: &SimOptions) -> KernelReport {
         let spec = arch.spec();
-        let mut desc = self.trace();
-        if self.kind == KernelKind::CusparseLike {
+        let cached = self.plan.compiled_trace();
+        if self.kind() == KernelKind::CusparseLike {
+            let mut desc = cached.clone();
             desc.arch_boost = spec.cusparse_boost;
+            return spmm_sim::profile(arch, &desc, opts);
         }
-        simulate(&spec, &desc, opts)
+        spmm_sim::profile(arch, cached, opts)
     }
-}
-
-/// Blocks-per-window from a RowWindowOffset array.
-fn blocks_per_window_of(row_window_offset: &[u32]) -> Vec<usize> {
-    row_window_offset
-        .windows(2)
-        .map(|w| (w[1] - w[0]) as usize)
-        .collect()
 }
 
 #[cfg(test)]
@@ -334,6 +444,60 @@ mod tests {
                 c.max_abs_diff(&reference)
             );
         }
+    }
+
+    #[test]
+    fn execute_into_reuses_workspace_and_matches_execute() {
+        let (m, b) = workload();
+        for kind in KernelKind::ALL {
+            let k = PreparedKernel::prepare(kind, &m, Arch::A800, b.ncols()).unwrap();
+            let expect = k.execute(&b).unwrap();
+            let mut ws = Workspace::for_plan(k.execution_plan());
+            let mut out = DenseMatrix::zeros(m.nrows(), b.ncols());
+            k.execute_into(&b, &mut out, &mut ws).unwrap();
+            assert_eq!(out, expect, "{} execute_into differs", kind.name());
+            // Second call with the (dirty) workspace and output is exact.
+            k.execute_into(&b, &mut out, &mut ws).unwrap();
+            assert_eq!(out, expect, "{} workspace reuse differs", kind.name());
+        }
+    }
+
+    #[test]
+    fn execute_batch_is_bit_identical_to_looped_execute() {
+        let (m, _) = workload();
+        let bs: Vec<DenseMatrix> = (0..9)
+            .map(|i| DenseMatrix::random(m.nrows(), 24, 100 + i))
+            .collect();
+        for kind in [
+            KernelKind::AccSpmm,
+            KernelKind::DtcSpmm,
+            KernelKind::CusparseLike,
+        ] {
+            let k = PreparedKernel::prepare(kind, &m, Arch::A800, 24).unwrap();
+            let batched = k.execute_batch(&bs).unwrap();
+            assert_eq!(batched.len(), bs.len());
+            for (i, b) in bs.iter().enumerate() {
+                let single = k.execute(b).unwrap();
+                assert_eq!(batched[i], single, "{} RHS {i} differs", kind.name());
+            }
+        }
+        // Empty batch is fine.
+        let k = PreparedKernel::prepare(KernelKind::AccSpmm, &m, Arch::A800, 24).unwrap();
+        assert!(k.execute_batch(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn plan_artifacts_are_exposed() {
+        let (m, _) = workload();
+        let k = PreparedKernel::prepare(KernelKind::AccSpmm, &m, Arch::A800, 32).unwrap();
+        let wp = k.partition().expect("partition artifact retained");
+        assert_eq!(wp.num_windows(), m.nrows().div_ceil(8));
+        assert!(k.perm().is_some(), "affinity reorder ran");
+        assert!(matches!(k.format(), Some(TcFormat::BitTcf(_))));
+        assert_eq!(k.execution_plan().stage_timings().len(), 4);
+        // CSR kernels carry no TC artifacts.
+        let base = PreparedKernel::prepare(KernelKind::CusparseLike, &m, Arch::A800, 32).unwrap();
+        assert!(base.partition().is_none() && base.format().is_none() && base.perm().is_none());
     }
 
     #[test]
@@ -391,15 +555,27 @@ mod tests {
         let tol = tf32_tolerance(m.nrows());
         let mut cfg = AccConfig::full();
         cfg.symmetric_reorder = true;
-        let k =
-            PreparedKernel::prepare_with_config(KernelKind::AccSpmm, &m, Arch::A800, b.ncols(), cfg)
-                .unwrap();
+        let k = PreparedKernel::prepare_with_config(
+            KernelKind::AccSpmm,
+            &m,
+            Arch::A800,
+            b.ncols(),
+            cfg,
+        )
+        .unwrap();
         let c = k.execute(&b).unwrap();
         assert!(
             c.approx_eq(&reference, tol, tol),
             "symmetric mode diverges: max diff {}",
             c.max_abs_diff(&reference)
         );
+        // The zero-alloc and batched paths agree in symmetric mode too.
+        let mut ws = Workspace::new();
+        let mut out = DenseMatrix::zeros(m.nrows(), b.ncols());
+        k.execute_into(&b, &mut out, &mut ws).unwrap();
+        assert_eq!(out, c);
+        let batched = k.execute_batch(std::slice::from_ref(&b)).unwrap();
+        assert_eq!(batched[0], c);
     }
 
     #[test]

@@ -273,12 +273,7 @@ mod tests {
         let n = 128;
         for strat in [BalanceStrategy::None, BalanceStrategy::AccAdaptive] {
             let plan = make_plan(&bpw, strat, &model(n));
-            let desc = acc_trace(
-                &TcFormat::BitTcf(f.clone()),
-                &plan,
-                n,
-                &AccConfig::full(),
-            );
+            let desc = acc_trace(&TcFormat::BitTcf(f.clone()), &plan, n, &AccConfig::full());
             let blocks: usize = desc.tbs.iter().map(|t| t.blocks.len()).sum();
             assert_eq!(blocks, f.num_tc_blocks(), "{strat:?}");
             assert_eq!(

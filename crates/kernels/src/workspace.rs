@@ -1,0 +1,70 @@
+//! Reusable execution buffers for the zero-allocation multiply path.
+
+use crate::plan::ExecutionPlan;
+use spmm_format::TileScratch;
+use spmm_matrix::DenseMatrix;
+
+/// Caller-owned buffer pool for [`crate::PreparedKernel::execute_into`]:
+/// holds the TC tile scratch plus the staging matrices the permuted
+/// kernels need (row-permuted B in symmetric mode, pre-scatter C when a
+/// row permutation must be undone). Buffers grow on first use and are
+/// reused on every subsequent call, so steady-state multiplies allocate
+/// nothing — the pattern iterative solvers and GNN training loops live
+/// in.
+#[derive(Debug, Clone, Default)]
+pub struct Workspace {
+    pub(crate) tiles: TileScratch,
+    pub(crate) staging_b: Option<DenseMatrix>,
+    pub(crate) staging_c: Option<DenseMatrix>,
+}
+
+impl Workspace {
+    /// An empty workspace; buffers are grown on first use.
+    pub fn new() -> Self {
+        Workspace::default()
+    }
+
+    /// A workspace pre-sized for a plan's feature dimension (avoids
+    /// even the first-call growth on the tile scratch).
+    pub fn for_plan(plan: &ExecutionPlan) -> Self {
+        Workspace {
+            tiles: TileScratch::with_feature_dim(plan.feature_dim()),
+            staging_b: None,
+            staging_c: None,
+        }
+    }
+}
+
+/// Reuse `slot` if it already has the right shape, else (re)allocate.
+pub(crate) fn ensure_staging(
+    slot: &mut Option<DenseMatrix>,
+    nrows: usize,
+    ncols: usize,
+) -> &mut DenseMatrix {
+    let fits = slot
+        .as_ref()
+        .is_some_and(|m| m.nrows() == nrows && m.ncols() == ncols);
+    if !fits {
+        *slot = Some(DenseMatrix::zeros(nrows, ncols));
+    }
+    slot.as_mut().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn staging_is_reused_when_shape_matches() {
+        let mut slot = None;
+        {
+            let m = ensure_staging(&mut slot, 4, 3);
+            m.set(0, 0, 7.0);
+        }
+        let m2 = ensure_staging(&mut slot, 4, 3);
+        assert_eq!(m2.get(0, 0), 7.0, "same buffer came back");
+        let m3 = ensure_staging(&mut slot, 5, 3);
+        assert_eq!(m3.nrows(), 5);
+        assert_eq!(m3.get(0, 0), 0.0, "shape change reallocates");
+    }
+}

@@ -241,9 +241,8 @@ impl CsrMatrix {
         row_ptr.push(0usize);
         let mut col_idx = Vec::with_capacity(self.nnz());
         let mut values = Vec::with_capacity(self.nnz());
-        for new_r in 0..self.nrows {
-            let old_r = inv[new_r] as usize;
-            let (cols, vals) = self.row(old_r);
+        for &old_r in &inv {
+            let (cols, vals) = self.row(old_r as usize);
             col_idx.extend_from_slice(cols);
             values.extend_from_slice(vals);
             row_ptr.push(col_idx.len());
@@ -261,33 +260,71 @@ impl CsrMatrix {
     /// with rayon. Every kernel's functional output is validated against
     /// this implementation.
     pub fn spmm_dense(&self, b: &DenseMatrix) -> Result<DenseMatrix> {
-        if self.ncols != b.nrows() {
+        let mut c = DenseMatrix::zeros(self.nrows, b.ncols());
+        self.spmm_dense_into(b, &mut c)?;
+        Ok(c)
+    }
+
+    /// [`CsrMatrix::spmm_dense`] writing into a caller-provided output
+    /// (overwritten, not accumulated) — the allocation-free hot path.
+    pub fn spmm_dense_into(&self, b: &DenseMatrix, c: &mut DenseMatrix) -> Result<()> {
+        if self.ncols != b.nrows() || c.nrows() != self.nrows || c.ncols() != b.ncols() {
             return Err(SpmmError::DimensionMismatch {
                 context: format!(
-                    "A is {}x{}, B is {}x{}",
+                    "A is {}x{}, B is {}x{}, C is {}x{}",
                     self.nrows,
                     self.ncols,
                     b.nrows(),
-                    b.ncols()
+                    b.ncols(),
+                    c.nrows(),
+                    c.ncols()
                 ),
             });
         }
         let n = b.ncols();
-        let mut c = DenseMatrix::zeros(self.nrows, n);
         // Split the output into row chunks; each row only reads A and B.
         c.as_mut_slice()
-            .par_chunks_mut(n)
+            .par_chunks_mut(n.max(1))
             .enumerate()
             .for_each(|(r, crow)| {
-                let (cols, vals) = self.row(r);
-                for (&col, &v) in cols.iter().zip(vals.iter()) {
-                    let brow = b.row(col as usize);
-                    for j in 0..n {
-                        crow[j] += v * brow[j];
-                    }
-                }
+                Self::spmm_row(self.row(r), b, crow);
             });
-        Ok(c)
+        Ok(())
+    }
+
+    /// Sequential [`CsrMatrix::spmm_dense_into`] — bit-identical to the
+    /// parallel path (rows are independent and per-row accumulation
+    /// order is the same), for callers that parallelize at a coarser
+    /// granularity (e.g. over a batch of dense operands).
+    pub fn spmm_dense_into_seq(&self, b: &DenseMatrix, c: &mut DenseMatrix) -> Result<()> {
+        if self.ncols != b.nrows() || c.nrows() != self.nrows || c.ncols() != b.ncols() {
+            return Err(SpmmError::DimensionMismatch {
+                context: format!(
+                    "A is {}x{}, B is {}x{}, C is {}x{}",
+                    self.nrows,
+                    self.ncols,
+                    b.nrows(),
+                    b.ncols(),
+                    c.nrows(),
+                    c.ncols()
+                ),
+            });
+        }
+        for r in 0..self.nrows {
+            Self::spmm_row(self.row(r), b, c.row_mut(r));
+        }
+        Ok(())
+    }
+
+    /// One output row: `crow = A[r,:] · B` (overwrites).
+    fn spmm_row((cols, vals): (&[u32], &[f32]), b: &DenseMatrix, crow: &mut [f32]) {
+        crow.iter_mut().for_each(|x| *x = 0.0);
+        for (&col, &v) in cols.iter().zip(vals.iter()) {
+            let brow = b.row(col as usize);
+            for (cj, &bj) in crow.iter_mut().zip(brow.iter()) {
+                *cj += v * bj;
+            }
+        }
     }
 
     /// Densify (small matrices only; used in tests).
@@ -419,8 +456,8 @@ mod tests {
         let b = DenseMatrix::random(3, 4, 1);
         let c = m.spmm_dense(&b).unwrap();
         let cp = pm.spmm_dense(&b).unwrap();
-        for r in 0..3 {
-            assert_eq!(cp.row(perm[r] as usize), c.row(r));
+        for (r, &p) in perm.iter().enumerate() {
+            assert_eq!(cp.row(p as usize), c.row(r));
         }
     }
 }

@@ -106,9 +106,7 @@ impl Dataset {
 
     /// Look up a dataset by abbreviation (case-insensitive).
     pub fn by_abbr(abbr: &str) -> Option<&'static Dataset> {
-        TABLE2
-            .iter()
-            .find(|d| d.abbr.eq_ignore_ascii_case(abbr))
+        TABLE2.iter().find(|d| d.abbr.eq_ignore_ascii_case(abbr))
     }
 }
 

@@ -38,7 +38,10 @@ impl Default for RmatConfig {
 
 /// Generate a symmetric R-MAT graph adjacency matrix.
 pub fn rmat(cfg: RmatConfig, seed: u64) -> CsrMatrix {
-    assert!(cfg.a + cfg.b + cfg.c < 1.0, "quadrant probabilities must sum < 1");
+    assert!(
+        cfg.a + cfg.b + cfg.c < 1.0,
+        "quadrant probabilities must sum < 1"
+    );
     let n = 1usize << cfg.scale;
     let target_edges = ((n as f64 * cfg.avg_deg) / 2.0).round() as usize;
     let mut rng = SmallRng::seed_from_u64(seed);

@@ -47,8 +47,8 @@ pub fn road_network(n: usize, seed: u64) -> CsrMatrix {
     let mut next = 0u32;
     for &b in &order {
         let start = b * block;
-        for id in start..(start + block).min(n) {
-            perm[id] = next;
+        for p in perm[start..(start + block).min(n)].iter_mut() {
+            *p = next;
             next += 1;
         }
     }

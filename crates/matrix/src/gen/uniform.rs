@@ -42,10 +42,7 @@ mod tests {
     fn respects_target_density() {
         let m = uniform_random(512, 8.0, 3);
         let avg = m.avg_row_len();
-        assert!(
-            (avg - 8.0).abs() < 1.0,
-            "requested avgL 8, generated {avg}"
-        );
+        assert!((avg - 8.0).abs() < 1.0, "requested avgL 8, generated {avg}");
         assert_eq!(m.nrows(), 512);
     }
 

@@ -36,7 +36,10 @@ pub fn read_coo<R: BufRead>(reader: R) -> Result<CooMatrix> {
             detail: "empty file".into(),
         })
         .and_then(|(i, l)| l.map(|l| (i, l)).map_err(SpmmError::from))?;
-    let tokens: Vec<String> = header.split_whitespace().map(|t| t.to_lowercase()).collect();
+    let tokens: Vec<String> = header
+        .split_whitespace()
+        .map(|t| t.to_lowercase())
+        .collect();
     if tokens.len() < 5 || tokens[0] != "%%matrixmarket" || tokens[1] != "matrix" {
         return Err(SpmmError::Parse {
             line: 1,

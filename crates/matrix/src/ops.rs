@@ -140,8 +140,7 @@ impl DenseMatrix {
             for i in 0..m {
                 let arow = self.row(i);
                 let crow = c.row_mut(i);
-                for kk in k0..k1 {
-                    let a = arow[kk];
+                for (kk, &a) in arow.iter().enumerate().take(k1).skip(k0) {
                     if a == 0.0 {
                         continue;
                     }
@@ -169,10 +168,33 @@ impl DenseMatrix {
             ));
         }
         let mut out = DenseMatrix::zeros(self.nrows(), self.ncols());
-        for old in 0..self.nrows() {
-            out.row_mut(perm[old] as usize).copy_from_slice(self.row(old));
-        }
+        self.permute_rows_into(perm, &mut out)?;
         Ok(out)
+    }
+
+    /// [`DenseMatrix::permute_rows`] writing into a caller-provided,
+    /// same-shape output (every row is overwritten).
+    pub fn permute_rows_into(&self, perm: &[u32], out: &mut DenseMatrix) -> Result<()> {
+        if perm.len() != self.nrows() || !spmm_common::util::is_permutation(perm) {
+            return Err(SpmmError::InvalidConfig(
+                "dense row permutation is not a bijection".into(),
+            ));
+        }
+        if out.nrows() != self.nrows() || out.ncols() != self.ncols() {
+            return Err(SpmmError::DimensionMismatch {
+                context: format!(
+                    "permute target is {}x{}, source is {}x{}",
+                    out.nrows(),
+                    out.ncols(),
+                    self.nrows(),
+                    self.ncols()
+                ),
+            });
+        }
+        for (old, &p) in perm.iter().enumerate() {
+            out.row_mut(p as usize).copy_from_slice(self.row(old));
+        }
+        Ok(())
     }
 
     /// `self += alpha · other`, elementwise.

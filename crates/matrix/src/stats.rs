@@ -48,7 +48,11 @@ pub fn stats(m: &CsrMatrix) -> MatrixStats {
             bw_sum += (r as f64 - c as f64).abs();
         }
     }
-    let avg = if nrows == 0 { 0.0 } else { nnz as f64 / nrows as f64 };
+    let avg = if nrows == 0 {
+        0.0
+    } else {
+        nnz as f64 / nrows as f64
+    };
     let var = if nrows == 0 {
         0.0
     } else {

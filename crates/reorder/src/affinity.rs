@@ -47,7 +47,7 @@ pub(crate) fn build_dendrogram(g: &GraphView) -> Dendrogram {
                 continue;
             }
             let dq = ct.delta_q(u, v, 1.0);
-            if best.map_or(true, |(b, _)| dq > b) {
+            if best.is_none_or(|(b, _)| dq > b) {
                 best = Some((dq, u));
             }
         }
@@ -177,11 +177,19 @@ mod tests {
         // Community {1,3,6} must be contiguous in the new order.
         let mut ids: Vec<u32> = [1usize, 3, 6].iter().map(|&v| perm[v]).collect();
         ids.sort_unstable();
-        assert_eq!(ids[2] - ids[0], 2, "community {{1,3,6}} stays together: {ids:?}");
+        assert_eq!(
+            ids[2] - ids[0],
+            2,
+            "community {{1,3,6}} stays together: {ids:?}"
+        );
         // And so must the other community.
         let mut ids: Vec<u32> = [0usize, 2, 4, 5, 7].iter().map(|&v| perm[v]).collect();
         ids.sort_unstable();
-        assert_eq!(ids[4] - ids[0], 4, "community around 0 stays together: {ids:?}");
+        assert_eq!(
+            ids[4] - ids[0],
+            4,
+            "community around 0 stays together: {ids:?}"
+        );
     }
 
     #[test]

@@ -72,7 +72,8 @@ impl WGraph {
                 let kv = self.wdeg[v];
                 let m = self.two_m / 2.0;
                 let mut best_c = cv;
-                let mut best_gain = w_to_own / m - kv * comm_wdeg[cv as usize] / (self.two_m * self.two_m) * 2.0;
+                let mut best_gain =
+                    w_to_own / m - kv * comm_wdeg[cv as usize] / (self.two_m * self.two_m) * 2.0;
                 for (&c, &w_vc) in &neigh_w {
                     if c == cv {
                         continue;
@@ -183,10 +184,7 @@ pub fn louvain_order(m: &CsrMatrix) -> Vec<u32> {
     let mut order: Vec<u32> = (0..n as u32).collect();
     order.sort_by(|&a, &b| {
         let (pa, pb) = (&paths[a as usize], &paths[b as usize]);
-        pa.iter()
-            .rev()
-            .cmp(pb.iter().rev())
-            .then_with(|| a.cmp(&b))
+        pa.iter().rev().cmp(pb.iter().rev()).then_with(|| a.cmp(&b))
     });
     let mut perm = vec![0u32; n];
     for (new_id, &v) in order.iter().enumerate() {
@@ -261,7 +259,10 @@ mod tests {
         let before = crate::metrics::mean_nnz_tc(&m, 8);
         let pm = m.permute_rows(&louvain_order(&m)).unwrap();
         let after = crate::metrics::mean_nnz_tc(&pm, 8);
-        assert!(after > before, "louvain should densify: {before} -> {after}");
+        assert!(
+            after > before,
+            "louvain should densify: {before} -> {after}"
+        );
     }
 
     #[test]

@@ -84,7 +84,11 @@ fn bisect(g: &GraphView, part: &[u32]) -> (Vec<u32>, Vec<u32>) {
             }
         }
     }
-    let half_b: Vec<u32> = part.iter().copied().filter(|&v| !half_a.contains(&v)).collect();
+    let half_b: Vec<u32> = part
+        .iter()
+        .copied()
+        .filter(|&v| !half_a.contains(&v))
+        .collect();
     // `contains` is O(|half_a|); acceptable at LEAF_SIZE-bounded depth but
     // quadratic on huge parts — use the taken-or-in-a marker instead.
     let mut in_a = vec![false; g.num_vertices()];
@@ -94,7 +98,10 @@ fn bisect(g: &GraphView, part: &[u32]) -> (Vec<u32>, Vec<u32>) {
     let half_b = if half_b.len() + half_a.len() == part.len() {
         half_b
     } else {
-        part.iter().copied().filter(|&v| !in_a[v as usize]).collect()
+        part.iter()
+            .copied()
+            .filter(|&v| !in_a[v as usize])
+            .collect()
     };
     (half_a, half_b)
 }

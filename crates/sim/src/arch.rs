@@ -192,7 +192,7 @@ mod tests {
 
     #[test]
     fn hopper_has_strongest_baseline() {
-        assert!(H100.cusparse_boost > A800.cusparse_boost);
-        assert!(A800.cusparse_boost > RTX4090.cusparse_boost - 1e-9);
+        const { assert!(H100.cusparse_boost > A800.cusparse_boost) };
+        const { assert!(A800.cusparse_boost > RTX4090.cusparse_boost - 1e-9) };
     }
 }

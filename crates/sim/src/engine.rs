@@ -167,6 +167,14 @@ pub fn simulate(arch: &GpuArch, desc: &KernelDesc, opts: &SimOptions) -> KernelR
     simulate_traced(arch, desc, opts).0
 }
 
+/// Profile a compiled kernel trace on a named architecture — the entry
+/// point the execution-plan pipeline uses once its Compile stage has
+/// produced the [`KernelDesc`] (resolving the [`crate::Arch`] spec here
+/// keeps plan holders free of `GpuArch` plumbing).
+pub fn profile(arch: crate::Arch, desc: &KernelDesc, opts: &SimOptions) -> KernelReport {
+    simulate(&arch.spec(), desc, opts)
+}
+
 /// [`simulate`] that also returns the execution timeline (per-TB spans
 /// on SMs) for Chrome-trace export.
 pub fn simulate_traced(
@@ -256,8 +264,8 @@ pub fn simulate_traced(
         let c = hier.store(c_cursor, c_bytes, desc.policy.c_op);
         c_cursor += c_bytes as u64;
         total.add(c);
-        times.writeback =
-            c.dram as f64 * costs.dram + tb.segments.max(1) as f64 * arch.dram_latency_ns * 1e-9 / opts.mlp;
+        times.writeback = c.dram as f64 * costs.dram
+            + tb.segments.max(1) as f64 * arch.dram_latency_ns * 1e-9 / opts.mlp;
 
         let lat = compose(desc.pipeline, &times);
         busy_s += lat.total;

@@ -108,7 +108,7 @@ mod tests {
         let mut buf = Vec::new();
         trace.write_chrome_trace(&mut buf).unwrap();
         let text = String::from_utf8(buf).unwrap();
-        let parsed: serde_json::Value = serde_json::from_str(&text).expect("valid JSON");
+        let parsed = spmm_common::json::Json::parse(&text).expect("valid JSON");
         assert_eq!(parsed.as_array().unwrap().len(), 2);
         assert_eq!(parsed[0]["ph"], "X");
     }
@@ -119,8 +119,7 @@ mod tests {
         let trace = ExecutionTrace::from_schedule(&sched, &[]);
         let mut buf = Vec::new();
         trace.write_chrome_trace(&mut buf).unwrap();
-        let parsed: serde_json::Value =
-            serde_json::from_str(&String::from_utf8(buf).unwrap()).unwrap();
+        let parsed = spmm_common::json::Json::parse(&String::from_utf8(buf).unwrap()).unwrap();
         assert!(parsed.as_array().unwrap().is_empty());
         assert_eq!(trace.sms_used(), 0);
     }

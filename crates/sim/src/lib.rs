@@ -24,7 +24,7 @@ pub mod trace;
 
 pub use arch::{Arch, GpuArch};
 pub use cache::{Cache, CacheOp, MemLevel};
-pub use engine::{simulate, simulate_traced, SimOptions};
+pub use engine::{profile, simulate, simulate_traced, SimOptions};
 pub use export::ExecutionTrace;
 pub use pipeline::PipelineKind;
 pub use report::KernelReport;

@@ -222,8 +222,8 @@ mod tests {
             for col in 0..8 {
                 let mut acc = 0.0f32;
                 for k in 0..8 {
-                    acc += spmm_common::to_tf32(a[row * 8 + k])
-                        * spmm_common::to_tf32(b[k * 8 + col]);
+                    acc +=
+                        spmm_common::to_tf32(a[row * 8 + k]) * spmm_common::to_tf32(b[k * 8 + col]);
                 }
                 assert_eq!(c[row * 8 + col], acc, "({row},{col})");
             }

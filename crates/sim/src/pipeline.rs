@@ -74,9 +74,8 @@ pub fn compose(kind: PipelineKind, t: &TbTimes) -> TbLatency {
         PipelineKind::SerialScalar => {
             let mem: f64 =
                 t.load_b.iter().sum::<f64>() + t.load_a.iter().sum::<f64>() + t.writeback;
-            let comp: f64 = t.compute.iter().sum::<f64>()
-                + t.decode.iter().sum::<f64>()
-                + t.sync * n as f64;
+            let comp: f64 =
+                t.compute.iter().sum::<f64>() + t.decode.iter().sum::<f64>() + t.sync * n as f64;
             let overlapped = SCALAR_OVERLAP * mem.min(comp);
             TbLatency {
                 total: mem + comp - overlapped,
@@ -181,12 +180,7 @@ mod tests {
     fn acc_steady_state_is_max_of_streams() {
         // Long chain: per-iteration cost must approach max(B, A, mma)=3.
         let n = 100;
-        let t = times(
-            &vec![3.0; n],
-            &vec![1.0; n],
-            &vec![2.0; n],
-            0.0,
-        );
+        let t = times(&vec![3.0; n], &vec![1.0; n], &vec![2.0; n], 0.0);
         let acc = compose(PipelineKind::AccLeastBubble, &t);
         let per_iter = acc.total / n as f64;
         assert!((per_iter - 3.0).abs() < 0.2, "per-iter {per_iter}");

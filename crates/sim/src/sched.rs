@@ -78,7 +78,11 @@ mod tests {
         times.insert(0, 10.0);
         let r = schedule(&times, 4);
         assert!((r.makespan - 10.0).abs() < 1e-9);
-        assert!(r.utilization < 0.5, "imbalance must show: {}", r.utilization);
+        assert!(
+            r.utilization < 0.5,
+            "imbalance must show: {}",
+            r.utilization
+        );
     }
 
     #[test]

@@ -6,7 +6,7 @@ use crate::pipeline::PipelineKind;
 
 /// One unit of compute work (a TC block for tensor-core kernels, a
 /// row/nnz chunk for CUDA-core kernels) with its memory footprint.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct BlockTrace {
     /// Rows of the dense B gathered by this block (original column
     /// indices of the sparse operand). Repetitions allowed — CUDA-core
@@ -32,17 +32,6 @@ pub struct TbTrace {
     /// Distinct RowWindow segments (with load balancing a TB may span
     /// several windows; each adds a write-back transaction).
     pub segments: u32,
-}
-
-impl Default for BlockTrace {
-    fn default() -> Self {
-        BlockTrace {
-            b_rows: Vec::new(),
-            a_bytes: 0,
-            flops: 0,
-            decode_ops: 0,
-        }
-    }
 }
 
 /// Cache operators used for the three operand streams (§3.4 / Table 1).

@@ -27,7 +27,8 @@ fn main() {
         a.avg_row_len()
     );
 
-    // Preprocess: data-affinity reorder -> BitTCF -> balance plan.
+    // Build the execution plan: Reorder -> FormatBuild (BitTCF) ->
+    // BalancePlan -> Compile, artifacts cached for every call below.
     let handle = AccSpmm::new(&a, Arch::A800, n).expect("preprocess");
     let s = handle.stats();
     println!(
@@ -43,9 +44,34 @@ fn main() {
     // dense reference.
     let c = handle.multiply(&b).expect("multiply");
     let reference = a.spmm_dense(&b).expect("reference");
+
+    // Steady-state multiplies can reuse a workspace (zero allocations)...
+    let mut ws = handle.workspace();
+    let mut out = DenseMatrix::zeros(a.nrows(), n);
+    handle
+        .multiply_into(&b, &mut out, &mut ws)
+        .expect("multiply_into");
+    assert_eq!(out, c, "workspace path is bit-identical");
+
+    // ...and many right-hand sides go through one batched call that
+    // decodes each A block once per batch instead of once per RHS.
+    let batch: Vec<DenseMatrix> = (0..4)
+        .map(|s| DenseMatrix::random(a.ncols(), n, 100 + s))
+        .collect();
+    let outs = handle.multiply_batch(&batch).expect("multiply_batch");
+    for (bi, ci) in batch.iter().zip(&outs) {
+        assert_eq!(*ci, handle.multiply(bi).expect("multiply"));
+    }
+    println!(
+        "batched multiply over {} RHS: bit-identical to looping",
+        outs.len()
+    );
     let rel_err = c.max_abs_diff(&reference) / reference.frobenius_norm().max(1e-30)
         * (reference.nrows() as f32 * reference.ncols() as f32).sqrt();
-    println!("max elementwise deviation vs FP32 reference: {:.3e} (TF32 rounding)", rel_err);
+    println!(
+        "max elementwise deviation vs FP32 reference: {:.3e} (TF32 rounding)",
+        rel_err
+    );
 
     // Profile on the simulated A800.
     let r = handle.profile_default();

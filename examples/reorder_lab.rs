@@ -95,7 +95,10 @@ fn main() {
 
     // Downstream effect: simulated Acc-SpMM with and without reordering.
     let opts = SimOptions::default();
-    for (label, alg) in [("identity", Algorithm::Identity), ("affinity", Algorithm::Affinity)] {
+    for (label, alg) in [
+        ("identity", Algorithm::Identity),
+        ("affinity", Algorithm::Affinity),
+    ] {
         let mut cfg = AccConfig::full();
         cfg.reorder = alg;
         let r = PreparedKernel::prepare_with_config(KernelKind::AccSpmm, &m, Arch::A800, 128, cfg)

@@ -5,8 +5,8 @@
 //! Run with: `cargo run --release --example simulator_tour`
 
 use spmm_sim::{
-    simulate, simulate_traced, Arch, BlockTrace, CachePolicy, KernelDesc, PipelineKind,
-    SimOptions, TbTrace,
+    simulate, simulate_traced, Arch, BlockTrace, CachePolicy, KernelDesc, PipelineKind, SimOptions,
+    TbTrace,
 };
 
 /// A hand-built kernel: `tbs` thread blocks, each processing `blocks`

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Full offline gate: build, tests, formatting, lints.
+#
+# The workspace has no network dependencies — every external crate is an
+# API-compatible path shim under shims/ — so this script must pass on a
+# machine with no registry access. Run it before every push.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test"
+cargo test --workspace -q
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "All checks passed."

@@ -1,0 +1,196 @@
+//! Offline shim for the `criterion` crate.
+//!
+//! Provides the harness surface the workspace's benchmarks use
+//! (`criterion_group!`/`criterion_main!`, benchmark groups,
+//! `bench_function`, `bench_with_input`, `Bencher::iter`) backed by a
+//! plain wall-clock timing loop: a short warm-up, then `sample_size`
+//! timed samples whose median and min are printed. No plotting, no
+//! statistics beyond that — enough to compare hot paths offline.
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` (criterion-compatible).
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Identifier for a parameterized benchmark.
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Id rendered from a parameter value only.
+    pub fn from_parameter<D: Display>(p: D) -> Self {
+        BenchmarkId {
+            name: format!("{p}"),
+        }
+    }
+
+    /// Id with a function name and a parameter.
+    pub fn new<D: Display>(function: &str, p: D) -> Self {
+        BenchmarkId {
+            name: format!("{function}/{p}"),
+        }
+    }
+}
+
+/// The timing driver handed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    /// Collected per-sample times, one per measured sample.
+    results: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time `f`, first warming up, then collecting samples.
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
+        // Warm-up + calibration: find an iteration count that gives a
+        // measurable per-sample duration.
+        let mut iters = 1u64;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                std_black_box(f());
+            }
+            let elapsed = t0.elapsed();
+            if elapsed >= Duration::from_millis(1) || iters >= 1 << 20 {
+                break;
+            }
+            iters *= 4;
+        }
+        self.results.clear();
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                std_black_box(f());
+            }
+            self.results.push(t0.elapsed() / iters as u32);
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    samples: usize,
+    _parent: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(2);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim's sampling is
+    /// count-based, not duration-based.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: self.samples,
+            results: Vec::new(),
+        };
+        f(&mut b);
+        report(&self.name, id, &mut b.results);
+        self
+    }
+
+    /// Run one benchmark over an input value.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            samples: self.samples,
+            results: Vec::new(),
+        };
+        f(&mut b, input);
+        report(&self.name, &id.name, &mut b.results);
+        self
+    }
+
+    /// End the group (printing is immediate; this is a no-op).
+    pub fn finish(&mut self) {}
+}
+
+fn report(group: &str, id: &str, results: &mut [Duration]) {
+    if results.is_empty() {
+        println!("{group}/{id}: no samples");
+        return;
+    }
+    results.sort_unstable();
+    let median = results[results.len() / 2];
+    let min = results[0];
+    println!(
+        "{group}/{id}: median {:>12?}  min {:>12?}  ({} samples)",
+        median,
+        min,
+        results.len()
+    );
+}
+
+/// The top-level harness state.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            samples: 10,
+            _parent: self,
+        }
+    }
+
+    /// Run a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+/// Declare a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declare the benchmark entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3);
+        g.bench_function("sum", |b| b.iter(|| (0..1000u64).sum::<u64>()));
+        g.finish();
+    }
+}

@@ -1,0 +1,408 @@
+//! Offline shim for the `rayon` crate.
+//!
+//! Provides the combinators this workspace actually uses —
+//! `(range).into_par_iter().map(..).collect()`,
+//! `slice.par_iter().map(..).collect()`, and
+//! `slice.par_chunks_mut(n).enumerate().for_each(..)` — executed on
+//! real OS threads with `std::thread::scope`. Work is split into one
+//! contiguous span per worker, so there is exactly one spawn round per
+//! parallel call and results are assembled in order (parallel and
+//! sequential execution are bit-identical for deterministic closures).
+
+use std::ops::Range;
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelSlice, ParallelSliceMut};
+}
+
+/// Worker count: `RAYON_NUM_THREADS` if set, else the machine's
+/// available parallelism.
+pub fn current_num_threads() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Split `len` items into at most `workers` contiguous spans.
+fn spans(len: usize, workers: usize) -> Vec<Range<usize>> {
+    let workers = workers.clamp(1, len.max(1));
+    let base = len / workers;
+    let extra = len % workers;
+    let mut out = Vec::with_capacity(workers);
+    let mut start = 0;
+    for w in 0..workers {
+        let span = base + usize::from(w < extra);
+        if span == 0 {
+            break;
+        }
+        out.push(start..start + span);
+        start += span;
+    }
+    out
+}
+
+/// Parallel ordered map over `0..len`: each worker produces its span's
+/// results, which are concatenated in index order.
+fn par_map_indexed<U, F>(len: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    let workers = current_num_threads();
+    if len <= 1 || workers == 1 {
+        return (0..len).map(f).collect();
+    }
+    let spans = spans(len, workers);
+    let mut parts: Vec<Vec<U>> = Vec::with_capacity(spans.len());
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = spans
+            .into_iter()
+            .map(|span| scope.spawn(move || span.map(f).collect::<Vec<U>>()))
+            .collect();
+        for h in handles {
+            parts.push(h.join().expect("rayon shim worker panicked"));
+        }
+    });
+    let mut out = Vec::with_capacity(len);
+    for p in parts {
+        out.extend(p);
+    }
+    out
+}
+
+/// Parallel for-each over an owned list of `Send` items, each tagged
+/// with its original index.
+fn par_for_each_indexed<T, F>(items: Vec<T>, f: F)
+where
+    T: Send,
+    F: Fn(usize, T) + Sync,
+{
+    let len = items.len();
+    let workers = current_num_threads();
+    if len <= 1 || workers == 1 {
+        for (i, item) in items.into_iter().enumerate() {
+            f(i, item);
+        }
+        return;
+    }
+    let spans = spans(len, workers);
+    // Hand each worker its own contiguous sub-vector of items.
+    let mut rest = items;
+    let mut groups: Vec<(usize, Vec<T>)> = Vec::with_capacity(spans.len());
+    for span in spans.into_iter().rev() {
+        let tail = rest.split_off(span.start);
+        groups.push((span.start, tail));
+    }
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = groups
+            .into_iter()
+            .map(|(base, group)| {
+                scope.spawn(move || {
+                    for (k, item) in group.into_iter().enumerate() {
+                        f(base + k, item);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("rayon shim worker panicked");
+        }
+    });
+}
+
+/// Like [`par_for_each_indexed`], but each worker first builds a private
+/// scratch value with `init` and threads it through its span — the shim
+/// equivalent of rayon's `for_each_init` (one scratch per worker instead
+/// of one per item, which is what makes allocation-free hot loops
+/// possible).
+fn par_for_each_indexed_init<T, S, I, F>(items: Vec<T>, init: I, f: F)
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, T) + Sync,
+{
+    let len = items.len();
+    let workers = current_num_threads();
+    if len <= 1 || workers == 1 {
+        let mut scratch = init();
+        for (i, item) in items.into_iter().enumerate() {
+            f(&mut scratch, i, item);
+        }
+        return;
+    }
+    let spans = spans(len, workers);
+    let mut rest = items;
+    let mut groups: Vec<(usize, Vec<T>)> = Vec::with_capacity(spans.len());
+    for span in spans.into_iter().rev() {
+        let tail = rest.split_off(span.start);
+        groups.push((span.start, tail));
+    }
+    let init = &init;
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = groups
+            .into_iter()
+            .map(|(base, group)| {
+                scope.spawn(move || {
+                    let mut scratch = init();
+                    for (k, item) in group.into_iter().enumerate() {
+                        f(&mut scratch, base + k, item);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("rayon shim worker panicked");
+        }
+    });
+}
+
+/// Conversion into a parallel iterator (ranges of `usize`).
+pub trait IntoParallelIterator {
+    /// The parallel-iterator type.
+    type Iter;
+    /// Convert.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Iter = ParRange;
+    fn into_par_iter(self) -> ParRange {
+        ParRange(self)
+    }
+}
+
+/// Parallel iterator over a `usize` range.
+pub struct ParRange(Range<usize>);
+
+impl ParRange {
+    /// Map each index through `f` (lazily; executed by `collect` or
+    /// `for_each`).
+    pub fn map<U, F: Fn(usize) -> U>(self, f: F) -> ParRangeMap<F> {
+        ParRangeMap { range: self.0, f }
+    }
+
+    /// Run `f` on every index in parallel.
+    pub fn for_each<F: Fn(usize) + Sync>(self, f: F) {
+        let base = self.0.start;
+        par_for_each_indexed((0..self.0.len()).collect(), |_, i| f(base + i));
+    }
+}
+
+/// A mapped parallel range.
+pub struct ParRangeMap<F> {
+    range: Range<usize>,
+    f: F,
+}
+
+impl<F> ParRangeMap<F> {
+    /// Execute the map in parallel and collect ordered results.
+    pub fn collect<U, C>(self) -> C
+    where
+        U: Send,
+        F: Fn(usize) -> U + Sync,
+        C: FromParallel<U>,
+    {
+        let base = self.range.start;
+        let f = self.f;
+        C::from_vec(par_map_indexed(self.range.len(), |i| f(base + i)))
+    }
+}
+
+/// Collection targets for the shim's `collect`.
+pub trait FromParallel<U> {
+    /// Build from the ordered result vector.
+    fn from_vec(v: Vec<U>) -> Self;
+}
+
+impl<U> FromParallel<U> for Vec<U> {
+    fn from_vec(v: Vec<U>) -> Self {
+        v
+    }
+}
+
+/// Parallel read-only slice iteration.
+pub trait ParallelSlice<T> {
+    /// Parallel iterator over `&T`.
+    fn par_iter(&self) -> ParSlice<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParSlice<'_, T> {
+        ParSlice(self)
+    }
+}
+
+/// Parallel iterator over a shared slice.
+pub struct ParSlice<'a, T>(&'a [T]);
+
+impl<'a, T: Sync> ParSlice<'a, T> {
+    /// Map each element (lazily).
+    pub fn map<U, F: Fn(&'a T) -> U>(self, f: F) -> ParSliceMap<'a, T, F> {
+        ParSliceMap { slice: self.0, f }
+    }
+
+    /// Run `f` on every element in parallel.
+    pub fn for_each<F: Fn(&'a T) + Sync>(self, f: F) {
+        let slice = self.0;
+        par_for_each_indexed((0..slice.len()).collect(), |_, i| f(&slice[i]));
+    }
+}
+
+/// A mapped parallel slice.
+pub struct ParSliceMap<'a, T, F> {
+    slice: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync, F> ParSliceMap<'a, T, F> {
+    /// Execute the map in parallel and collect ordered results.
+    pub fn collect<U, C>(self) -> C
+    where
+        U: Send,
+        F: Fn(&'a T) -> U + Sync,
+        C: FromParallel<U>,
+    {
+        let slice = self.slice;
+        let f = self.f;
+        C::from_vec(par_map_indexed(slice.len(), |i| f(&slice[i])))
+    }
+}
+
+/// Parallel mutable chunking.
+pub trait ParallelSliceMut<T> {
+    /// Split into `chunk_size`-sized mutable chunks processed in
+    /// parallel (last chunk may be shorter).
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+        assert!(chunk_size > 0, "chunk_size must be > 0");
+        ParChunksMut {
+            chunks: self.chunks_mut(chunk_size).collect(),
+        }
+    }
+}
+
+/// Parallel iterator over mutable chunks.
+pub struct ParChunksMut<'d, T> {
+    chunks: Vec<&'d mut [T]>,
+}
+
+impl<'d, T: Send> ParChunksMut<'d, T> {
+    /// Pair each chunk with its index.
+    pub fn enumerate(self) -> ParChunksMutEnumerate<'d, T> {
+        ParChunksMutEnumerate {
+            chunks: self.chunks,
+        }
+    }
+
+    /// Run `f` on every chunk in parallel.
+    pub fn for_each<F: Fn(&'d mut [T]) + Sync>(self, f: F) {
+        par_for_each_indexed(self.chunks, |_, chunk| f(chunk));
+    }
+}
+
+/// Enumerated parallel chunks.
+pub struct ParChunksMutEnumerate<'d, T> {
+    chunks: Vec<&'d mut [T]>,
+}
+
+impl<'d, T: Send> ParChunksMutEnumerate<'d, T> {
+    /// Run `f` on every `(index, chunk)` pair in parallel.
+    pub fn for_each<F: Fn((usize, &'d mut [T])) + Sync>(self, f: F) {
+        par_for_each_indexed(self.chunks, |i, chunk| f((i, chunk)));
+    }
+
+    /// Run `f` on every `(index, chunk)` pair with a per-worker scratch
+    /// value produced by `init` (rayon's `for_each_init`).
+    pub fn for_each_init<S, I, F>(self, init: I, f: F)
+    where
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, (usize, &'d mut [T])) + Sync,
+    {
+        par_for_each_indexed_init(self.chunks, init, |s, i, chunk| f(s, (i, chunk)));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn range_map_collect_is_ordered() {
+        let v: Vec<usize> = (0..1000).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v.len(), 1000);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i * 2));
+    }
+
+    #[test]
+    fn chunks_mut_enumerate_covers_everything() {
+        let mut data = vec![0u32; 1003];
+        data.par_chunks_mut(10)
+            .enumerate()
+            .for_each(|(i, chunk)| chunk.iter_mut().for_each(|x| *x = i as u32));
+        for (i, &x) in data.iter().enumerate() {
+            assert_eq!(x, (i / 10) as u32);
+        }
+    }
+
+    #[test]
+    fn slice_par_iter_map_collect() {
+        let input: Vec<u64> = (0..500).collect();
+        let out: Vec<u64> = input.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out, (1..501).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let seq: Vec<u64> = (0..10_000)
+            .map(|i| (i as u64).wrapping_mul(2654435761))
+            .collect();
+        let par: Vec<u64> = (0..10_000)
+            .into_par_iter()
+            .map(|i| (i as u64).wrapping_mul(2654435761))
+            .collect();
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn for_each_init_reuses_scratch_within_a_worker() {
+        let mut data = vec![0u32; 97];
+        data.par_chunks_mut(4)
+            .enumerate()
+            .for_each_init(Vec::<u32>::new, |scratch, (i, chunk)| {
+                scratch.clear();
+                scratch.extend(chunk.iter().map(|_| i as u32));
+                chunk.copy_from_slice(&scratch[..chunk.len()]);
+            });
+        for (i, &x) in data.iter().enumerate() {
+            assert_eq!(x, (i / 4) as u32);
+        }
+    }
+
+    #[test]
+    fn spans_partition_exactly() {
+        for len in [0usize, 1, 7, 64, 1001] {
+            for workers in [1usize, 2, 3, 8, 200] {
+                let s = super::spans(len, workers);
+                let total: usize = s.iter().map(|r| r.len()).sum();
+                assert_eq!(total, len);
+                let mut next = 0;
+                for r in &s {
+                    assert_eq!(r.start, next);
+                    assert!(!r.is_empty());
+                    next = r.end;
+                }
+            }
+        }
+    }
+}

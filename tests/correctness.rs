@@ -91,13 +91,15 @@ fn balancing_strategies_are_numerically_identical() {
     ] {
         let mut cfg = AccConfig::full();
         cfg.balance = balance;
-        let k =
-            PreparedKernel::prepare_with_config(KernelKind::AccSpmm, &m, Arch::H100, 64, cfg)
-                .unwrap();
+        let k = PreparedKernel::prepare_with_config(KernelKind::AccSpmm, &m, Arch::H100, 64, cfg)
+            .unwrap();
         results.push(k.execute(&b).unwrap());
     }
     assert_eq!(results[0], results[1], "DTC balancing changed the result");
-    assert_eq!(results[0], results[2], "adaptive balancing changed the result");
+    assert_eq!(
+        results[0], results[2],
+        "adaptive balancing changed the result"
+    );
 }
 
 #[test]
@@ -134,8 +136,9 @@ fn reordering_never_changes_results() {
     for alg in Algorithm::ALL {
         let mut cfg = AccConfig::full();
         cfg.reorder = alg;
-        let k = PreparedKernel::prepare_with_config(KernelKind::AccSpmm, &m, Arch::Rtx4090, 48, cfg)
-            .unwrap();
+        let k =
+            PreparedKernel::prepare_with_config(KernelKind::AccSpmm, &m, Arch::Rtx4090, 48, cfg)
+                .unwrap();
         let c = k.execute(&b).unwrap();
         assert!(
             c.approx_eq(&reference, tol, tol),
@@ -152,7 +155,11 @@ fn handle_multiply_is_deterministic_and_linear() {
     let x = DenseMatrix::random(m.ncols(), 16, 1);
     let y = DenseMatrix::random(m.ncols(), 16, 2);
     let cx = h.multiply(&x).unwrap();
-    assert_eq!(cx, h.multiply(&x).unwrap(), "multiply must be deterministic");
+    assert_eq!(
+        cx,
+        h.multiply(&x).unwrap(),
+        "multiply must be deterministic"
+    );
 
     // Linearity: A(x+y) == Ax + Ay within TF32 tolerance.
     let mut xy = x.clone();
@@ -180,7 +187,11 @@ fn every_kernel_profiles_an_empty_matrix_without_panicking() {
     for kind in KernelKind::ALL {
         let k = PreparedKernel::prepare(kind, &empty, Arch::A800, 64).unwrap();
         let r = k.profile(Arch::A800, &SimOptions::default());
-        assert!(r.time_s > 0.0, "{}: launch overhead still counts", kind.name());
+        assert!(
+            r.time_s > 0.0,
+            "{}: launch overhead still counts",
+            kind.name()
+        );
         assert_eq!(r.gflops, 0.0, "{}: no effective work", kind.name());
     }
 }

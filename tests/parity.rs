@@ -1,0 +1,132 @@
+//! Numerical parity: every kernel strategy against an independent f64
+//! scalar reference, and the batched API against the one-at-a-time API.
+//!
+//! The f64 reference shares no code with the kernels — it walks the CSR
+//! rows directly and accumulates in double precision — so it catches
+//! format-conversion bugs, reorder/scatter bugs, and balancing bugs
+//! alike. TF32 operand rounding plus FP32 accumulation stay within
+//! `tf32_tolerance` of it.
+
+use acc_spmm::{AccSpmm, Arch, KernelKind};
+use spmm_common::scalar::tf32_tolerance;
+use spmm_kernels::PreparedKernel;
+use spmm_matrix::{gen, CsrMatrix, DenseMatrix};
+
+/// Scalar f64 SpMM straight off the CSR arrays: C[r] = Σ A[r,c]·B[c].
+fn f64_reference(a: &CsrMatrix, b: &DenseMatrix) -> Vec<Vec<f64>> {
+    let n = b.ncols();
+    let mut c = vec![vec![0.0f64; n]; a.nrows()];
+    for (r, crow) in c.iter_mut().enumerate() {
+        let (cols, vals) = a.row(r);
+        for (&col, &v) in cols.iter().zip(vals.iter()) {
+            let brow = b.row(col as usize);
+            for (j, cj) in crow.iter_mut().enumerate() {
+                *cj += v as f64 * brow[j] as f64;
+            }
+        }
+    }
+    c
+}
+
+fn max_abs_diff(got: &DenseMatrix, want: &[Vec<f64>]) -> f64 {
+    let mut worst = 0.0f64;
+    for (r, wrow) in want.iter().enumerate() {
+        for (j, &w) in wrow.iter().enumerate() {
+            worst = worst.max((got.get(r, j) as f64 - w).abs());
+        }
+    }
+    worst
+}
+
+fn workloads() -> Vec<(&'static str, CsrMatrix)> {
+    vec![
+        ("molecules", gen::molecule_union(640, 6, 16, true, 21)),
+        (
+            "rmat",
+            gen::rmat(
+                gen::RmatConfig {
+                    scale: 9,
+                    avg_deg: 10.0,
+                    ..Default::default()
+                },
+                22,
+            ),
+        ),
+        (
+            "clustered",
+            gen::clustered(
+                gen::ClusteredConfig {
+                    n: 768,
+                    cluster_size: 96,
+                    intra_deg: 14.0,
+                    inter_deg: 3.0,
+                    hub_fraction: 0.02,
+                    hub_factor: 8.0,
+                    shuffle: true,
+                    ..Default::default()
+                },
+                23,
+            ),
+        ),
+    ]
+}
+
+#[test]
+fn all_six_kernels_match_the_f64_scalar_reference() {
+    for (name, a) in workloads() {
+        let b = DenseMatrix::random(a.nrows(), 32, 77);
+        let want = f64_reference(&a, &b);
+        // The reference accumulates in f64; the kernels round operands
+        // to TF32 and accumulate in f32, so allow both error sources.
+        let tol = tf32_tolerance(a.nrows()) as f64;
+        for kind in KernelKind::ALL {
+            let k = PreparedKernel::prepare(kind, &a, Arch::A800, b.ncols()).unwrap();
+            let c = k.execute(&b).unwrap();
+            let diff = max_abs_diff(&c, &want);
+            assert!(
+                diff <= tol,
+                "{} on {name}: max |diff| {diff} > tol {tol}",
+                kind.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn multiply_batch_is_bit_identical_to_looped_multiply() {
+    for (name, a) in workloads() {
+        let handle = AccSpmm::new(&a, Arch::A800, 16).unwrap();
+        let bs: Vec<DenseMatrix> = (0..10)
+            .map(|i| DenseMatrix::random(a.nrows(), 16, 500 + i))
+            .collect();
+        let batched = handle.multiply_batch(&bs).unwrap();
+        assert_eq!(batched.len(), bs.len());
+        for (i, b) in bs.iter().enumerate() {
+            let single = handle.multiply(b).unwrap();
+            assert_eq!(
+                batched[i], single,
+                "{name}: batched RHS {i} differs from multiply()"
+            );
+        }
+    }
+}
+
+#[test]
+fn execute_batch_bit_identical_across_all_kernels() {
+    let a = gen::molecule_union(512, 6, 14, true, 31);
+    let bs: Vec<DenseMatrix> = (0..8)
+        .map(|i| DenseMatrix::random(a.nrows(), 24, 900 + i))
+        .collect();
+    for kind in KernelKind::ALL {
+        let k = PreparedKernel::prepare(kind, &a, Arch::H100, 24).unwrap();
+        let batched = k.execute_batch(&bs).unwrap();
+        for (i, b) in bs.iter().enumerate() {
+            assert_eq!(
+                batched[i],
+                k.execute(b).unwrap(),
+                "{} RHS {i} not bit-identical",
+                kind.name()
+            );
+        }
+    }
+}

@@ -10,17 +10,15 @@ use spmm_reorder::Algorithm;
 /// Strategy: an arbitrary small sparse square matrix (duplicates summed).
 fn arb_matrix(max_n: usize, max_nnz: usize) -> impl Strategy<Value = CsrMatrix> {
     (2usize..max_n).prop_flat_map(move |n| {
-        proptest::collection::vec(
-            (0..n as u32, 0..n as u32, -8i16..8i16),
-            0..max_nnz,
+        proptest::collection::vec((0..n as u32, 0..n as u32, -8i16..8i16), 0..max_nnz).prop_map(
+            move |entries| {
+                let mut coo = CooMatrix::new(n, n);
+                for (r, c, v) in entries {
+                    coo.push(r, c, v as f32 / 2.0);
+                }
+                CsrMatrix::from_coo(&coo)
+            },
         )
-        .prop_map(move |entries| {
-            let mut coo = CooMatrix::new(n, n);
-            for (r, c, v) in entries {
-                coo.push(r, c, v as f32 / 2.0);
-            }
-            CsrMatrix::from_coo(&coo)
-        })
     })
 }
 
@@ -89,9 +87,8 @@ proptest! {
     fn reorder_preserves_nnz_and_row_multiset(m in arb_matrix(48, 150)) {
         let (pm, perm) = spmm_reorder::reorder_apply(&m, Algorithm::Affinity);
         prop_assert_eq!(pm.nnz(), m.nnz());
-        for old in 0..m.nrows() {
-            let new = perm[old] as usize;
-            prop_assert_eq!(pm.row(new), m.row(old));
+        for (old, &p) in perm.iter().enumerate() {
+            prop_assert_eq!(pm.row(p as usize), m.row(old));
         }
     }
 

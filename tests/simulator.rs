@@ -85,8 +85,18 @@ fn h100_is_fastest_in_absolute_time() {
         })
         .collect();
     // Table 3 order: RTX 4090, A800, H100.
-    assert!(times[2] < times[0], "H100 {} vs 4090 {}", times[2], times[0]);
-    assert!(times[2] < times[1], "H100 {} vs A800 {}", times[2], times[1]);
+    assert!(
+        times[2] < times[0],
+        "H100 {} vs 4090 {}",
+        times[2],
+        times[0]
+    );
+    assert!(
+        times[2] < times[1],
+        "H100 {} vs A800 {}",
+        times[2],
+        times[1]
+    );
 }
 
 #[test]
@@ -173,8 +183,7 @@ fn eq4_model_predicts_simulated_tb_latencies() {
     let mut cfg = AccConfig::full();
     cfg.balance = BalanceStrategy::None;
     let k =
-        PreparedKernel::prepare_with_config(KernelKind::AccSpmm, &m, Arch::A800, 128, cfg)
-            .unwrap();
+        PreparedKernel::prepare_with_config(KernelKind::AccSpmm, &m, Arch::A800, 128, cfg).unwrap();
     let plan = k.plan().unwrap().clone();
     let spec = Arch::A800.spec();
     let model = PerfModel::new(ModelParams {
