@@ -1,0 +1,320 @@
+//! The machine-readable performance suite — the artifact CI and future
+//! PRs track for regressions.
+//!
+//! Runs the kernel matrix (all six [`KernelKind`]s) over the generated
+//! Table-2 dataset collection with warmup + timed repeats, under an open
+//! `spmm-trace` measurement window, and writes `BENCH_perfsuite.json`:
+//! per-(dataset, kernel) median/min wall time and GFLOP/s plus the full
+//! counter snapshot, schema-versioned via `common::json`.
+//!
+//! ```text
+//! perfsuite [--quick] [--arch a800] [--dim N] [--warmup N] [--repeats N] [--out PATH]
+//! perfsuite --gate <baseline.json> <candidate.json> [--threshold 0.25]
+//! ```
+//!
+//! `--quick` restricts to the three smallest datasets with a small
+//! feature dimension — the CI smoke configuration. `--gate` compares two
+//! suite artifacts and exits non-zero when any kernel's median wall time
+//! regressed by more than the threshold (see `scripts/bench_gate.sh`).
+
+use acc_spmm::matrix::{CsrMatrix, Dataset, DenseMatrix, TABLE2};
+use acc_spmm::sim::Arch;
+use acc_spmm::{KernelKind, PreparedKernel, Workspace};
+use spmm_bench::{f2, print_table};
+use spmm_common::json::{Json, ToJson};
+use spmm_common::stats::median;
+use std::collections::BTreeMap;
+use std::io::Write as _;
+use std::process::ExitCode;
+use std::time::Instant;
+
+/// Bump on any incompatible change to the artifact layout.
+const SCHEMA_VERSION: u64 = 1;
+
+/// One (dataset, kernel) measurement.
+struct Entry {
+    dataset: String,
+    kernel: String,
+    rows: f64,
+    nnz: f64,
+    feature_dim: f64,
+    prep_s: f64,
+    median_s: f64,
+    min_s: f64,
+    gflops: f64,
+}
+
+spmm_common::impl_to_json!(Entry {
+    dataset,
+    kernel,
+    rows,
+    nnz,
+    feature_dim,
+    prep_s,
+    median_s,
+    min_s,
+    gflops
+});
+
+struct Config {
+    quick: bool,
+    arch: Arch,
+    dim: usize,
+    warmup: usize,
+    repeats: usize,
+    out: String,
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(i) = args.iter().position(|a| a == "--gate") {
+        let threshold = flag_value(&args, "--threshold")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0.25);
+        let (Some(baseline), Some(candidate)) = (args.get(i + 1), args.get(i + 2)) else {
+            eprintln!("usage: perfsuite --gate <baseline.json> <candidate.json> [--threshold X]");
+            return ExitCode::FAILURE;
+        };
+        return gate(baseline, candidate, threshold);
+    }
+
+    let quick = args.iter().any(|a| a == "--quick");
+    let cfg = Config {
+        quick,
+        arch: flag_value(&args, "--arch")
+            .and_then(|s| Arch::parse(&s))
+            .unwrap_or(Arch::A800),
+        dim: flag_value(&args, "--dim")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(if quick { 32 } else { 128 }),
+        warmup: flag_value(&args, "--warmup")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(1),
+        repeats: flag_value(&args, "--repeats")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(if quick { 3 } else { 5 }),
+        out: flag_value(&args, "--out").unwrap_or_else(|| "BENCH_perfsuite.json".into()),
+    };
+    run_suite(&cfg)
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+/// The datasets the suite sweeps: all ten Table-2 analogs, or the three
+/// smallest for the CI smoke run.
+fn suite_datasets(quick: bool) -> Vec<&'static Dataset> {
+    let mut ds: Vec<&'static Dataset> = TABLE2.iter().collect();
+    if quick {
+        ds.sort_by_key(|d| d.scaled_rows);
+        ds.truncate(3);
+    }
+    ds
+}
+
+fn run_suite(cfg: &Config) -> ExitCode {
+    let mode = if cfg.quick { "quick" } else { "full" };
+    eprintln!(
+        "perfsuite: mode {mode}, arch {:?}, dim {}, warmup {}, repeats {}",
+        cfg.arch, cfg.dim, cfg.warmup, cfg.repeats
+    );
+    spmm_trace::reset();
+    spmm_trace::enable();
+
+    let mut entries = Vec::new();
+    let mut rows = Vec::new();
+    for d in suite_datasets(cfg.quick) {
+        let m = {
+            let _s = spmm_trace::span("perfsuite.build_dataset");
+            spmm_bench::build_dataset(d)
+        };
+        for kind in KernelKind::ALL {
+            let e = measure(d.abbr, kind, &m, cfg);
+            rows.push(vec![
+                e.dataset.clone(),
+                e.kernel.clone(),
+                format!("{:.3}", e.median_s * 1e3),
+                format!("{:.3}", e.min_s * 1e3),
+                f2(e.gflops),
+            ]);
+            entries.push(e);
+        }
+    }
+
+    spmm_trace::disable();
+    let counters = spmm_trace::snapshot().counters;
+
+    print_table(
+        &format!("perfsuite ({mode}, {:?}, N = {})", cfg.arch, cfg.dim),
+        &["dataset", "kernel", "median ms", "min ms", "GFLOP/s"],
+        &rows,
+    );
+
+    let doc = suite_json(cfg, mode, &entries, &counters);
+    let text = doc.to_string_pretty();
+    match std::fs::File::create(&cfg.out).and_then(|mut f| f.write_all(text.as_bytes())) {
+        Ok(()) => {
+            eprintln!("wrote {} ({} entries)", cfg.out, entries.len());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("failed to write {}: {e}", cfg.out);
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Prepare once, then warmup + timed repeats of the zero-alloc multiply.
+fn measure(dataset: &str, kind: KernelKind, m: &CsrMatrix, cfg: &Config) -> Entry {
+    let t0 = Instant::now();
+    let k = PreparedKernel::prepare(kind, m, cfg.arch, cfg.dim).expect("prepare");
+    let prep_s = t0.elapsed().as_secs_f64();
+
+    let b = DenseMatrix::random(m.ncols(), cfg.dim, 0xBEEF);
+    let mut out = DenseMatrix::zeros(m.nrows(), cfg.dim);
+    let mut ws = Workspace::for_plan(k.execution_plan());
+    for _ in 0..cfg.warmup {
+        k.execute_into(&b, &mut out, &mut ws).expect("warmup");
+    }
+    let times: Vec<f64> = (0..cfg.repeats.max(1))
+        .map(|_| {
+            let _s = spmm_trace::span("perfsuite.repeat");
+            let t = Instant::now();
+            k.execute_into(&b, &mut out, &mut ws).expect("execute");
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    let med = median(&times);
+    let min = times.iter().copied().fold(f64::INFINITY, f64::min);
+    Entry {
+        dataset: dataset.into(),
+        kernel: kind.name().into(),
+        rows: m.nrows() as f64,
+        nnz: m.nnz() as f64,
+        feature_dim: cfg.dim as f64,
+        prep_s,
+        median_s: med,
+        min_s: min,
+        gflops: 2.0 * m.nnz() as f64 * cfg.dim as f64 / med / 1e9,
+    }
+}
+
+fn suite_json(
+    cfg: &Config,
+    mode: &str,
+    entries: &[Entry],
+    counters: &BTreeMap<String, u64>,
+) -> Json {
+    let mut doc = BTreeMap::new();
+    doc.insert("schema_version".into(), Json::Num(SCHEMA_VERSION as f64));
+    doc.insert("suite".into(), Json::Str("perfsuite".into()));
+    doc.insert("mode".into(), Json::Str(mode.into()));
+    doc.insert("arch".into(), Json::Str(format!("{:?}", cfg.arch)));
+    doc.insert("feature_dim".into(), Json::Num(cfg.dim as f64));
+    doc.insert("warmup".into(), Json::Num(cfg.warmup as f64));
+    doc.insert("repeats".into(), Json::Num(cfg.repeats as f64));
+    doc.insert("entries".into(), entries.to_json());
+    doc.insert(
+        "counters".into(),
+        Json::Obj(
+            counters
+                .iter()
+                .map(|(k, &v)| (k.clone(), Json::Num(v as f64)))
+                .collect(),
+        ),
+    );
+    Json::Obj(doc)
+}
+
+/// Load a suite artifact, validating its schema version.
+fn load_suite(path: &str) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let doc = Json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    match doc["schema_version"].as_f64().map(|v| v as u64) {
+        Some(SCHEMA_VERSION) => Ok(doc),
+        Some(v) => Err(format!(
+            "{path}: schema_version {v}, expected {SCHEMA_VERSION}"
+        )),
+        None => Err(format!("{path}: missing schema_version")),
+    }
+}
+
+/// Per-kernel median wall times of one artifact, keyed by kernel name.
+fn per_kernel_medians(doc: &Json) -> BTreeMap<String, Vec<f64>> {
+    let mut map: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+    if let Some(entries) = doc["entries"].as_array() {
+        for e in entries {
+            if let (Some(kernel), Some(med)) = (e["kernel"].as_str(), e["median_s"].as_f64()) {
+                map.entry(kernel.to_string()).or_default().push(med);
+            }
+        }
+    }
+    map
+}
+
+/// Compare candidate vs baseline per kernel; fail on regressions beyond
+/// `threshold` (e.g. 0.25 = 25% slower median).
+fn gate(baseline: &str, candidate: &str, threshold: f64) -> ExitCode {
+    let (base, cand) = match (load_suite(baseline), load_suite(candidate)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (b, c) => {
+            for r in [b, c] {
+                if let Err(e) = r {
+                    eprintln!("bench gate: {e}");
+                }
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+    let base_by_kernel = per_kernel_medians(&base);
+    let cand_by_kernel = per_kernel_medians(&cand);
+
+    let mut rows = Vec::new();
+    let mut failures = Vec::new();
+    for (kernel, base_meds) in &base_by_kernel {
+        let Some(cand_meds) = cand_by_kernel.get(kernel) else {
+            failures.push(format!("{kernel}: missing from candidate"));
+            continue;
+        };
+        let b = median(base_meds);
+        let c = median(cand_meds);
+        let ratio = if b > 0.0 { c / b } else { 1.0 };
+        let verdict = if ratio > 1.0 + threshold {
+            failures.push(format!(
+                "{kernel}: median {:.3} ms -> {:.3} ms ({:+.1}%)",
+                b * 1e3,
+                c * 1e3,
+                (ratio - 1.0) * 100.0
+            ));
+            "FAIL"
+        } else {
+            "ok"
+        };
+        rows.push(vec![
+            kernel.clone(),
+            format!("{:.3}", b * 1e3),
+            format!("{:.3}", c * 1e3),
+            format!("{:+.1}%", (ratio - 1.0) * 100.0),
+            verdict.into(),
+        ]);
+    }
+    print_table(
+        &format!("bench gate (threshold {:.0}%)", threshold * 100.0),
+        &["kernel", "baseline ms", "candidate ms", "delta", "verdict"],
+        &rows,
+    );
+    if failures.is_empty() {
+        println!("\nbench gate: no kernel regressed beyond {threshold:.2}");
+        ExitCode::SUCCESS
+    } else {
+        println!("\nbench gate FAILED:");
+        for f in &failures {
+            println!("  {f}");
+        }
+        ExitCode::FAILURE
+    }
+}

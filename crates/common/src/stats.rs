@@ -37,6 +37,22 @@ pub fn mean_abs_deviation(xs: &[f64]) -> f64 {
     xs.iter().map(|x| (x - m).abs()).sum::<f64>() / xs.len() as f64
 }
 
+/// Median (midpoint of the two central values for even lengths);
+/// 0.0 for an empty slice. NaNs sort last.
+pub fn median(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Less));
+    let mid = sorted.len() / 2;
+    if sorted.len() % 2 == 1 {
+        sorted[mid]
+    } else {
+        0.5 * (sorted[mid - 1] + sorted[mid])
+    }
+}
+
 /// Maximum of a slice; 0.0 for an empty slice.
 pub fn max(xs: &[f64]) -> f64 {
     xs.iter().copied().fold(0.0f64, f64::max)
@@ -86,6 +102,14 @@ mod tests {
         assert_eq!(stddev(&[2.0, 2.0]), 0.0);
         let s = stddev(&[1.0, 3.0]);
         assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn median_basic() {
+        assert_eq!(median(&[]), 0.0);
+        assert_eq!(median(&[4.0]), 4.0);
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 3.0, 2.0]), 2.5);
     }
 
     #[test]

@@ -167,6 +167,8 @@ impl Gcn {
 
     /// Full forward pass.
     pub fn forward(&self, x: &DenseMatrix) -> Result<DenseMatrix> {
+        let _span = spmm_trace::span("gcn.forward");
+        spmm_trace::counter_add("gcn.layers_applied", self.layers.len() as u64);
         let mut h = x.clone();
         for layer in &self.layers {
             h = layer.forward(&self.spmm, &h)?;
@@ -181,6 +183,8 @@ impl Gcn {
     /// round per SpMM. Results are bit-identical to mapping
     /// [`Gcn::forward`] over the batch.
     pub fn forward_batch(&self, xs: &[DenseMatrix]) -> Result<Vec<DenseMatrix>> {
+        let _span = spmm_trace::span("gcn.forward_batch");
+        spmm_trace::counter_add("gcn.layers_applied", (self.layers.len() * xs.len()) as u64);
         let mut hs: Vec<DenseMatrix> = xs.to_vec();
         for layer in &self.layers {
             for h in &hs {

@@ -48,6 +48,8 @@ pub use spmm_reorder as reorder;
 pub use spmm_sim as sim;
 
 pub use spmm_common::{Result, SpmmError};
-pub use spmm_kernels::{AccConfig, ExecutionPlan, KernelKind, StageSpec, StageTiming, Workspace};
+pub use spmm_kernels::{
+    AccConfig, ExecutionPlan, KernelKind, PreparedKernel, StageSpec, StageTiming, Workspace,
+};
 pub use spmm_matrix::{CsrMatrix, DenseMatrix};
 pub use spmm_sim::{Arch, KernelReport, SimOptions};

@@ -33,6 +33,7 @@ pub fn block_power_iteration(
     iters: usize,
     arch: Arch,
 ) -> Result<PowerIterationResult> {
+    let _span = spmm_trace::span("solver.power_iteration");
     if a.nrows() != a.ncols() {
         return Err(SpmmError::DimensionMismatch {
             context: "power iteration requires a square matrix".into(),
@@ -58,6 +59,7 @@ pub fn block_power_iteration(
         orthonormalize(&mut q);
         iterations += 1;
     }
+    spmm_trace::counter_add("solver.iterations", iterations as u64);
     // Rayleigh quotients: λ_j ≈ q_jᵀ A q_j.
     handle.multiply_into(&q, &mut aq, &mut ws)?;
     let mut eigenvalues: Vec<f32> = (0..block)
@@ -107,6 +109,7 @@ pub fn personalized_pagerank(
     iters: usize,
     arch: Arch,
 ) -> Result<DenseMatrix> {
+    let _span = spmm_trace::span("solver.pagerank");
     if a.nrows() != a.ncols() {
         return Err(SpmmError::DimensionMismatch {
             context: "PageRank requires a square adjacency matrix".into(),
@@ -148,6 +151,7 @@ pub fn personalized_pagerank(
     }
     let mut x = e.clone();
     let mut px = DenseMatrix::zeros(n, sources.len());
+    spmm_trace::counter_add("solver.iterations", iters as u64);
     for _ in 0..iters {
         handle.multiply_into(&x, &mut px, &mut ws)?;
         // x = alpha * P x + (1 - alpha) * E.
@@ -168,6 +172,8 @@ pub fn jacobi_smooth(
     omega: f32,
     arch: Arch,
 ) -> Result<(DenseMatrix, f32)> {
+    let _span = spmm_trace::span("solver.jacobi");
+    spmm_trace::counter_add("solver.iterations", sweeps as u64);
     if a.nrows() != a.ncols() || a.nrows() != b.nrows() {
         return Err(SpmmError::DimensionMismatch {
             context: format!(

@@ -231,6 +231,8 @@ impl PreparedKernel {
     /// [`PreparedKernel::execute`] per matrix.
     pub fn execute_batch(&self, bs: &[DenseMatrix]) -> Result<Vec<DenseMatrix>> {
         use rayon::prelude::*;
+        let _span = spmm_trace::span("kernel.execute_batch");
+        spmm_trace::counter_add("kernel.batch_rhs", bs.len() as u64);
         if bs.is_empty() {
             return Ok(Vec::new());
         }
@@ -273,6 +275,9 @@ impl PreparedKernel {
         outs: &mut [DenseMatrix],
         ws: &mut Workspace,
     ) -> Result<()> {
+        // Worker-side span: one per batch group, recorded on the rayon
+        // thread that ran it (the trace layer tags spans per thread).
+        let _span = spmm_trace::span("kernel.execute_group");
         // Symmetric mode needs a permuted copy of every B alive at once,
         // which defeats the batched window loop — fall back to the
         // per-RHS path (still sharing this worker's staging buffers).
@@ -337,6 +342,8 @@ impl PreparedKernel {
         ws: &mut Workspace,
         parallel: bool,
     ) -> Result<()> {
+        let _span = spmm_trace::span("kernel.execute");
+        spmm_trace::counter_add("kernel.multiplies", 1);
         let Workspace {
             tiles,
             staging_b,

@@ -303,6 +303,18 @@ impl PlanStage for CompileStage {
     }
 }
 
+/// Span name for a pipeline stage (span names must be `'static`, so the
+/// four stage names map onto a fixed taxonomy under `plan.`).
+fn stage_span_name(stage: &str) -> &'static str {
+    match stage {
+        "reorder" => "plan.reorder",
+        "format_build" => "plan.format_build",
+        "balance" => "plan.balance",
+        "compile" => "plan.compile",
+        _ => "plan.stage",
+    }
+}
+
 fn missing_artifact(kernel: &str, what: &str) -> SpmmError {
     SpmmError::InvalidConfig(format!(
         "{kernel} trace compilation needs the {what} artifact; run the earlier stages first"
@@ -338,8 +350,10 @@ impl ExecutionPlan {
         if feature_dim == 0 {
             return Err(SpmmError::InvalidConfig("feature_dim must be > 0".into()));
         }
+        let _plan_span = spmm_trace::span("plan.build");
         let mut ctx = PlanContext::new(kind, m.clone(), arch, feature_dim, config);
         for stage in default_stages() {
+            let _stage_span = spmm_trace::span(stage_span_name(stage.name()));
             let t0 = Instant::now();
             stage.run(&mut ctx)?;
             ctx.timings.push(StageTiming {
@@ -347,6 +361,7 @@ impl ExecutionPlan {
                 seconds: t0.elapsed().as_secs_f64(),
             });
         }
+        spmm_trace::counter_add("plan.builds", 1);
         Ok(ExecutionPlan { ctx })
     }
 

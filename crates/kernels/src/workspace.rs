@@ -46,6 +46,9 @@ pub(crate) fn ensure_staging(
         .is_some_and(|m| m.nrows() == nrows && m.ncols() == ncols);
     if !fits {
         *slot = Some(DenseMatrix::zeros(nrows, ncols));
+        spmm_trace::counter_add("workspace.staging_allocs", 1);
+    } else {
+        spmm_trace::counter_add("workspace.staging_reuses", 1);
     }
     slot.as_mut().unwrap()
 }

@@ -174,6 +174,20 @@ impl Cache {
         self.misses
     }
 
+    /// Add this cache's hit/miss totals to the global trace counters
+    /// under `sim.l1.*` or `sim.l2.*` (no-op while tracing is disabled).
+    /// The engine calls this once per simulated kernel, so the counters
+    /// aggregate naturally across a measurement window.
+    pub fn emit_trace_counters(&self, level: MemLevel) {
+        let (hits, misses) = match level {
+            MemLevel::L1 => ("sim.l1.hits", "sim.l1.misses"),
+            MemLevel::L2 => ("sim.l2.hits", "sim.l2.misses"),
+            MemLevel::Dram => return,
+        };
+        spmm_trace::counter_add(hits, self.hits);
+        spmm_trace::counter_add(misses, self.misses);
+    }
+
     /// Hit rate in `[0, 1]`; 0 when untouched.
     pub fn hit_rate(&self) -> f64 {
         let total = self.hits + self.misses;

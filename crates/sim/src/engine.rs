@@ -182,6 +182,7 @@ pub fn simulate_traced(
     desc: &KernelDesc,
     opts: &SimOptions,
 ) -> (KernelReport, crate::export::ExecutionTrace) {
+    let _span = spmm_trace::span("sim.simulate");
     let num_tbs = desc.tbs.len();
     let active = num_tbs.clamp(1, arch.num_sms);
     let mut hier = Hierarchy::new(arch, opts, active);
@@ -286,6 +287,22 @@ pub fn simulate_traced(
     // Architecture-specific library tuning multiplier (cuSPARSE model).
     if desc.arch_boost > 0.0 {
         time_s /= desc.arch_boost;
+    }
+
+    // Bytes-moved / hit-rate / bubble statistics double as trace
+    // counters, so a measurement window over any number of simulations
+    // accumulates the same quantities the per-run report carries.
+    if spmm_trace::is_enabled() {
+        spmm_trace::counter_add("sim.dram_bytes", total.dram);
+        spmm_trace::counter_add("sim.l2_bytes", total.l2);
+        spmm_trace::counter_add("sim.l1_bytes", total.l1);
+        spmm_trace::counter_add("sim.tbs", num_tbs as u64);
+        spmm_trace::counter_add("sim.bubble_ns", (bubble_s * 1e9) as u64);
+        spmm_trace::counter_add("sim.busy_ns", (busy_s * 1e9) as u64);
+        for c in &hier.l1s {
+            c.emit_trace_counters(crate::cache::MemLevel::L1);
+        }
+        hier.l2.emit_trace_counters(crate::cache::MemLevel::L2);
     }
 
     let executed = desc.executed_flops();

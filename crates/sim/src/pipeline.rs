@@ -58,8 +58,32 @@ pub struct TbLatency {
 /// scalar kernels.
 const SCALAR_OVERLAP: f64 = 0.85;
 
+/// Emit a composed latency into the `sim.pipeline.*` trace counters
+/// (nanosecond granularity). Counter handles are resolved once and
+/// cached: `compose` runs per thread block, so the enabled path must be
+/// two `fetch_add`s, not two registry lookups.
+fn emit_latency_counters(lat: &TbLatency) {
+    use std::sync::OnceLock;
+    if !spmm_trace::is_enabled() {
+        return;
+    }
+    static BUBBLE: OnceLock<spmm_trace::Counter> = OnceLock::new();
+    static BUSY: OnceLock<spmm_trace::Counter> = OnceLock::new();
+    BUBBLE
+        .get_or_init(|| spmm_trace::counter("sim.pipeline.bubble_ns"))
+        .add((lat.bubbles * 1e9) as u64);
+    BUSY.get_or_init(|| spmm_trace::counter("sim.pipeline.busy_ns"))
+        .add((lat.total * 1e9) as u64);
+}
+
 /// Compose a TB's latency under the given pipeline.
 pub fn compose(kind: PipelineKind, t: &TbTimes) -> TbLatency {
+    let lat = compose_inner(kind, t);
+    emit_latency_counters(&lat);
+    lat
+}
+
+fn compose_inner(kind: PipelineKind, t: &TbTimes) -> TbLatency {
     let n = t.compute.len();
     debug_assert_eq!(t.load_b.len(), n);
     debug_assert_eq!(t.load_a.len(), n);

@@ -1,0 +1,178 @@
+//! Snapshot export: structured JSON (schema-versioned, round-trippable
+//! through [`spmm_common::json`]) and the Chrome tracing event format.
+
+use crate::registry::SpanData;
+use spmm_common::json::{Json, ToJson};
+use spmm_common::Result;
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::path::Path;
+
+/// Schema version stamped on every exported snapshot; bump on any
+/// incompatible change to the JSON layout.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// A consistent copy of the registry at one point in time.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TraceSnapshot {
+    /// Finished spans in completion order.
+    pub spans: Vec<SpanData>,
+    /// Counter totals by name.
+    pub counters: BTreeMap<String, u64>,
+}
+
+impl TraceSnapshot {
+    /// Total of the counter named `name` (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Sum of `dur_ns` over all spans named `name`.
+    pub fn span_total_ns(&self, name: &str) -> u64 {
+        self.spans
+            .iter()
+            .filter(|s| s.name == name)
+            .map(|s| s.dur_ns)
+            .sum()
+    }
+
+    /// Number of spans named `name`.
+    pub fn span_count(&self, name: &str) -> usize {
+        self.spans.iter().filter(|s| s.name == name).count()
+    }
+
+    /// Structured JSON document:
+    /// `{schema_version, spans: [{name, thread, depth, start_ns, dur_ns}], counters: {..}}`.
+    pub fn to_json(&self) -> Json {
+        let spans = self
+            .spans
+            .iter()
+            .map(|s| {
+                let mut m = BTreeMap::new();
+                m.insert("name".into(), Json::Str(s.name.clone()));
+                m.insert("thread".into(), Json::Num(s.thread as f64));
+                m.insert("depth".into(), Json::Num(s.depth as f64));
+                m.insert("start_ns".into(), Json::Num(s.start_ns as f64));
+                m.insert("dur_ns".into(), Json::Num(s.dur_ns as f64));
+                Json::Obj(m)
+            })
+            .collect();
+        let counters = self
+            .counters
+            .iter()
+            .map(|(k, &v)| (k.clone(), Json::Num(v as f64)))
+            .collect();
+        let mut doc = BTreeMap::new();
+        doc.insert("schema_version".into(), Json::Num(SCHEMA_VERSION as f64));
+        doc.insert("spans".into(), Json::Arr(spans));
+        doc.insert("counters".into(), Json::Obj(counters));
+        Json::Obj(doc)
+    }
+
+    /// Rebuild a snapshot from [`TraceSnapshot::to_json`] output.
+    pub fn from_json(doc: &Json) -> std::result::Result<TraceSnapshot, String> {
+        let version = doc["schema_version"]
+            .as_f64()
+            .ok_or("missing schema_version")? as u64;
+        if version != SCHEMA_VERSION {
+            return Err(format!(
+                "snapshot schema {version} unsupported (expected {SCHEMA_VERSION})"
+            ));
+        }
+        let num = |j: &Json, field: &str| -> std::result::Result<u64, String> {
+            j[field]
+                .as_f64()
+                .map(|x| x as u64)
+                .ok_or_else(|| format!("span field {field} missing or non-numeric"))
+        };
+        let spans = doc["spans"]
+            .as_array()
+            .ok_or("spans is not an array")?
+            .iter()
+            .map(|s| {
+                Ok(SpanData {
+                    name: s["name"].as_str().ok_or("span name missing")?.to_string(),
+                    thread: num(s, "thread")?,
+                    depth: num(s, "depth")? as u32,
+                    start_ns: num(s, "start_ns")?,
+                    dur_ns: num(s, "dur_ns")?,
+                })
+            })
+            .collect::<std::result::Result<Vec<_>, String>>()?;
+        let counters = doc["counters"]
+            .as_object()
+            .ok_or("counters is not an object")?
+            .iter()
+            .map(|(k, v)| {
+                v.as_f64()
+                    .map(|x| (k.clone(), x as u64))
+                    .ok_or_else(|| format!("counter {k} is non-numeric"))
+            })
+            .collect::<std::result::Result<BTreeMap<_, _>, String>>()?;
+        Ok(TraceSnapshot { spans, counters })
+    }
+
+    /// Chrome tracing document (a JSON array loadable in
+    /// `chrome://tracing` / Perfetto): one `"X"` complete event per span
+    /// (µs timestamps, `tid` = recording thread, depth in `args`) and
+    /// one `"C"` counter event per counter.
+    pub fn chrome_trace(&self) -> Json {
+        let mut events: Vec<Json> = self
+            .spans
+            .iter()
+            .map(|s| {
+                let mut m = BTreeMap::new();
+                m.insert("name".into(), Json::Str(s.name.clone()));
+                m.insert("cat".into(), Json::Str("span".into()));
+                m.insert("ph".into(), Json::Str("X".into()));
+                m.insert("ts".into(), Json::Num(s.start_ns as f64 / 1e3));
+                m.insert("dur".into(), Json::Num(s.dur_ns as f64 / 1e3));
+                m.insert("pid".into(), Json::Num(1.0));
+                m.insert("tid".into(), Json::Num(s.thread as f64));
+                let mut args = BTreeMap::new();
+                args.insert("depth".into(), Json::Num(s.depth as f64));
+                m.insert("args".into(), Json::Obj(args));
+                Json::Obj(m)
+            })
+            .collect();
+        let end_ts = self
+            .spans
+            .iter()
+            .map(|s| s.start_ns + s.dur_ns)
+            .max()
+            .unwrap_or(0) as f64
+            / 1e3;
+        for (name, &value) in &self.counters {
+            let mut m = BTreeMap::new();
+            m.insert("name".into(), Json::Str(name.clone()));
+            m.insert("ph".into(), Json::Str("C".into()));
+            m.insert("ts".into(), Json::Num(end_ts));
+            m.insert("pid".into(), Json::Num(1.0));
+            let mut args = BTreeMap::new();
+            args.insert("value".into(), Json::Num(value as f64));
+            m.insert("args".into(), Json::Obj(args));
+            events.push(Json::Obj(m));
+        }
+        Json::Arr(events)
+    }
+
+    /// Write the structured JSON document to `path`.
+    pub fn save_json(&self, path: impl AsRef<Path>) -> Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(self.to_json().to_string_pretty().as_bytes())?;
+        Ok(())
+    }
+
+    /// Write the Chrome tracing document to `path`.
+    pub fn save_chrome_trace(&self, path: impl AsRef<Path>) -> Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(self.chrome_trace().to_string_pretty().as_bytes())?;
+        Ok(())
+    }
+}
+
+impl ToJson for TraceSnapshot {
+    fn to_json(&self) -> Json {
+        TraceSnapshot::to_json(self)
+    }
+}

@@ -1,0 +1,49 @@
+//! Performance observability for the Acc-SpMM stack.
+//!
+//! The paper's argument is quantitative — bytes moved, cache hit rates,
+//! pipeline bubbles, load imbalance — so the reproduction needs a way to
+//! *record* those quantities across the whole stack and across runs.
+//! This crate provides the measurement substrate every other crate
+//! instruments itself with:
+//!
+//! * **RAII spans** ([`span`]): scoped wall-time measurements that nest
+//!   (a per-thread depth is recorded) and work from any thread. A span
+//!   is recorded when its guard drops.
+//! * **Atomic counters** ([`counter`], [`counter_add`]): named monotonic
+//!   `u64` totals (bytes, hits, iterations) aggregated across threads
+//!   with relaxed atomics.
+//! * **A global registry**: spans and counters accumulate into one
+//!   process-wide, thread-safe store; [`snapshot`] drains a consistent
+//!   copy and [`reset`] clears it between measurement windows.
+//! * **Export** ([`TraceSnapshot`]): structured JSON through
+//!   [`spmm_common::json`] and the Chrome tracing format
+//!   (`chrome://tracing` / Perfetto) for timeline eyeballing.
+//!
+//! Tracing is **disabled by default** and the disabled path is
+//! near-zero cost: one relaxed atomic load per call site, no clock
+//! reads, no locks, no allocation. Hot loops that fire even when a
+//! measurement window is open should hold a [`Counter`] handle instead
+//! of calling [`counter_add`] (the handle skips the registry lookup).
+//!
+//! ```
+//! spmm_trace::enable();
+//! {
+//!     let _outer = spmm_trace::span("demo.outer");
+//!     let _inner = spmm_trace::span("demo.inner");
+//!     spmm_trace::counter_add("demo.bytes", 4096);
+//! }
+//! let snap = spmm_trace::snapshot();
+//! assert!(snap.spans.len() >= 2);
+//! assert!(snap.counter("demo.bytes") >= 4096);
+//! spmm_trace::disable();
+//! spmm_trace::reset();
+//! ```
+
+mod export;
+mod registry;
+
+pub use export::TraceSnapshot;
+pub use registry::{
+    counter, counter_add, disable, enable, is_enabled, reset, snapshot, span, Counter, SpanData,
+    SpanGuard,
+};

@@ -1,0 +1,190 @@
+//! The process-wide span/counter registry and its cheap front doors.
+
+use std::cell::Cell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::export::TraceSnapshot;
+
+/// One finished span as stored in the registry and in snapshots.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanData {
+    /// Span name (dot-separated taxonomy, e.g. `plan.reorder`).
+    pub name: String,
+    /// Small dense thread id (assigned in first-use order, not the OS id).
+    pub thread: u64,
+    /// Nesting depth on its thread at open time (0 = top level).
+    pub depth: u32,
+    /// Open time in nanoseconds since the registry epoch.
+    pub start_ns: u64,
+    /// Wall duration in nanoseconds.
+    pub dur_ns: u64,
+}
+
+struct Registry {
+    epoch: Instant,
+    spans: Mutex<Vec<SpanData>>,
+    /// Counter cells are leaked once per distinct name so [`Counter`]
+    /// handles can hold a `'static` reference and add lock-free.
+    counters: Mutex<BTreeMap<&'static str, &'static AtomicU64>>,
+    next_thread: AtomicU64,
+}
+
+/// The enabled flag lives outside the lazy registry so the disabled
+/// fast path is a single relaxed load with no initialization check.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+fn registry() -> &'static Registry {
+    static REG: OnceLock<Registry> = OnceLock::new();
+    REG.get_or_init(|| Registry {
+        epoch: Instant::now(),
+        spans: Mutex::new(Vec::new()),
+        counters: Mutex::new(BTreeMap::new()),
+        next_thread: AtomicU64::new(0),
+    })
+}
+
+thread_local! {
+    static THREAD_ID: u64 = registry().next_thread.fetch_add(1, Ordering::Relaxed);
+    static DEPTH: Cell<u32> = const { Cell::new(0) };
+}
+
+/// Turn recording on. Spans/counters at already-running call sites take
+/// effect immediately; a span opened while disabled stays unrecorded
+/// even if recording is enabled before it closes.
+pub fn enable() {
+    ENABLED.store(true, Ordering::SeqCst);
+}
+
+/// Turn recording off. Spans opened while enabled still record on drop.
+pub fn disable() {
+    ENABLED.store(false, Ordering::SeqCst);
+}
+
+/// Is recording currently on?
+#[inline]
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Open a named span; the returned guard records the span when dropped.
+/// When tracing is disabled this is one atomic load and a no-op guard.
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard {
+    if !is_enabled() {
+        return SpanGuard { live: None };
+    }
+    let reg = registry();
+    let depth = DEPTH.with(|d| {
+        let v = d.get();
+        d.set(v + 1);
+        v
+    });
+    SpanGuard {
+        live: Some(LiveSpan {
+            name,
+            depth,
+            start_ns: reg.epoch.elapsed().as_nanos() as u64,
+        }),
+    }
+}
+
+struct LiveSpan {
+    name: &'static str,
+    depth: u32,
+    start_ns: u64,
+}
+
+/// RAII guard returned by [`span`]; dropping it closes the span.
+#[must_use = "a span measures the scope holding its guard; binding to _ drops it immediately"]
+pub struct SpanGuard {
+    live: Option<LiveSpan>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(live) = self.live.take() else {
+            return;
+        };
+        DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+        let reg = registry();
+        let end_ns = reg.epoch.elapsed().as_nanos() as u64;
+        let rec = SpanData {
+            name: live.name.to_string(),
+            thread: THREAD_ID.with(|t| *t),
+            depth: live.depth,
+            start_ns: live.start_ns,
+            dur_ns: end_ns.saturating_sub(live.start_ns),
+        };
+        reg.spans.lock().unwrap().push(rec);
+    }
+}
+
+/// A handle to one named counter. Adding through a handle is a single
+/// relaxed `fetch_add` (no registry lock), so hot loops should resolve
+/// the handle once (e.g. in a `OnceLock`) and reuse it.
+#[derive(Debug, Clone, Copy)]
+pub struct Counter {
+    cell: &'static AtomicU64,
+}
+
+impl Counter {
+    /// Add `delta`; a no-op while tracing is disabled.
+    #[inline]
+    pub fn add(&self, delta: u64) {
+        if is_enabled() {
+            self.cell.fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+
+    /// Current total.
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// Resolve (registering on first use) the counter named `name`.
+pub fn counter(name: &'static str) -> Counter {
+    let reg = registry();
+    let mut map = reg.counters.lock().unwrap();
+    let cell = *map
+        .entry(name)
+        .or_insert_with(|| Box::leak(Box::new(AtomicU64::new(0))));
+    Counter { cell }
+}
+
+/// Add `delta` to the counter named `name`. Convenience for cold call
+/// sites; when tracing is disabled this is one atomic load and returns.
+#[inline]
+pub fn counter_add(name: &'static str, delta: u64) {
+    if !is_enabled() {
+        return;
+    }
+    counter(name).cell.fetch_add(delta, Ordering::Relaxed);
+}
+
+/// Copy out everything recorded so far (spans in completion order plus
+/// all counter totals). Recording state is unaffected.
+pub fn snapshot() -> TraceSnapshot {
+    let reg = registry();
+    let spans = reg.spans.lock().unwrap().clone();
+    let counters = reg
+        .counters
+        .lock()
+        .unwrap()
+        .iter()
+        .map(|(&k, v)| (k.to_string(), v.load(Ordering::Relaxed)))
+        .collect();
+    TraceSnapshot { spans, counters }
+}
+
+/// Clear recorded spans and zero every counter (names stay registered).
+pub fn reset() {
+    let reg = registry();
+    reg.spans.lock().unwrap().clear();
+    for cell in reg.counters.lock().unwrap().values() {
+        cell.store(0, Ordering::Relaxed);
+    }
+}

@@ -1,0 +1,169 @@
+//! Trace-layer behavior: nesting across threads, counter aggregation,
+//! and export round-trips. Every test mutates the process-global
+//! registry, so they serialize on one lock.
+
+use spmm_common::json::Json;
+use spmm_trace::TraceSnapshot;
+use std::sync::Mutex;
+
+static SERIAL: Mutex<()> = Mutex::new(());
+
+/// Enable tracing on a clean registry; disable + clear on drop even if
+/// the test panics (so one failure doesn't poison the others' state).
+struct Window<'a>(#[allow(dead_code)] std::sync::MutexGuard<'a, ()>);
+
+fn window() -> Window<'static> {
+    let guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    spmm_trace::reset();
+    spmm_trace::enable();
+    Window(guard)
+}
+
+impl Drop for Window<'_> {
+    fn drop(&mut self) {
+        spmm_trace::disable();
+        spmm_trace::reset();
+    }
+}
+
+#[test]
+fn spans_nest_per_thread_and_record_across_threads() {
+    let _w = window();
+    let workers = 4;
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let _outer = spmm_trace::span("test.outer");
+                for _ in 0..3 {
+                    let _inner = spmm_trace::span("test.inner");
+                    let _leaf = spmm_trace::span("test.leaf");
+                }
+            });
+        }
+    });
+    let snap = spmm_trace::snapshot();
+    assert_eq!(snap.span_count("test.outer"), workers);
+    assert_eq!(snap.span_count("test.inner"), 3 * workers);
+    assert_eq!(snap.span_count("test.leaf"), 3 * workers);
+    for s in &snap.spans {
+        let depth = match s.name.as_str() {
+            "test.outer" => 0,
+            "test.inner" => 1,
+            "test.leaf" => 2,
+            other => panic!("unexpected span {other}"),
+        };
+        assert_eq!(s.depth, depth, "{} at wrong depth", s.name);
+    }
+    // Each worker got its own thread id, and within a thread every
+    // child span lies inside its parent's window.
+    let outer_threads: std::collections::BTreeSet<u64> = snap
+        .spans
+        .iter()
+        .filter(|s| s.name == "test.outer")
+        .map(|s| s.thread)
+        .collect();
+    assert_eq!(outer_threads.len(), workers, "one outer span per thread");
+    for outer in snap.spans.iter().filter(|s| s.name == "test.outer") {
+        for child in snap
+            .spans
+            .iter()
+            .filter(|s| s.thread == outer.thread && s.depth > 0)
+        {
+            assert!(child.start_ns >= outer.start_ns);
+            assert!(child.start_ns + child.dur_ns <= outer.start_ns + outer.dur_ns);
+        }
+    }
+}
+
+#[test]
+fn counters_aggregate_across_threads() {
+    let _w = window();
+    let threads = 8;
+    let adds_per_thread = 1000u64;
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                let handle = spmm_trace::counter("test.handle_total");
+                for _ in 0..adds_per_thread {
+                    handle.add(3);
+                    spmm_trace::counter_add("test.named_total", 2);
+                }
+            });
+        }
+    });
+    let snap = spmm_trace::snapshot();
+    assert_eq!(
+        snap.counter("test.handle_total"),
+        3 * adds_per_thread * threads as u64
+    );
+    assert_eq!(
+        snap.counter("test.named_total"),
+        2 * adds_per_thread * threads as u64
+    );
+    // Reset zeroes totals but keeps names registered.
+    spmm_trace::reset();
+    let snap = spmm_trace::snapshot();
+    assert_eq!(snap.counter("test.handle_total"), 0);
+    assert!(snap.counters.contains_key("test.named_total"));
+}
+
+#[test]
+fn disabled_call_sites_record_nothing() {
+    let _w = window();
+    spmm_trace::disable();
+    {
+        let _s = spmm_trace::span("test.invisible");
+        spmm_trace::counter_add("test.invisible", 7);
+        spmm_trace::counter("test.invisible_handle").add(7);
+    }
+    let snap = spmm_trace::snapshot();
+    assert_eq!(snap.span_count("test.invisible"), 0);
+    assert_eq!(snap.counter("test.invisible"), 0);
+    assert_eq!(snap.counter("test.invisible_handle"), 0);
+}
+
+#[test]
+fn snapshot_round_trips_through_common_json() {
+    let _w = window();
+    {
+        let _a = spmm_trace::span("test.roundtrip.a");
+        let _b = spmm_trace::span("test.roundtrip.b");
+        spmm_trace::counter_add("test.roundtrip.bytes", 123_456);
+    }
+    let snap = spmm_trace::snapshot();
+    assert!(!snap.spans.is_empty());
+
+    // Structured JSON: render → parse → rebuild must be lossless.
+    let text = snap.to_json().to_string_pretty();
+    let parsed = Json::parse(&text).expect("snapshot JSON parses");
+    let rebuilt = TraceSnapshot::from_json(&parsed).expect("snapshot rebuilds");
+    assert_eq!(rebuilt, snap);
+
+    // Chrome trace: must parse, with one X event per span (µs units)
+    // and one C event per counter.
+    let chrome = snap.chrome_trace().to_string_pretty();
+    let events = Json::parse(&chrome).expect("chrome JSON parses");
+    let events = events.as_array().unwrap();
+    let xs: Vec<&Json> = events.iter().filter(|e| e["ph"] == "X").collect();
+    let cs: Vec<&Json> = events.iter().filter(|e| e["ph"] == "C").collect();
+    assert_eq!(xs.len(), snap.spans.len());
+    assert_eq!(cs.len(), snap.counters.len());
+    for (event, span) in xs.iter().zip(snap.spans.iter()) {
+        assert_eq!(event["name"].as_str(), Some(span.name.as_str()));
+        let us = event["dur"].as_f64().unwrap();
+        assert!((us * 1e3 - span.dur_ns as f64).abs() < 1.0);
+    }
+}
+
+#[test]
+fn bad_snapshot_documents_are_rejected() {
+    for bad in [
+        r#"{"spans": [], "counters": {}}"#,
+        r#"{"schema_version": 999, "spans": [], "counters": {}}"#,
+        r#"{"schema_version": 1, "spans": 3, "counters": {}}"#,
+        r#"{"schema_version": 1, "spans": [{"name": "x"}], "counters": {}}"#,
+    ] {
+        let doc = Json::parse(bad).unwrap();
+        assert!(TraceSnapshot::from_json(&doc).is_err(), "{bad}");
+    }
+}

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Performance regression gate over the perfsuite artifact.
+#
+#   scripts/bench_gate.sh                      gate BENCH_perfsuite.json against
+#                                              results/bench_baseline.json,
+#                                              running `perfsuite --quick` first
+#                                              if the candidate is missing
+#   scripts/bench_gate.sh path/to/suite.json   gate an explicit artifact
+#   scripts/bench_gate.sh --update-baseline    re-measure and refresh the
+#                                              checked-in baseline
+#
+# Fails (non-zero exit) when any kernel's median wall time regressed by
+# more than BENCH_GATE_THRESHOLD (default 0.25 = 25%) relative to the
+# baseline. Wall times are machine-dependent: refresh the baseline with
+# --update-baseline when moving to different hardware.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+BASELINE=results/bench_baseline.json
+THRESHOLD=${BENCH_GATE_THRESHOLD:-0.25}
+
+if [[ "${1:-}" == "--update-baseline" ]]; then
+  cargo run --release -p spmm-bench --bin perfsuite -- --quick --out "$BASELINE"
+  echo "baseline refreshed: $BASELINE"
+  exit 0
+fi
+
+CANDIDATE=${1:-BENCH_perfsuite.json}
+if [[ ! -f "$CANDIDATE" ]]; then
+  echo "==> no $CANDIDATE yet; running perfsuite --quick"
+  cargo run --release -p spmm-bench --bin perfsuite -- --quick --out "$CANDIDATE"
+fi
+
+cargo run --release -p spmm-bench --bin perfsuite -- \
+  --gate "$BASELINE" "$CANDIDATE" --threshold "$THRESHOLD"
