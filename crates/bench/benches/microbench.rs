@@ -150,7 +150,11 @@ fn simulation_engine(c: &mut Criterion) {
     use acc_spmm::KernelKind;
     use spmm_kernels::PreparedKernel;
     let m = bench_matrix();
-    let prepared = PreparedKernel::prepare(KernelKind::AccSpmm, &m, Arch::A800, 128).unwrap();
+    let prepared = PreparedKernel::builder(KernelKind::AccSpmm, &m)
+        .arch(Arch::A800)
+        .feature_dim(128)
+        .build()
+        .unwrap();
     let opts = SimOptions::scaled(8.0);
     let mut g = c.benchmark_group("simulator");
     g.sample_size(10);

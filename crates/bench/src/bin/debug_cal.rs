@@ -36,7 +36,11 @@ fn main() {
     }
     let opts = sim_options_for(d);
     for kind in [KernelKind::DtcSpmm, KernelKind::AccSpmm] {
-        let k = PreparedKernel::prepare(kind, &m, Arch::A800, 128).unwrap();
+        let k = PreparedKernel::builder(kind, &m)
+            .arch(Arch::A800)
+            .feature_dim(128)
+            .build()
+            .unwrap();
         let plan = k.plan().unwrap();
         let r = k.profile(Arch::A800, &opts);
         println!(
@@ -59,8 +63,12 @@ fn main() {
     // Acc with balancing off, for isolation.
     let mut cfg = AccConfig::full();
     cfg.balance = spmm_balance::BalanceStrategy::None;
-    let k =
-        PreparedKernel::prepare_with_config(KernelKind::AccSpmm, &m, Arch::A800, 128, cfg).unwrap();
+    let k = PreparedKernel::builder(KernelKind::AccSpmm, &m)
+        .arch(Arch::A800)
+        .feature_dim(128)
+        .config(cfg)
+        .build()
+        .unwrap();
     let r = k.profile(Arch::A800, &opts);
     println!(
         "  Acc(noLB)  tbs {:>6} | t {:.3e}s gflops {:>8.1} util {:.2}",

@@ -36,7 +36,11 @@ fn run_with(d: &Dataset, ibd_gate: f64, cap: usize) -> f64 {
     // Prepare normally to get the reordered matrix, then re-plan with
     // the swept parameters and splice the plan into a fresh trace.
     let cfg = AccConfig::full();
-    let k = PreparedKernel::prepare_with_config(KernelKind::AccSpmm, &m, arch, DETAIL_DIM, cfg)
+    let k = PreparedKernel::builder(KernelKind::AccSpmm, &m)
+        .arch(arch)
+        .feature_dim(DETAIL_DIM)
+        .config(cfg)
+        .build()
         .expect("prepare");
     let f = BitTcf::from_csr(k.csr());
     let bpw: Vec<usize> = f

@@ -72,7 +72,11 @@ fn main() {
     let mut rows = Vec::new();
     let mut records = Vec::new();
     for (name, a) in &matrices {
-        let handle = AccSpmm::new(a, Arch::A800, dim).expect("preprocess");
+        let handle = AccSpmm::builder(a)
+            .arch(Arch::A800)
+            .feature_dim(dim)
+            .build()
+            .expect("preprocess");
         let bs: Vec<DenseMatrix> = (0..batch)
             .map(|i| DenseMatrix::random(a.nrows(), dim, 40 + i as u64))
             .collect();

@@ -34,14 +34,12 @@ fn main() {
     let mut gains = Vec::new();
     for d in &TABLE2 {
         let m = spmm_bench::build_dataset(d);
-        let k = PreparedKernel::prepare_with_config(
-            KernelKind::AccSpmm,
-            &m,
-            arch,
-            DETAIL_DIM,
-            AccConfig::full(),
-        )
-        .expect("prepare");
+        let k = PreparedKernel::builder(KernelKind::AccSpmm, &m)
+            .arch(arch)
+            .feature_dim(DETAIL_DIM)
+            .config(AccConfig::full())
+            .build()
+            .expect("prepare");
         let desc = k.trace();
         let spec = arch.spec();
         let k8_opts = sim_options_for(d);

@@ -44,14 +44,12 @@ fn main() {
         // Timing effect: scale the MMA term by the precision's relative
         // throughput; memory traffic unchanged.
         let opts = sim_options_for(d);
-        let k = PreparedKernel::prepare_with_config(
-            KernelKind::AccSpmm,
-            &m,
-            Arch::A800,
-            DETAIL_DIM,
-            AccConfig::full(),
-        )
-        .expect("prepare");
+        let k = PreparedKernel::builder(KernelKind::AccSpmm, &m)
+            .arch(Arch::A800)
+            .feature_dim(DETAIL_DIM)
+            .config(AccConfig::full())
+            .build()
+            .expect("prepare");
         let base_desc = k.trace();
         let tf32_time = {
             let r = spmm_sim::simulate(&Arch::A800.spec(), &base_desc, &opts);

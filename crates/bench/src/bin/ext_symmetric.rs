@@ -45,7 +45,11 @@ fn main() {
             let run = |symmetric: bool| {
                 let mut cfg = AccConfig::full();
                 cfg.symmetric_reorder = symmetric;
-                PreparedKernel::prepare_with_config(KernelKind::AccSpmm, &m, arch, n, cfg)
+                PreparedKernel::builder(KernelKind::AccSpmm, &m)
+                    .arch(arch)
+                    .feature_dim(n)
+                    .config(cfg)
+                    .build()
                     .expect("prepare")
                     .profile(arch, &opts)
             };

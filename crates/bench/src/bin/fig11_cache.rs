@@ -34,9 +34,12 @@ fn main() {
         let run = |reorder: Algorithm| {
             let mut cfg = AccConfig::full();
             cfg.reorder = reorder;
-            let k =
-                PreparedKernel::prepare_with_config(KernelKind::AccSpmm, &m, arch, DETAIL_DIM, cfg)
-                    .expect("prepare");
+            let k = PreparedKernel::builder(KernelKind::AccSpmm, &m)
+                .arch(arch)
+                .feature_dim(DETAIL_DIM)
+                .config(cfg)
+                .build()
+                .expect("prepare");
             k.profile(arch, &opts)
         };
         let orig = run(Algorithm::Identity);

@@ -36,7 +36,11 @@ fn main() {
         let run = |acc_pipeline: bool| {
             let mut cfg = AccConfig::full();
             cfg.acc_pipeline = acc_pipeline;
-            PreparedKernel::prepare_with_config(KernelKind::AccSpmm, &m, arch, DETAIL_DIM, cfg)
+            PreparedKernel::builder(KernelKind::AccSpmm, &m)
+                .arch(arch)
+                .feature_dim(DETAIL_DIM)
+                .config(cfg)
+                .build()
                 .expect("prepare")
                 .profile(arch, &opts)
         };

@@ -42,7 +42,11 @@ fn main() {
             let run = |balance: BalanceStrategy| {
                 let mut cfg = AccConfig::full();
                 cfg.balance = balance;
-                PreparedKernel::prepare_with_config(KernelKind::AccSpmm, &m, arch, DETAIL_DIM, cfg)
+                PreparedKernel::builder(KernelKind::AccSpmm, &m)
+                    .arch(arch)
+                    .feature_dim(DETAIL_DIM)
+                    .config(cfg)
+                    .build()
                     .expect("prepare")
                     .profile(arch, &opts)
             };
@@ -51,14 +55,12 @@ fn main() {
             let ibd = {
                 let mut cfg = AccConfig::full();
                 cfg.balance = BalanceStrategy::AccAdaptive;
-                let k = PreparedKernel::prepare_with_config(
-                    KernelKind::AccSpmm,
-                    &m,
-                    arch,
-                    DETAIL_DIM,
-                    cfg,
-                )
-                .expect("prepare");
+                let k = PreparedKernel::builder(KernelKind::AccSpmm, &m)
+                    .arch(arch)
+                    .feature_dim(DETAIL_DIM)
+                    .config(cfg)
+                    .build()
+                    .expect("prepare");
                 let plan = k.plan().unwrap().clone();
                 (plan.ibd, plan.applied)
             };

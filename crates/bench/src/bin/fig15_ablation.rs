@@ -33,10 +33,13 @@ fn main() {
         let mut base_time = 0.0f64;
         for (stage, means) in stage_means.iter_mut().enumerate() {
             let cfg = AccConfig::ablation_stage(stage);
-            let r =
-                PreparedKernel::prepare_with_config(KernelKind::AccSpmm, &m, arch, DETAIL_DIM, cfg)
-                    .expect("prepare")
-                    .profile(arch, &opts);
+            let r = PreparedKernel::builder(KernelKind::AccSpmm, &m)
+                .arch(arch)
+                .feature_dim(DETAIL_DIM)
+                .config(cfg)
+                .build()
+                .expect("prepare")
+                .profile(arch, &opts);
             if stage == 0 {
                 base_time = r.time_s;
             }

@@ -17,16 +17,17 @@
 //! suite artifacts and exits non-zero when any kernel's median wall time
 //! regressed by more than the threshold (see `scripts/bench_gate.sh`).
 
-use acc_spmm::matrix::{CsrMatrix, Dataset, DenseMatrix, TABLE2};
+use acc_spmm::matrix::{gen, CsrMatrix, Dataset, DenseMatrix, TABLE2};
 use acc_spmm::sim::Arch;
-use acc_spmm::{KernelKind, PreparedKernel, Workspace};
+use acc_spmm::{AccSpmm, Engine, KernelKind, PreparedKernel, Workspace};
 use spmm_bench::{f2, print_table};
 use spmm_common::json::{Json, ToJson};
 use spmm_common::stats::median;
 use std::collections::BTreeMap;
 use std::io::Write as _;
 use std::process::ExitCode;
-use std::time::Instant;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Bump on any incompatible change to the artifact layout.
 const SCHEMA_VERSION: u64 = 1;
@@ -145,6 +146,20 @@ fn run_suite(cfg: &Config) -> ExitCode {
         }
     }
 
+    // Multi-client serving scenario: the same workload through the
+    // engine's micro-batcher vs independent multiply loops.
+    let (scenario_entries, scenario) = engine_scenario(cfg);
+    for e in &scenario_entries {
+        rows.push(vec![
+            e.dataset.clone(),
+            e.kernel.clone(),
+            format!("{:.3}", e.median_s * 1e3),
+            format!("{:.3}", e.min_s * 1e3),
+            f2(e.gflops),
+        ]);
+    }
+    entries.extend(scenario_entries);
+
     spmm_trace::disable();
     let counters = spmm_trace::snapshot().counters;
 
@@ -153,8 +168,15 @@ fn run_suite(cfg: &Config) -> ExitCode {
         &["dataset", "kernel", "median ms", "min ms", "GFLOP/s"],
         &rows,
     );
+    if let Some(speedup) = scenario["speedup"].as_f64() {
+        let bit = matches!(scenario["bit_identical"], Json::Bool(true));
+        eprintln!(
+            "engine scenario: {speedup:.2}x aggregate throughput vs direct loops \
+             (bit-identical: {bit})"
+        );
+    }
 
-    let doc = suite_json(cfg, mode, &entries, &counters);
+    let doc = suite_json(cfg, mode, &entries, &scenario, &counters);
     let text = doc.to_string_pretty();
     match std::fs::File::create(&cfg.out).and_then(|mut f| f.write_all(text.as_bytes())) {
         Ok(()) => {
@@ -171,7 +193,11 @@ fn run_suite(cfg: &Config) -> ExitCode {
 /// Prepare once, then warmup + timed repeats of the zero-alloc multiply.
 fn measure(dataset: &str, kind: KernelKind, m: &CsrMatrix, cfg: &Config) -> Entry {
     let t0 = Instant::now();
-    let k = PreparedKernel::prepare(kind, m, cfg.arch, cfg.dim).expect("prepare");
+    let k = PreparedKernel::builder(kind, m)
+        .arch(cfg.arch)
+        .feature_dim(cfg.dim)
+        .build()
+        .expect("prepare");
     let prep_s = t0.elapsed().as_secs_f64();
 
     let b = DenseMatrix::random(m.ncols(), cfg.dim, 0xBEEF);
@@ -203,10 +229,163 @@ fn measure(dataset: &str, kind: KernelKind, m: &CsrMatrix, cfg: &Config) -> Entr
     }
 }
 
+/// The multi-client serving scenario: `SCENARIO_CLIENTS` threads share
+/// one preprocessed matrix; the same request stream runs (a) as
+/// independent [`AccSpmm::multiply`] loops and (b) through the
+/// [`Engine`]'s plan cache + micro-batching worker pool. Reports
+/// aggregate throughput for both and verifies the engine's outputs are
+/// bit-identical to the direct path.
+fn engine_scenario(cfg: &Config) -> (Vec<Entry>, Json) {
+    const CLIENTS: usize = 8;
+    let _s = spmm_trace::span("perfsuite.engine_scenario");
+    let dim = 16; // decode-bound regime where batching pays
+    let rounds = if cfg.quick { 12 } else { 24 };
+    let runs = cfg.repeats.clamp(1, 3);
+    let m = gen::rmat(
+        gen::RmatConfig {
+            scale: 12,
+            avg_deg: 12.0,
+            ..Default::default()
+        },
+        0xACC,
+    );
+
+    let t0 = Instant::now();
+    let handle = Arc::new(
+        AccSpmm::builder(&m)
+            .arch(cfg.arch)
+            .feature_dim(dim)
+            .build()
+            .expect("prepare scenario handle"),
+    );
+    let prep_s = t0.elapsed().as_secs_f64();
+
+    // Per-client request streams and (untimed) reference outputs.
+    let bs: Vec<Vec<DenseMatrix>> = (0..CLIENTS)
+        .map(|c| {
+            (0..rounds)
+                .map(|r| DenseMatrix::random(m.ncols(), dim, (c * 1000 + r) as u64 + 1))
+                .collect()
+        })
+        .collect();
+    let expected: Vec<Vec<DenseMatrix>> = bs
+        .iter()
+        .map(|cb| cb.iter().map(|b| handle.multiply(b).unwrap()).collect())
+        .collect();
+
+    // (a) Direct: every client runs its own multiply loop on the shared
+    // handle — the pre-engine serving story.
+    let mut direct_times = Vec::new();
+    for _ in 0..runs {
+        let t = Instant::now();
+        std::thread::scope(|s| {
+            for cb in &bs {
+                let handle = Arc::clone(&handle);
+                s.spawn(move || {
+                    for b in cb {
+                        std::hint::black_box(handle.multiply(b).expect("direct multiply"));
+                    }
+                });
+            }
+        });
+        direct_times.push(t.elapsed().as_secs_f64());
+    }
+
+    // (b) Engine: clients pipeline their stream through one shared
+    // session; the worker coalesces same-key requests into batches.
+    let engine = Engine::builder()
+        .workers(1)
+        .max_batch(CLIENTS)
+        .batch_window(Duration::from_micros(200))
+        .queue_capacity(CLIENTS * rounds + CLIENTS)
+        .build()
+        .expect("engine");
+    let session = engine.install(handle.prepared().clone());
+
+    let mut engine_times = Vec::new();
+    let mut bit_identical = true;
+    for run in 0..runs {
+        let t = Instant::now();
+        let outputs: Vec<Vec<DenseMatrix>> = std::thread::scope(|s| {
+            let handles: Vec<_> = bs
+                .iter()
+                .map(|cb| {
+                    let session = session.clone();
+                    s.spawn(move || {
+                        let tickets: Vec<_> = cb
+                            .iter()
+                            .map(|b| session.submit(b.clone()).expect("submit"))
+                            .collect();
+                        tickets
+                            .into_iter()
+                            .map(|t| t.wait().expect("engine multiply"))
+                            .collect::<Vec<DenseMatrix>>()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        engine_times.push(t.elapsed().as_secs_f64());
+        if run + 1 == runs {
+            bit_identical = outputs.iter().zip(&expected).all(|(got, want)| {
+                got.iter()
+                    .zip(want)
+                    .all(|(g, w)| g.as_slice() == w.as_slice())
+            });
+        }
+    }
+    let stats = engine.stats();
+
+    let total = (CLIENTS * rounds) as f64;
+    let flops = 2.0 * m.nnz() as f64 * dim as f64 * total;
+    let direct_s = median(&direct_times);
+    let engine_s = median(&engine_times);
+    let entry = |kernel: &str, secs: f64, mins: f64| Entry {
+        dataset: "rmat12-serve".into(),
+        kernel: kernel.into(),
+        rows: m.nrows() as f64,
+        nnz: m.nnz() as f64,
+        feature_dim: dim as f64,
+        prep_s,
+        median_s: secs / total,
+        min_s: mins / total,
+        gflops: flops / secs / 1e9,
+    };
+    let entries = vec![
+        entry(
+            "direct-8-clients",
+            direct_s,
+            direct_times.iter().copied().fold(f64::INFINITY, f64::min),
+        ),
+        entry(
+            "engine-8-clients",
+            engine_s,
+            engine_times.iter().copied().fold(f64::INFINITY, f64::min),
+        ),
+    ];
+
+    let mut sj = BTreeMap::new();
+    sj.insert("clients".into(), Json::Num(CLIENTS as f64));
+    sj.insert("rounds_per_client".into(), Json::Num(rounds as f64));
+    sj.insert("feature_dim".into(), Json::Num(dim as f64));
+    sj.insert("direct_s".into(), Json::Num(direct_s));
+    sj.insert("engine_s".into(), Json::Num(engine_s));
+    sj.insert("speedup".into(), Json::Num(direct_s / engine_s));
+    sj.insert("bit_identical".into(), Json::Bool(bit_identical));
+    sj.insert("batches".into(), Json::Num(stats.batches as f64));
+    sj.insert(
+        "batch_occupancy".into(),
+        Json::Num(stats.batched_requests as f64 / stats.batches.max(1) as f64),
+    );
+    sj.insert("plan_builds".into(), Json::Num(stats.plan_builds as f64));
+    (entries, Json::Obj(sj))
+}
+
 fn suite_json(
     cfg: &Config,
     mode: &str,
     entries: &[Entry],
+    scenario: &Json,
     counters: &BTreeMap<String, u64>,
 ) -> Json {
     let mut doc = BTreeMap::new();
@@ -218,6 +397,7 @@ fn suite_json(
     doc.insert("warmup".into(), Json::Num(cfg.warmup as f64));
     doc.insert("repeats".into(), Json::Num(cfg.repeats as f64));
     doc.insert("entries".into(), entries.to_json());
+    doc.insert("engine_scenario".into(), scenario.clone());
     doc.insert(
         "counters".into(),
         Json::Obj(
@@ -302,6 +482,24 @@ fn gate(baseline: &str, candidate: &str, threshold: f64) -> ExitCode {
             verdict.into(),
         ]);
     }
+    // The serving scenario must stay present, correct, and faster than
+    // the direct loops. The floor is conservative (the committed
+    // artifact shows the full margin) to tolerate machine variance.
+    if base["engine_scenario"].as_object().is_some() {
+        match cand["engine_scenario"]["speedup"].as_f64() {
+            None => failures.push("engine_scenario: missing from candidate".into()),
+            Some(s) if s < 1.2 => {
+                failures.push(format!("engine_scenario: speedup {s:.2}x below 1.2x floor"))
+            }
+            Some(_) => {}
+        }
+        if cand["engine_scenario"].as_object().is_some()
+            && !matches!(cand["engine_scenario"]["bit_identical"], Json::Bool(true))
+        {
+            failures.push("engine_scenario: results not bit-identical".into());
+        }
+    }
+
     print_table(
         &format!("bench gate (threshold {:.0}%)", threshold * 100.0),
         &["kernel", "baseline ms", "candidate ms", "delta", "verdict"],

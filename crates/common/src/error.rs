@@ -3,12 +3,43 @@
 use std::fmt;
 
 /// Errors produced by the Acc-SpMM library and its substrates.
+///
+/// The taxonomy is typed so callers can *match* on failure classes
+/// instead of parsing strings — in particular the serving-engine paths
+/// ([`SpmmError::Build`], [`SpmmError::Capacity`], [`SpmmError::Timeout`])
+/// and the shape checks every kernel entry point performs
+/// ([`SpmmError::Shape`]). The enum is `#[non_exhaustive]`: future
+/// failure classes (e.g. new engine admission states) can be added
+/// without a breaking change, so downstream matches need a wildcard arm.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum SpmmError {
-    /// Matrix dimensions do not agree for the requested operation.
-    DimensionMismatch {
-        /// Human-readable description of the two shapes involved.
+    /// Preprocessing (plan construction) failed for a kernel.
+    Build {
+        /// Display name of the kernel whose plan failed to build.
+        kernel: &'static str,
+        /// The underlying failure, flattened to a string.
+        detail: String,
+    },
+    /// Matrix/operand shapes do not agree for the requested operation.
+    Shape {
+        /// Human-readable description of the shapes involved.
         context: String,
+    },
+    /// A bounded resource (request queue, cache admission) is full and
+    /// the request was rejected — the backpressure signal.
+    Capacity {
+        /// Which bounded resource rejected the request.
+        what: &'static str,
+        /// The resource's configured capacity.
+        capacity: usize,
+    },
+    /// A deadline elapsed before the request completed.
+    Timeout {
+        /// What was being waited on.
+        what: &'static str,
+        /// How long was waited/allowed, in milliseconds.
+        waited_ms: u64,
     },
     /// An index (row, column, or offset) is out of bounds.
     IndexOutOfBounds {
@@ -38,11 +69,37 @@ pub enum SpmmError {
     InvalidConfig(String),
 }
 
+impl SpmmError {
+    /// Shorthand for a [`SpmmError::Shape`] with a formatted context.
+    pub fn shape(context: impl Into<String>) -> Self {
+        SpmmError::Shape {
+            context: context.into(),
+        }
+    }
+
+    /// Shorthand for a [`SpmmError::Build`] wrapping an underlying error.
+    pub fn build(kernel: &'static str, detail: impl fmt::Display) -> Self {
+        SpmmError::Build {
+            kernel,
+            detail: detail.to_string(),
+        }
+    }
+}
+
 impl fmt::Display for SpmmError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SpmmError::DimensionMismatch { context } => {
-                write!(f, "dimension mismatch: {context}")
+            SpmmError::Build { kernel, detail } => {
+                write!(f, "plan build failed for {kernel}: {detail}")
+            }
+            SpmmError::Shape { context } => {
+                write!(f, "shape mismatch: {context}")
+            }
+            SpmmError::Capacity { what, capacity } => {
+                write!(f, "{what} at capacity ({capacity}); request rejected")
+            }
+            SpmmError::Timeout { what, waited_ms } => {
+                write!(f, "{what} timed out after {waited_ms} ms")
             }
             SpmmError::IndexOutOfBounds { what, index, bound } => {
                 write!(f, "{what} index {index} out of bounds (< {bound} required)")
@@ -72,9 +129,7 @@ mod tests {
 
     #[test]
     fn display_formats_are_informative() {
-        let e = SpmmError::DimensionMismatch {
-            context: "A is 4x4, B is 5x2".into(),
-        };
+        let e = SpmmError::shape("A is 4x4, B is 5x2");
         assert!(e.to_string().contains("4x4"));
 
         let e = SpmmError::IndexOutOfBounds {
@@ -89,6 +144,32 @@ mod tests {
             detail: "bad float".into(),
         };
         assert!(e.to_string().contains("line 3"));
+    }
+
+    #[test]
+    fn engine_taxonomy_is_matchable() {
+        let e = SpmmError::Capacity {
+            what: "engine queue",
+            capacity: 16,
+        };
+        assert!(matches!(e, SpmmError::Capacity { capacity: 16, .. }));
+        assert!(e.to_string().contains("capacity (16)"));
+
+        let e = SpmmError::Timeout {
+            what: "multiply request",
+            waited_ms: 25,
+        };
+        assert!(matches!(e, SpmmError::Timeout { waited_ms: 25, .. }));
+        assert!(e.to_string().contains("25 ms"));
+
+        let e = SpmmError::build("Acc-SpMM", "feature_dim must be > 0");
+        assert!(matches!(
+            e,
+            SpmmError::Build {
+                kernel: "Acc-SpMM",
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -88,7 +88,7 @@ fn cmd_multiply(path: &str, rest: &[String]) {
     let (n, arch) = parse_n_arch(rest);
     let b = DenseMatrix::random(m.ncols(), n, 1);
     let t0 = std::time::Instant::now();
-    let handle = match AccSpmm::new(&m, arch, n) {
+    let handle = match AccSpmm::builder(&m).arch(arch).feature_dim(n).build() {
         Ok(h) => h,
         Err(e) => {
             eprintln!("preprocessing failed: {e}");
@@ -147,7 +147,11 @@ fn cmd_trace(path: &str, out: &str, rest: &[String]) {
     use acc_spmm::kernels::{KernelKind, PreparedKernel};
     let m = load(path);
     let (n, arch) = parse_n_arch(rest);
-    let k = PreparedKernel::prepare(KernelKind::AccSpmm, &m, arch, n).expect("prepare");
+    let k = PreparedKernel::builder(KernelKind::AccSpmm, &m)
+        .arch(arch)
+        .feature_dim(n)
+        .build()
+        .expect("prepare");
     let desc = {
         let mut d = k.trace();
         d.arch_boost = 1.0;

@@ -28,7 +28,10 @@ pub fn compare_all(
 ) -> Result<Vec<ComparisonRow>> {
     let mut reports = Vec::with_capacity(KernelKind::ALL.len());
     for kind in KernelKind::ALL {
-        let prepared = PreparedKernel::prepare(kind, a, arch, feature_dim)?;
+        let prepared = PreparedKernel::builder(kind, a)
+            .arch(arch)
+            .feature_dim(feature_dim)
+            .build()?;
         reports.push((kind, prepared.profile(arch, opts)));
     }
     let baseline_time = reports

@@ -17,7 +17,7 @@ use spmm_sim::Arch;
 /// `A + I` — the standard GCN propagation operator (Kipf & Welling).
 pub fn gcn_normalize(a: &CsrMatrix) -> Result<CsrMatrix> {
     if a.nrows() != a.ncols() {
-        return Err(SpmmError::DimensionMismatch {
+        return Err(SpmmError::Shape {
             context: format!("adjacency must be square, got {}x{}", a.nrows(), a.ncols()),
         });
     }
@@ -110,7 +110,7 @@ impl GcnLayer {
 
     fn check_input(&self, h: &DenseMatrix) -> Result<()> {
         if h.ncols() != self.in_dim() {
-            return Err(SpmmError::DimensionMismatch {
+            return Err(SpmmError::Shape {
                 context: format!(
                     "layer expects {} input features, got {}",
                     self.in_dim(),
@@ -149,7 +149,10 @@ impl Gcn {
         let normalized = gcn_normalize(a)?;
         // Preprocess for the widest feature dimension in play.
         let max_dim = *widths.iter().max().unwrap();
-        let spmm = AccSpmm::new(&normalized, arch, max_dim)?;
+        let spmm = AccSpmm::builder(&normalized)
+            .arch(arch)
+            .feature_dim(max_dim)
+            .build()?;
         let layers = widths
             .windows(2)
             .enumerate()
@@ -197,6 +200,36 @@ impl Gcn {
                 .collect::<Result<Vec<_>>>()?;
         }
         Ok(hs)
+    }
+
+    /// Hand this model's preprocessed adjacency to a serving
+    /// [`Engine`](spmm_engine::Engine): the already-built
+    /// [`PreparedKernel`](spmm_kernels::PreparedKernel) is installed as
+    /// a ready cache entry (no rebuild), and the returned
+    /// [`Session`](spmm_engine::Session) routes multiplies through the
+    /// engine's shared micro-batching queue — so several models (or
+    /// several replicas of this one) coalesce their aggregations.
+    pub fn serve(&self, engine: &spmm_engine::Engine) -> spmm_engine::Session {
+        engine.install(self.spmm.prepared().clone())
+    }
+
+    /// [`Gcn::forward`] with the aggregation routed through a serving
+    /// engine session (obtained from [`Gcn::serve`]). Bit-identical to
+    /// [`Gcn::forward`].
+    pub fn forward_served(
+        &self,
+        session: &spmm_engine::Session,
+        x: &DenseMatrix,
+    ) -> Result<DenseMatrix> {
+        let _span = spmm_trace::span("gcn.forward_served");
+        spmm_trace::counter_add("gcn.layers_applied", self.layers.len() as u64);
+        let mut h = x.clone();
+        for layer in &self.layers {
+            layer.check_input(&h)?;
+            let aggregated = session.multiply(&h)?;
+            h = layer.combine(aggregated)?;
+        }
+        Ok(h)
     }
 
     /// The underlying SpMM handle (for profiling).
@@ -256,7 +289,11 @@ mod tests {
     fn layer_forward_shapes_and_activation() {
         let a = graph();
         let normalized = gcn_normalize(&a).unwrap();
-        let spmm = AccSpmm::new(&normalized, Arch::A800, 32).unwrap();
+        let spmm = AccSpmm::builder(&normalized)
+            .arch(Arch::A800)
+            .feature_dim(32)
+            .build()
+            .unwrap();
         let layer = GcnLayer::new(32, 8, Activation::Relu, 1);
         let x = DenseMatrix::random(a.nrows(), 32, 2);
         let h = layer.forward(&spmm, &x).unwrap();
@@ -288,7 +325,11 @@ mod tests {
         // spmm-path forward == dense-reference forward within TF32 tol.
         let a = graph();
         let normalized = gcn_normalize(&a).unwrap();
-        let spmm = AccSpmm::new(&normalized, Arch::A800, 16).unwrap();
+        let spmm = AccSpmm::builder(&normalized)
+            .arch(Arch::A800)
+            .feature_dim(16)
+            .build()
+            .unwrap();
         let w = DenseMatrix::random(16, 8, 7);
         let layer = GcnLayer::with_weight(w.clone(), Activation::None);
         let x = DenseMatrix::random(a.nrows(), 16, 8);

@@ -8,7 +8,14 @@ use spmm_sim::{Arch, KernelReport, SimOptions};
 /// Statistics gathered during preprocessing — the quantities the paper's
 /// detailed evaluation reports (MeanNNZTC, IBD, block counts, format
 /// footprint, preprocessing wall time).
-#[derive(Debug, Clone, Copy)]
+///
+/// `#[non_exhaustive]`: the struct keeps growing (cache/engine serving
+/// stats are natural next fields), so downstream code constructs it via
+/// the library and reads fields rather than destructuring exhaustively.
+/// Deliberately `Clone` and **not** `Copy` so adding heap-backed fields
+/// later is not a breaking change.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct PreprocessStats {
     /// Rows of the operand.
     pub nrows: usize,
@@ -45,21 +52,58 @@ pub struct AccSpmm {
     stats: PreprocessStats,
 }
 
-impl AccSpmm {
-    /// Preprocess with the full Acc-SpMM configuration.
-    pub fn new(a: &CsrMatrix, arch: Arch, feature_dim: usize) -> Result<Self> {
-        Self::with_config(a, arch, feature_dim, AccConfig::full())
+/// Builder for [`AccSpmm`] — the single construction path for the
+/// library handle.
+///
+/// Defaults: [`Arch::A800`], feature dimension 128, [`AccConfig::full`].
+///
+/// ```
+/// use acc_spmm::prelude::*;
+/// use acc_spmm::matrix::gen;
+///
+/// let a = gen::uniform_random(256, 6.0, 1);
+/// let h = AccSpmm::builder(&a)
+///     .arch(Arch::H100)
+///     .feature_dim(64)
+///     .build()
+///     .unwrap();
+/// assert_eq!(h.arch(), Arch::H100);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SpmmBuilder<'a> {
+    a: &'a CsrMatrix,
+    arch: Arch,
+    feature_dim: usize,
+    config: AccConfig,
+}
+
+impl<'a> SpmmBuilder<'a> {
+    /// Target architecture for planning and profiling.
+    pub fn arch(mut self, arch: Arch) -> Self {
+        self.arch = arch;
+        self
     }
 
-    /// Preprocess with an explicit (e.g. ablation) configuration.
-    pub fn with_config(
-        a: &CsrMatrix,
-        arch: Arch,
-        feature_dim: usize,
-        config: AccConfig,
-    ) -> Result<Self> {
-        let prepared =
-            PreparedKernel::prepare_with_config(KernelKind::AccSpmm, a, arch, feature_dim, config)?;
+    /// Feature dimension (columns of B) the plan is specialized for.
+    pub fn feature_dim(mut self, n: usize) -> Self {
+        self.feature_dim = n;
+        self
+    }
+
+    /// Explicit (e.g. ablation) Acc-SpMM configuration.
+    pub fn config(mut self, config: AccConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Run preprocessing (reorder → BitTCF → balance → compile) and
+    /// return the reusable handle.
+    pub fn build(self) -> Result<AccSpmm> {
+        let prepared = PreparedKernel::builder(KernelKind::AccSpmm, self.a)
+            .arch(self.arch)
+            .feature_dim(self.feature_dim)
+            .config(self.config)
+            .build()?;
 
         // Everything below reads artifacts the pipeline already built —
         // no partition or format is recomputed for bookkeeping.
@@ -82,9 +126,42 @@ impl AccSpmm {
         };
         Ok(AccSpmm {
             prepared,
-            arch,
+            arch: self.arch,
             stats,
         })
+    }
+}
+
+impl AccSpmm {
+    /// Start building a handle over operand `a`.
+    pub fn builder(a: &CsrMatrix) -> SpmmBuilder<'_> {
+        SpmmBuilder {
+            a,
+            arch: Arch::A800,
+            feature_dim: 128,
+            config: AccConfig::full(),
+        }
+    }
+
+    /// Preprocess with the full Acc-SpMM configuration.
+    #[deprecated(note = "use `AccSpmm::builder(a).arch(..).feature_dim(..).build()`")]
+    pub fn new(a: &CsrMatrix, arch: Arch, feature_dim: usize) -> Result<Self> {
+        Self::builder(a).arch(arch).feature_dim(feature_dim).build()
+    }
+
+    /// Preprocess with an explicit (e.g. ablation) configuration.
+    #[deprecated(note = "use `AccSpmm::builder(a).config(..).build()`")]
+    pub fn with_config(
+        a: &CsrMatrix,
+        arch: Arch,
+        feature_dim: usize,
+        config: AccConfig,
+    ) -> Result<Self> {
+        Self::builder(a)
+            .arch(arch)
+            .feature_dim(feature_dim)
+            .config(config)
+            .build()
     }
 
     /// Functional SpMM: `C = A × B` in original row order, TF32
@@ -153,7 +230,11 @@ mod tests {
     fn multiply_matches_reference() {
         let a = molecule_union(400, 6, 14, true, 1);
         let b = DenseMatrix::random(a.nrows(), 16, 2);
-        let h = AccSpmm::new(&a, Arch::H100, 16).unwrap();
+        let h = AccSpmm::builder(&a)
+            .arch(Arch::H100)
+            .feature_dim(16)
+            .build()
+            .unwrap();
         let c = h.multiply(&b).unwrap();
         let reference = a.spmm_dense(&b).unwrap();
         let tol = tf32_tolerance(a.nrows());
@@ -163,7 +244,11 @@ mod tests {
     #[test]
     fn stats_are_coherent() {
         let a = molecule_union(1024, 6, 16, true, 3);
-        let h = AccSpmm::new(&a, Arch::A800, 128).unwrap();
+        let h = AccSpmm::builder(&a)
+            .arch(Arch::A800)
+            .feature_dim(128)
+            .build()
+            .unwrap();
         let s = h.stats();
         assert_eq!(s.nnz, a.nnz());
         assert_eq!(s.num_windows, a.nrows().div_ceil(8));
@@ -177,7 +262,11 @@ mod tests {
     fn balanced_flag_tracks_skew() {
         // Uniform molecules: no balancing. Hubby cluster graph: balanced.
         let a = molecule_union(1024, 6, 14, false, 4);
-        let h = AccSpmm::new(&a, Arch::A800, 128).unwrap();
+        let h = AccSpmm::builder(&a)
+            .arch(Arch::A800)
+            .feature_dim(128)
+            .build()
+            .unwrap();
         assert!(!h.stats().balanced, "IBD {} should be low", h.stats().ibd);
 
         let skew = clustered(
@@ -193,14 +282,44 @@ mod tests {
             },
             5,
         );
-        let h = AccSpmm::new(&skew, Arch::A800, 128).unwrap();
+        let h = AccSpmm::builder(&skew)
+            .arch(Arch::A800)
+            .feature_dim(128)
+            .build()
+            .unwrap();
         assert!(h.stats().ibd > 0.0);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_constructors_match_builder() {
+        // The pre-builder constructors must keep working (and agree with
+        // the builder bit-for-bit) until they are removed.
+        let a = molecule_union(256, 6, 14, true, 8);
+        let b = DenseMatrix::random(a.nrows(), 32, 9);
+        let via_builder = AccSpmm::builder(&a)
+            .arch(Arch::H100)
+            .feature_dim(32)
+            .build()
+            .unwrap();
+        let via_new = AccSpmm::new(&a, Arch::H100, 32).unwrap();
+        let via_config = AccSpmm::with_config(&a, Arch::H100, 32, AccConfig::full()).unwrap();
+        let expect = via_builder.multiply(&b).unwrap();
+        assert_eq!(via_new.multiply(&b).unwrap().as_slice(), expect.as_slice());
+        assert_eq!(
+            via_config.multiply(&b).unwrap().as_slice(),
+            expect.as_slice()
+        );
     }
 
     #[test]
     fn profile_reports_positive_throughput() {
         let a = molecule_union(512, 6, 14, true, 6);
-        let h = AccSpmm::new(&a, Arch::Rtx4090, 128).unwrap();
+        let h = AccSpmm::builder(&a)
+            .arch(Arch::Rtx4090)
+            .feature_dim(128)
+            .build()
+            .unwrap();
         let r = h.profile_default();
         assert!(r.time_s > 0.0);
         assert!(r.gflops > 0.0);

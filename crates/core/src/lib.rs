@@ -9,15 +9,15 @@
 //! ## Quickstart
 //!
 //! ```
-//! use acc_spmm::{AccSpmm, Arch};
-//! use spmm_matrix::{gen, DenseMatrix};
+//! use acc_spmm::prelude::*;
+//! use acc_spmm::matrix::gen;
 //!
 //! // A power-law adjacency matrix and a feature matrix.
 //! let a = gen::uniform_random(512, 8.0, 42);
 //! let b = DenseMatrix::random(512, 128, 7);
 //!
 //! // Preprocess once (reorder → BitTCF → balance plan) ...
-//! let handle = AccSpmm::new(&a, Arch::A800, 128).unwrap();
+//! let handle = AccSpmm::builder(&a).arch(Arch::A800).feature_dim(128).build().unwrap();
 //! // ... multiply many times,
 //! let c = handle.multiply(&b).unwrap();
 //! // ... and profile on the simulated A800.
@@ -26,20 +26,55 @@
 //! assert_eq!(c.nrows(), 512);
 //! ```
 //!
+//! ## Concurrent serving
+//!
+//! For many clients sharing preprocessed operands, the [`Engine`]
+//! (from `spmm-engine`, re-exported here) adds a shared plan cache and
+//! a micro-batching worker pool:
+//!
+//! ```
+//! use acc_spmm::prelude::*;
+//! use acc_spmm::matrix::gen;
+//!
+//! let engine = Engine::builder().workers(1).build().unwrap();
+//! let a = gen::uniform_random(256, 6.0, 3);
+//! let session = engine.session(&a).feature_dim(32).open().unwrap();
+//! let b = DenseMatrix::random(256, 32, 4);
+//! let c = session.multiply(&b).unwrap();
+//! assert_eq!(c.nrows(), 256);
+//! ```
+//!
 //! The substrate crates are re-exported under their natural names:
 //! [`matrix`], [`graph`], [`reorder`], [`format`](mod@crate::format), [`sim`], [`balance`],
-//! [`kernels`].
+//! [`kernels`], [`engine`].
 
 pub mod comparison;
 pub mod gnn;
 pub mod handle;
 pub mod solvers;
 
+/// The user-facing surface in one import: `use acc_spmm::prelude::*;`.
+///
+/// Covers the amortized single-handle path ([`AccSpmm`] via
+/// [`SpmmBuilder`]), the concurrent serving path ([`Engine`],
+/// [`Session`], [`Ticket`], [`Submit`]), and the types every program
+/// touches ([`CsrMatrix`], [`DenseMatrix`], [`Arch`], [`KernelKind`],
+/// [`AccConfig`], [`Workspace`], [`Result`], [`SpmmError`]).
+pub mod prelude {
+    pub use crate::handle::{AccSpmm, PreprocessStats, SpmmBuilder};
+    pub use spmm_common::{Result, SpmmError};
+    pub use spmm_engine::{Engine, EngineBuilder, EngineStats, Session, Submit, Ticket};
+    pub use spmm_kernels::{AccConfig, KernelKind, PreparedKernel, Workspace};
+    pub use spmm_matrix::{CsrMatrix, DenseMatrix};
+    pub use spmm_sim::Arch;
+}
+
 pub use comparison::{compare_all, ComparisonRow};
 pub use gnn::{gcn_normalize, Gcn, GcnLayer};
-pub use handle::{AccSpmm, PreprocessStats};
+pub use handle::{AccSpmm, PreprocessStats, SpmmBuilder};
 
 pub use spmm_balance as balance;
+pub use spmm_engine as engine;
 pub use spmm_format as format;
 pub use spmm_graph as graph;
 pub use spmm_kernels as kernels;
@@ -48,6 +83,7 @@ pub use spmm_reorder as reorder;
 pub use spmm_sim as sim;
 
 pub use spmm_common::{Result, SpmmError};
+pub use spmm_engine::{Engine, EngineBuilder, EngineStats, Session, Submit, Ticket};
 pub use spmm_kernels::{
     AccConfig, ExecutionPlan, KernelKind, PreparedKernel, StageSpec, StageTiming, Workspace,
 };

@@ -35,7 +35,7 @@ pub fn block_power_iteration(
 ) -> Result<PowerIterationResult> {
     let _span = spmm_trace::span("solver.power_iteration");
     if a.nrows() != a.ncols() {
-        return Err(SpmmError::DimensionMismatch {
+        return Err(SpmmError::Shape {
             context: "power iteration requires a square matrix".into(),
         });
     }
@@ -45,7 +45,7 @@ pub fn block_power_iteration(
             a.nrows()
         )));
     }
-    let handle = AccSpmm::new(a, arch, block)?;
+    let handle = AccSpmm::builder(a).arch(arch).feature_dim(block).build()?;
     // One workspace + one output buffer serve every iteration: the
     // steady-state loop allocates nothing.
     let mut ws = handle.workspace();
@@ -111,7 +111,7 @@ pub fn personalized_pagerank(
 ) -> Result<DenseMatrix> {
     let _span = spmm_trace::span("solver.pagerank");
     if a.nrows() != a.ncols() {
-        return Err(SpmmError::DimensionMismatch {
+        return Err(SpmmError::Shape {
             context: "PageRank requires a square adjacency matrix".into(),
         });
     }
@@ -141,7 +141,10 @@ pub fn personalized_pagerank(
         }
     }
     let p = CsrMatrix::from_coo(&coo);
-    let handle = AccSpmm::new(&p, arch, sources.len())?;
+    let handle = AccSpmm::builder(&p)
+        .arch(arch)
+        .feature_dim(sources.len())
+        .build()?;
     let mut ws = handle.workspace();
 
     // Restart matrix E: one-hot columns at each source.
@@ -175,7 +178,7 @@ pub fn jacobi_smooth(
     let _span = spmm_trace::span("solver.jacobi");
     spmm_trace::counter_add("solver.iterations", sweeps as u64);
     if a.nrows() != a.ncols() || a.nrows() != b.nrows() {
-        return Err(SpmmError::DimensionMismatch {
+        return Err(SpmmError::Shape {
             context: format!(
                 "A is {}x{}, B is {}x{}",
                 a.nrows(),
@@ -198,7 +201,10 @@ pub fn jacobi_smooth(
             }
         }
     }
-    let handle = AccSpmm::new(a, arch, b.ncols())?;
+    let handle = AccSpmm::builder(a)
+        .arch(arch)
+        .feature_dim(b.ncols())
+        .build()?;
     let mut ws = handle.workspace();
     let n = b.ncols();
     let mut x = DenseMatrix::zeros(a.nrows(), n);

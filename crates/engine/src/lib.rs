@@ -1,0 +1,641 @@
+//! # spmm-engine — a concurrent serving layer for Acc-SpMM
+//!
+//! The paper's deployment regime (§5) preprocesses a sparse matrix once
+//! and multiplies it against thousands of dense operands. This crate
+//! turns that pattern into a *service*: many concurrent clients, a
+//! shared stock of preprocessing artifacts, and explicit robustness
+//! semantics under load.
+//!
+//! Three cooperating pieces:
+//!
+//! * **Plan cache** ([`cache::PlanCache`]) — bounded LRU keyed by
+//!   matrix content fingerprint + kernel + [`Arch`] + feature dim +
+//!   [`AccConfig`]. Concurrent sessions for the same operand share one
+//!   [`PreparedKernel`] behind an `Arc`; a per-key in-flight guard makes
+//!   N simultaneous first-lookups run exactly one build.
+//! * **Micro-batching worker pool** — submitted multiplies land in a
+//!   bounded queue; workers coalesce same-key requests (up to
+//!   `max_batch`, waiting at most `batch_window` for stragglers) into a
+//!   single [`PreparedKernel::execute_batch_into`] call, which decodes
+//!   each compressed block once for the whole batch and reuses a
+//!   per-worker [`Workspace`] for a zero-alloc steady state.
+//! * **Robustness semantics** — a full queue *rejects* immediately
+//!   ([`Submit::Rejected`], typed as [`SpmmError::Capacity`]);
+//!   per-request deadlines expire queued work ([`SpmmError::Timeout`]);
+//!   and when a tensor-core plan fails to build, the session degrades
+//!   gracefully to the scalar CSR path (cuSPARSE-like kernel) instead
+//!   of failing the client.
+//!
+//! Everything is observable through `spmm-trace` counters
+//! (`engine.enqueued` / `engine.dequeued` for queue depth,
+//! `engine.batches` / `engine.batched_requests` for occupancy,
+//! `engine.cache_hits` / `engine.cache_misses`, `engine.rejected`,
+//! `engine.timed_out`, `engine.degraded_builds`) and the in-process
+//! [`EngineStats`] snapshot, which works even with tracing disabled.
+//!
+//! ```
+//! use spmm_engine::Engine;
+//! use spmm_kernels::KernelKind;
+//! use spmm_matrix::{gen, DenseMatrix};
+//!
+//! let engine = Engine::builder().workers(2).build().unwrap();
+//! let a = gen::uniform_random(256, 6.0, 42);
+//! let session = engine.session(&a).feature_dim(32).open().unwrap();
+//!
+//! // Synchronous round trip...
+//! let b = DenseMatrix::random(256, 32, 7);
+//! let c = session.multiply(&b).unwrap();
+//! assert_eq!(c.nrows(), 256);
+//!
+//! // ...or pipelined: submit now, redeem later.
+//! let ticket = session.submit(b.clone()).unwrap();
+//! assert_eq!(ticket.wait().unwrap(), c);
+//! assert_eq!(engine.stats().cache_misses, 1);
+//! ```
+
+pub mod cache;
+pub mod queue;
+
+pub use cache::{CacheStats, PlanCache, PlanKey};
+pub use queue::Ticket;
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use spmm_common::{Result, SpmmError};
+use spmm_kernels::{AccConfig, KernelKind, PreparedKernel, Workspace, WorkspacePool};
+use spmm_matrix::{CsrMatrix, DenseMatrix};
+use spmm_sim::Arch;
+
+use queue::{Push, Request, RequestQueue, TicketShared};
+
+/// Tunables for [`Engine`]; construct via [`Engine::builder`].
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Worker threads executing queued multiplies. `0` is allowed: no
+    /// background threads; drive the engine inline with
+    /// [`Engine::poll`] (single-threaded embeddings and tests).
+    pub workers: usize,
+    /// Bounded queue length; submissions beyond it are rejected.
+    pub queue_capacity: usize,
+    /// How long a worker waits for same-key stragglers before running a
+    /// short batch.
+    pub batch_window: Duration,
+    /// Maximum requests coalesced into one batch.
+    pub max_batch: usize,
+    /// Plans the LRU cache retains.
+    pub plan_cache_capacity: usize,
+    /// Deadline applied to every request that doesn't carry its own.
+    pub default_deadline: Option<Duration>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            workers: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            queue_capacity: 256,
+            batch_window: Duration::from_micros(200),
+            max_batch: 16,
+            plan_cache_capacity: 32,
+            default_deadline: None,
+        }
+    }
+}
+
+/// Builder for [`Engine`] — the single construction path.
+#[derive(Debug, Clone, Default)]
+pub struct EngineBuilder {
+    config: EngineConfig,
+}
+
+impl EngineBuilder {
+    /// Number of worker threads (0 = inline [`Engine::poll`] mode).
+    pub fn workers(mut self, n: usize) -> Self {
+        self.config.workers = n;
+        self
+    }
+
+    /// Bounded queue capacity (must be ≥ 1).
+    pub fn queue_capacity(mut self, n: usize) -> Self {
+        self.config.queue_capacity = n;
+        self
+    }
+
+    /// Micro-batch coalescing window.
+    pub fn batch_window(mut self, window: Duration) -> Self {
+        self.config.batch_window = window;
+        self
+    }
+
+    /// Maximum batch size (must be ≥ 1).
+    pub fn max_batch(mut self, n: usize) -> Self {
+        self.config.max_batch = n;
+        self
+    }
+
+    /// Plan cache capacity (must be ≥ 1).
+    pub fn plan_cache_capacity(mut self, n: usize) -> Self {
+        self.config.plan_cache_capacity = n;
+        self
+    }
+
+    /// Default per-request deadline.
+    pub fn default_deadline(mut self, d: Duration) -> Self {
+        self.config.default_deadline = Some(d);
+        self
+    }
+
+    /// Validate the configuration and start the worker pool.
+    pub fn build(self) -> Result<Engine> {
+        let c = &self.config;
+        if c.queue_capacity == 0 || c.max_batch == 0 || c.plan_cache_capacity == 0 {
+            return Err(SpmmError::InvalidConfig(
+                "engine queue_capacity, max_batch and plan_cache_capacity must be >= 1".into(),
+            ));
+        }
+        let shared = Arc::new(EngineShared {
+            config: self.config.clone(),
+            cache: PlanCache::new(c.plan_cache_capacity),
+            queue: RequestQueue::new(c.queue_capacity),
+            pool: WorkspacePool::new((c.workers + 1) * 2),
+            metrics: Metrics::default(),
+        });
+        let workers = (0..c.workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("spmm-engine-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn engine worker")
+            })
+            .collect();
+        Ok(Engine { shared, workers })
+    }
+}
+
+/// Monotonic engine counters, kept in-process (and mirrored to
+/// `spmm-trace` when a measurement window is open).
+#[derive(Debug, Default)]
+struct Metrics {
+    enqueued: AtomicU64,
+    dequeued: AtomicU64,
+    rejected: AtomicU64,
+    timed_out: AtomicU64,
+    batches: AtomicU64,
+    batched_requests: AtomicU64,
+    degraded_builds: AtomicU64,
+}
+
+impl Metrics {
+    fn bump(&self, which: &AtomicU64, trace_name: &'static str, delta: u64) {
+        which.fetch_add(delta, Ordering::Relaxed);
+        spmm_trace::counter_add(trace_name, delta);
+    }
+}
+
+/// A point-in-time snapshot of every engine counter.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct EngineStats {
+    /// Requests admitted to the queue.
+    pub enqueued: u64,
+    /// Requests taken off the queue (executed or expired).
+    pub dequeued: u64,
+    /// Submissions rejected by backpressure.
+    pub rejected: u64,
+    /// Requests dropped because their deadline passed while queued.
+    pub timed_out: u64,
+    /// Micro-batches executed.
+    pub batches: u64,
+    /// Requests carried inside those batches (occupancy =
+    /// `batched_requests / batches`).
+    pub batched_requests: u64,
+    /// Sessions that fell back to the scalar CSR path after a
+    /// tensor-core plan build failed.
+    pub degraded_builds: u64,
+    /// Plan-cache lookups served from a ready entry.
+    pub cache_hits: u64,
+    /// Plan-cache lookups that required (or waited on) a build.
+    pub cache_misses: u64,
+    /// Plans actually built.
+    pub plan_builds: u64,
+    /// Plans evicted by the LRU bound.
+    pub cache_evictions: u64,
+    /// Requests currently queued.
+    pub queue_depth: u64,
+}
+
+struct EngineShared {
+    config: EngineConfig,
+    cache: PlanCache,
+    queue: RequestQueue,
+    pool: WorkspacePool,
+    metrics: Metrics,
+}
+
+/// The serving engine: a plan cache plus a micro-batching worker pool.
+///
+/// Thread-safe by construction — share it behind an `Arc` (or just
+/// open [`Session`]s, which are `Clone + Send + Sync` and keep the
+/// engine's shared state alive). Dropping the engine shuts the queue
+/// down, drains already-queued requests, and joins the workers.
+pub struct Engine {
+    shared: Arc<EngineShared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Engine {
+    /// Start building an engine (see [`EngineBuilder`] for the knobs).
+    pub fn builder() -> EngineBuilder {
+        EngineBuilder::default()
+    }
+
+    /// Start configuring a session over operand `a`.
+    pub fn session<'e, 'a>(&'e self, a: &'a CsrMatrix) -> SessionBuilder<'e, 'a> {
+        SessionBuilder {
+            engine: &self.shared,
+            a,
+            kind: KernelKind::AccSpmm,
+            arch: Arch::A800,
+            feature_dim: 128,
+            config: AccConfig::full(),
+        }
+    }
+
+    /// Adopt an externally-prepared kernel as a ready cache entry and
+    /// open a session on it — no rebuild, immediate cache hits for
+    /// every later `session()` with the same identity.
+    pub fn install(&self, prepared: PreparedKernel) -> Session {
+        let plan = Arc::new(prepared);
+        let key = PlanKey {
+            fingerprint: plan.execution_plan().input_fingerprint(),
+            kind: plan.kind(),
+            arch: plan.execution_plan().arch(),
+            feature_dim: plan.feature_dim(),
+            config: *plan.execution_plan().config(),
+        };
+        self.shared.cache.install(key, Arc::clone(&plan));
+        Session {
+            engine: Arc::clone(&self.shared),
+            key,
+            plan,
+            degraded: false,
+        }
+    }
+
+    /// Snapshot every counter (works with tracing disabled).
+    pub fn stats(&self) -> EngineStats {
+        let m = &self.shared.metrics;
+        let c = self.shared.cache.stats();
+        EngineStats {
+            enqueued: m.enqueued.load(Ordering::Relaxed),
+            dequeued: m.dequeued.load(Ordering::Relaxed),
+            rejected: m.rejected.load(Ordering::Relaxed),
+            timed_out: m.timed_out.load(Ordering::Relaxed),
+            batches: m.batches.load(Ordering::Relaxed),
+            batched_requests: m.batched_requests.load(Ordering::Relaxed),
+            degraded_builds: m.degraded_builds.load(Ordering::Relaxed),
+            cache_hits: c.hits,
+            cache_misses: c.misses,
+            plan_builds: c.builds,
+            cache_evictions: c.evictions,
+            queue_depth: self.shared.queue.len() as u64,
+        }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.shared.config
+    }
+
+    /// Inline worker step for zero-worker engines (and deterministic
+    /// tests): pop one request, coalesce its micro-batch, execute or
+    /// expire it on the calling thread. Returns the number of requests
+    /// resolved (0 when the queue was empty).
+    pub fn poll(&self) -> usize {
+        let Some(first) = self.shared.queue.try_pop() else {
+            return 0;
+        };
+        let mut ws = self.shared.pool.checkout();
+        let n = run_batch(&self.shared, first, &mut ws);
+        self.shared.pool.restore(ws);
+        n
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        self.shared.queue.shutdown();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        // Zero-worker engines may still hold queued requests: fail them
+        // so no ticket waits forever.
+        while let Some(req) = self.shared.queue.try_pop() {
+            self.shared
+                .metrics
+                .bump(&self.shared.metrics.dequeued, "engine.dequeued", 1);
+            req.ticket.complete(Err(SpmmError::Capacity {
+                what: "engine (shut down)",
+                capacity: 0,
+            }));
+        }
+    }
+}
+
+/// Configures one serving session; created by [`Engine::session`].
+#[derive(Clone)]
+pub struct SessionBuilder<'e, 'a> {
+    engine: &'e Arc<EngineShared>,
+    a: &'a CsrMatrix,
+    kind: KernelKind,
+    arch: Arch,
+    feature_dim: usize,
+    config: AccConfig,
+}
+
+impl SessionBuilder<'_, '_> {
+    /// Kernel strategy to serve (default [`KernelKind::AccSpmm`]).
+    pub fn kind(mut self, kind: KernelKind) -> Self {
+        self.kind = kind;
+        self
+    }
+
+    /// Target architecture.
+    pub fn arch(mut self, arch: Arch) -> Self {
+        self.arch = arch;
+        self
+    }
+
+    /// Feature dimension the plan is specialized for.
+    pub fn feature_dim(mut self, n: usize) -> Self {
+        self.feature_dim = n;
+        self
+    }
+
+    /// Acc ablation configuration.
+    pub fn config(mut self, config: AccConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Resolve the plan through the shared cache (building it at most
+    /// once across all concurrent callers) and open the session.
+    ///
+    /// If a *tensor-core* plan fails to build, the session degrades to
+    /// the scalar CSR path ([`KernelKind::CusparseLike`]) rather than
+    /// failing — check [`Session::is_degraded`]. The degraded plan goes
+    /// through the cache under its own key, so later sessions reuse it.
+    pub fn open(self) -> Result<Session> {
+        let fingerprint = self.a.content_fingerprint();
+        let key = PlanKey {
+            fingerprint,
+            kind: self.kind,
+            arch: self.arch,
+            feature_dim: self.feature_dim,
+            config: self.config,
+        };
+        let build = |kind: KernelKind| {
+            PreparedKernel::builder(kind, self.a)
+                .arch(self.arch)
+                .feature_dim(self.feature_dim)
+                .config(self.config)
+                .build()
+        };
+        match self.engine.cache.get_or_build(key, || build(self.kind)) {
+            Ok(plan) => Ok(Session {
+                engine: Arc::clone(self.engine),
+                key,
+                plan,
+                degraded: false,
+            }),
+            Err(err) if self.kind.uses_tensor_cores() => {
+                // Graceful degradation: serve the request stream on the
+                // scalar CSR path instead of failing the client.
+                self.engine.metrics.bump(
+                    &self.engine.metrics.degraded_builds,
+                    "engine.degraded_builds",
+                    1,
+                );
+                let fallback = PlanKey {
+                    kind: KernelKind::CusparseLike,
+                    ..key
+                };
+                let plan = self
+                    .engine
+                    .cache
+                    .get_or_build(fallback, || build(KernelKind::CusparseLike))
+                    .map_err(|_| err)?; // degraded path also failed: report the original
+                Ok(Session {
+                    engine: Arc::clone(self.engine),
+                    key: fallback,
+                    plan,
+                    degraded: true,
+                })
+            }
+            Err(err) => Err(err),
+        }
+    }
+}
+
+/// The outcome of a non-blocking submission ([`Session::try_submit`]).
+#[must_use]
+pub enum Submit {
+    /// Queued; redeem the ticket for the result.
+    Accepted(Ticket),
+    /// Backpressure: the bounded queue (or a shut-down engine) refused
+    /// the request. The operand comes back so the caller can retry.
+    Rejected {
+        /// The dense operand, returned unchanged.
+        b: DenseMatrix,
+        /// Why ([`SpmmError::Capacity`]).
+        reason: SpmmError,
+    },
+}
+
+/// A client's binding to one cached plan — cheap to clone, safe to
+/// share across threads, keeps the engine's shared state (queue,
+/// cache, workers' data) alive.
+#[derive(Clone)]
+pub struct Session {
+    engine: Arc<EngineShared>,
+    key: PlanKey,
+    plan: Arc<PreparedKernel>,
+    degraded: bool,
+}
+
+impl Session {
+    /// The cache key this session's requests coalesce under.
+    pub fn key(&self) -> PlanKey {
+        self.key
+    }
+
+    /// The shared prepared kernel (for inspection/profiling).
+    pub fn plan(&self) -> &Arc<PreparedKernel> {
+        &self.plan
+    }
+
+    /// Whether the session fell back to the scalar CSR path.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// Submit with explicit backpressure: a full queue returns
+    /// [`Submit::Rejected`] immediately (no blocking, no panics).
+    pub fn try_submit(&self, b: DenseMatrix) -> Submit {
+        self.submit_inner(b, self.engine.config.default_deadline)
+    }
+
+    /// Submit with a per-request deadline overriding the engine default.
+    pub fn try_submit_with_deadline(&self, b: DenseMatrix, deadline: Duration) -> Submit {
+        self.submit_inner(b, Some(deadline))
+    }
+
+    /// Submit, converting backpressure into an error
+    /// ([`SpmmError::Capacity`]).
+    pub fn submit(&self, b: DenseMatrix) -> Result<Ticket> {
+        match self.try_submit(b) {
+            Submit::Accepted(t) => Ok(t),
+            Submit::Rejected { reason, .. } => Err(reason),
+        }
+    }
+
+    /// Synchronous convenience: submit and wait. Mirrors
+    /// [`PreparedKernel::execute`] semantics (same bit-exact results),
+    /// routed through the shared queue and micro-batcher.
+    pub fn multiply(&self, b: &DenseMatrix) -> Result<DenseMatrix> {
+        self.submit(b.clone())?.wait()
+    }
+
+    fn submit_inner(&self, b: DenseMatrix, deadline: Option<Duration>) -> Submit {
+        // Validate the shape *before* queueing so malformed requests
+        // fail fast on the client thread.
+        let a_cols = self.plan.csr().ncols();
+        if b.nrows() != a_cols {
+            return Submit::Rejected {
+                reason: SpmmError::shape(format!(
+                    "A is {}x{}, B is {}x{}",
+                    self.plan.csr().nrows(),
+                    a_cols,
+                    b.nrows(),
+                    b.ncols()
+                )),
+                b,
+            };
+        }
+        let ticket = TicketShared::new();
+        let req = Request {
+            key: self.key,
+            plan: Arc::clone(&self.plan),
+            b,
+            ticket: Arc::clone(&ticket),
+            deadline: deadline.map(|d| Instant::now() + d),
+        };
+        match self.engine.queue.try_push(req) {
+            Push::Ok => {
+                self.engine
+                    .metrics
+                    .bump(&self.engine.metrics.enqueued, "engine.enqueued", 1);
+                Submit::Accepted(Ticket { shared: ticket })
+            }
+            Push::Full(req) => {
+                self.engine
+                    .metrics
+                    .bump(&self.engine.metrics.rejected, "engine.rejected", 1);
+                Submit::Rejected {
+                    b: req.b,
+                    reason: SpmmError::Capacity {
+                        what: "engine queue",
+                        capacity: self.engine.queue.capacity(),
+                    },
+                }
+            }
+            Push::ShutDown(req) => Submit::Rejected {
+                b: req.b,
+                reason: SpmmError::Capacity {
+                    what: "engine (shut down)",
+                    capacity: 0,
+                },
+            },
+        }
+    }
+}
+
+/// Worker thread body: pop → coalesce → execute, until shutdown.
+fn worker_loop(shared: &Arc<EngineShared>) {
+    let mut ws = Workspace::new();
+    while let Some(first) = shared.queue.pop_blocking() {
+        run_batch(shared, first, &mut ws);
+    }
+}
+
+/// Coalesce a micro-batch seeded by `first`, expire late requests, and
+/// execute the rest in one batched kernel call. Returns requests
+/// resolved.
+fn run_batch(shared: &Arc<EngineShared>, first: Request, ws: &mut Workspace) -> usize {
+    let m = &shared.metrics;
+    let mut batch = vec![first];
+    if shared.config.max_batch > 1 {
+        let key = batch[0].key;
+        let window_deadline = Instant::now() + shared.config.batch_window;
+        shared.queue.drain_same_key(
+            &key,
+            shared.config.max_batch - 1,
+            window_deadline,
+            &mut batch,
+        );
+    }
+    m.bump(&m.dequeued, "engine.dequeued", batch.len() as u64);
+
+    // Expire requests whose deadline passed while they queued.
+    let now = Instant::now();
+    let (expired, live): (Vec<Request>, Vec<Request>) = batch
+        .into_iter()
+        .partition(|r| r.deadline.is_some_and(|d| now > d));
+    let resolved = expired.len() + live.len();
+    for req in expired {
+        m.bump(&m.timed_out, "engine.timed_out", 1);
+        req.ticket.complete(Err(SpmmError::Timeout {
+            what: "queued multiply request",
+            waited_ms: shared
+                .config
+                .default_deadline
+                .map_or(0, |d| d.as_millis() as u64),
+        }));
+    }
+    if live.is_empty() {
+        return resolved;
+    }
+
+    m.bump(&m.batches, "engine.batches", 1);
+    m.bump(
+        &m.batched_requests,
+        "engine.batched_requests",
+        live.len() as u64,
+    );
+    let _span = spmm_trace::span("engine.batch_execute");
+
+    let plan = Arc::clone(&live[0].plan);
+    let nrows = plan.csr().nrows();
+    let (bs, tickets): (Vec<DenseMatrix>, Vec<Arc<TicketShared>>) =
+        live.into_iter().map(|r| (r.b, r.ticket)).unzip();
+    let mut outs: Vec<DenseMatrix> = bs
+        .iter()
+        .map(|b| DenseMatrix::zeros(nrows, b.ncols()))
+        .collect();
+    match plan.execute_batch_into(&bs, &mut outs, ws) {
+        Ok(()) => {
+            for (ticket, out) in tickets.into_iter().zip(outs) {
+                ticket.complete(Ok(out));
+            }
+        }
+        Err(e) => {
+            for ticket in tickets {
+                ticket.complete(Err(e.clone()));
+            }
+        }
+    }
+    resolved
+}

@@ -1,0 +1,216 @@
+//! Bounded request queue (backpressure) and per-request tickets.
+//!
+//! The queue is a Mutex + Condvar MPMC deque: cheap at the request
+//! granularity the engine operates at (a whole SpMM per item). Pushes
+//! never block — a full queue *rejects*, which is the admission-control
+//! contract ([`crate::Submit::Rejected`]). Workers block on pops and
+//! coalesce same-key neighbours into micro-batches.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use spmm_common::{Result, SpmmError};
+use spmm_kernels::PreparedKernel;
+use spmm_matrix::DenseMatrix;
+
+use crate::cache::PlanKey;
+
+/// One queued multiply: `C = A × B` for the plan identified by `key`.
+pub(crate) struct Request {
+    pub key: PlanKey,
+    pub plan: Arc<PreparedKernel>,
+    pub b: DenseMatrix,
+    pub ticket: Arc<TicketShared>,
+    /// Absolute deadline; the request is dropped (with
+    /// [`SpmmError::Timeout`]) if a worker reaches it after this point.
+    pub deadline: Option<Instant>,
+}
+
+/// Completion slot shared between a [`Ticket`] and the worker that
+/// eventually executes (or expires) the request.
+pub(crate) struct TicketShared {
+    state: Mutex<Option<Result<DenseMatrix>>>,
+    cv: Condvar,
+}
+
+impl TicketShared {
+    pub(crate) fn new() -> Arc<Self> {
+        Arc::new(TicketShared {
+            state: Mutex::new(None),
+            cv: Condvar::new(),
+        })
+    }
+
+    pub(crate) fn complete(&self, result: Result<DenseMatrix>) {
+        *self.state.lock().unwrap() = Some(result);
+        self.cv.notify_all();
+    }
+}
+
+/// A claim on the result of a submitted multiply. Redeem with
+/// [`Ticket::wait`] (blocking) or [`Ticket::wait_timeout`].
+#[must_use = "a dropped ticket abandons its result"]
+pub struct Ticket {
+    pub(crate) shared: Arc<TicketShared>,
+}
+
+impl Ticket {
+    /// Block until the request completes and take the result.
+    pub fn wait(self) -> Result<DenseMatrix> {
+        let mut state = self.shared.state.lock().unwrap();
+        while state.is_none() {
+            state = self.shared.cv.wait(state).unwrap();
+        }
+        state.take().unwrap()
+    }
+
+    /// Like [`Ticket::wait`], but give up after `dur` with
+    /// [`SpmmError::Timeout`]. The request itself may still complete
+    /// later; its result is discarded with the ticket.
+    pub fn wait_timeout(self, dur: Duration) -> Result<DenseMatrix> {
+        let deadline = Instant::now() + dur;
+        let mut state = self.shared.state.lock().unwrap();
+        while state.is_none() {
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(SpmmError::Timeout {
+                    what: "multiply ticket",
+                    waited_ms: dur.as_millis() as u64,
+                });
+            }
+            let (s, _) = self.shared.cv.wait_timeout(state, deadline - now).unwrap();
+            state = s;
+        }
+        state.take().unwrap()
+    }
+
+    /// Non-blocking check: `true` once a result (or error) is ready.
+    pub fn is_ready(&self) -> bool {
+        self.shared.state.lock().unwrap().is_some()
+    }
+}
+
+struct QueueInner {
+    items: VecDeque<Request>,
+    shutdown: bool,
+}
+
+/// The engine's bounded MPMC request queue.
+pub(crate) struct RequestQueue {
+    capacity: usize,
+    inner: Mutex<QueueInner>,
+    not_empty: Condvar,
+}
+
+pub(crate) enum Push {
+    Ok,
+    Full(Request),
+    ShutDown(Request),
+}
+
+impl RequestQueue {
+    pub(crate) fn new(capacity: usize) -> Self {
+        RequestQueue {
+            capacity: capacity.max(1),
+            inner: Mutex::new(QueueInner {
+                items: VecDeque::new(),
+                shutdown: false,
+            }),
+            not_empty: Condvar::new(),
+        }
+    }
+
+    pub(crate) fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.inner.lock().unwrap().items.len()
+    }
+
+    /// Non-blocking bounded push; full or shut-down queues hand the
+    /// request back so the caller can surface the rejection.
+    pub(crate) fn try_push(&self, req: Request) -> Push {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.shutdown {
+            return Push::ShutDown(req);
+        }
+        if inner.items.len() >= self.capacity {
+            return Push::Full(req);
+        }
+        inner.items.push_back(req);
+        drop(inner);
+        // notify_all, not notify_one: a worker parked in
+        // `drain_same_key` (waiting out its batch window for one key)
+        // must not swallow the only wakeup meant for an idle worker.
+        self.not_empty.notify_all();
+        Push::Ok
+    }
+
+    /// Block until a request is available (returns `None` once the
+    /// queue is shut down *and* drained — workers exit gracefully).
+    pub(crate) fn pop_blocking(&self) -> Option<Request> {
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            if let Some(req) = inner.items.pop_front() {
+                return Some(req);
+            }
+            if inner.shutdown {
+                return None;
+            }
+            inner = self.not_empty.wait(inner).unwrap();
+        }
+    }
+
+    /// Non-blocking pop (the inline [`crate::Engine::poll`] path).
+    pub(crate) fn try_pop(&self) -> Option<Request> {
+        self.inner.lock().unwrap().items.pop_front()
+    }
+
+    /// Extract up to `max` queued requests with the same key as `key`,
+    /// waiting until `window_deadline` for stragglers if the batch is
+    /// still short. Other keys are left queued in order.
+    pub(crate) fn drain_same_key(
+        &self,
+        key: &PlanKey,
+        max: usize,
+        window_deadline: Instant,
+        out: &mut Vec<Request>,
+    ) {
+        let mut taken = 0;
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            // Sweep matching requests out of the deque, preserving the
+            // relative order of everything else.
+            let mut i = 0;
+            while i < inner.items.len() && taken < max {
+                if inner.items[i].key == *key {
+                    // remove(i) keeps order (deque shifts).
+                    out.push(inner.items.remove(i).unwrap());
+                    taken += 1;
+                } else {
+                    i += 1;
+                }
+            }
+            if taken >= max || inner.shutdown {
+                return;
+            }
+            let now = Instant::now();
+            if now >= window_deadline {
+                return;
+            }
+            let (g, _) = self
+                .not_empty
+                .wait_timeout(inner, window_deadline - now)
+                .unwrap();
+            inner = g;
+        }
+    }
+
+    /// Mark the queue shut down and wake every sleeper.
+    pub(crate) fn shutdown(&self) {
+        self.inner.lock().unwrap().shutdown = true;
+        self.not_empty.notify_all();
+    }
+}

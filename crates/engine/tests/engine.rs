@@ -1,0 +1,313 @@
+//! Engine behaviour under concurrency and load: single-flight plan
+//! builds, LRU eviction, batched-vs-sequential bit-identity,
+//! backpressure rejection, deadline expiry, and trace observability.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use spmm_engine::{Engine, Submit};
+use spmm_kernels::{KernelKind, PreparedKernel};
+use spmm_matrix::{gen, CsrMatrix, DenseMatrix};
+use spmm_sim::Arch;
+
+fn graph(n: usize, seed: u64) -> CsrMatrix {
+    gen::uniform_random(n, 6.0, seed)
+}
+
+#[test]
+fn n_threads_same_key_build_exactly_one_plan() {
+    let engine = Arc::new(Engine::builder().workers(1).build().unwrap());
+    let a = Arc::new(graph(512, 1));
+    const THREADS: usize = 8;
+
+    std::thread::scope(|s| {
+        for _ in 0..THREADS {
+            let engine = Arc::clone(&engine);
+            let a = Arc::clone(&a);
+            s.spawn(move || {
+                let session = engine.session(&a).feature_dim(32).open().unwrap();
+                assert!(!session.is_degraded());
+            });
+        }
+    });
+
+    let stats = engine.stats();
+    assert_eq!(
+        stats.plan_builds, 1,
+        "single-flight: one build, not {THREADS}"
+    );
+    assert_eq!(stats.cache_hits + stats.cache_misses, THREADS as u64);
+    assert!(stats.cache_misses >= 1);
+}
+
+#[test]
+fn distinct_keys_build_distinct_plans_and_hit_afterwards() {
+    let engine = Engine::builder().workers(0).build().unwrap();
+    let a = graph(256, 2);
+    // Same matrix, different feature dims → different keys.
+    engine.session(&a).feature_dim(16).open().unwrap();
+    engine.session(&a).feature_dim(32).open().unwrap();
+    engine.session(&a).feature_dim(16).open().unwrap(); // hit
+
+    let stats = engine.stats();
+    assert_eq!(stats.plan_builds, 2);
+    assert_eq!(stats.cache_hits, 1);
+}
+
+#[test]
+fn lru_eviction_respects_capacity_and_recency() {
+    let engine = Engine::builder()
+        .workers(0)
+        .plan_cache_capacity(2)
+        .build()
+        .unwrap();
+    let mats: Vec<CsrMatrix> = (0..3).map(|i| graph(128, 10 + i)).collect();
+
+    engine.session(&mats[0]).feature_dim(16).open().unwrap();
+    engine.session(&mats[1]).feature_dim(16).open().unwrap();
+    // Touch 0 so 1 is the LRU victim.
+    engine.session(&mats[0]).feature_dim(16).open().unwrap();
+    engine.session(&mats[2]).feature_dim(16).open().unwrap(); // evicts 1
+
+    let stats = engine.stats();
+    assert_eq!(stats.cache_evictions, 1);
+    // 0 is still resident (hit); 1 must rebuild.
+    engine.session(&mats[0]).feature_dim(16).open().unwrap();
+    engine.session(&mats[1]).feature_dim(16).open().unwrap();
+    let stats = engine.stats();
+    assert_eq!(stats.plan_builds, 4, "matrix 1 was rebuilt after eviction");
+}
+
+#[test]
+fn batched_results_bit_identical_to_sequential_multiply() {
+    let a = graph(384, 3);
+    let direct = PreparedKernel::builder(KernelKind::AccSpmm, &a)
+        .arch(Arch::A800)
+        .feature_dim(24)
+        .build()
+        .unwrap();
+
+    let engine = Engine::builder()
+        .workers(0)
+        .max_batch(8)
+        .batch_window(Duration::from_millis(0))
+        .build()
+        .unwrap();
+    let session = engine.session(&a).feature_dim(24).open().unwrap();
+
+    let bs: Vec<DenseMatrix> = (0..6)
+        .map(|i| DenseMatrix::random(a.ncols(), 24, 100 + i))
+        .collect();
+    // Queue all six, then pump once: they coalesce into one micro-batch.
+    let tickets: Vec<_> = bs
+        .iter()
+        .map(|b| session.submit(b.clone()).unwrap())
+        .collect();
+    while engine.poll() > 0 {}
+    let stats = engine.stats();
+    assert_eq!(stats.batches, 1, "six same-key requests should coalesce");
+    assert_eq!(stats.batched_requests, 6);
+
+    for (ticket, b) in tickets.into_iter().zip(&bs) {
+        let via_engine = ticket.wait().unwrap();
+        let sequential = direct.execute(b).unwrap();
+        assert_eq!(
+            via_engine.as_slice(),
+            sequential.as_slice(),
+            "batched path must be bit-identical to sequential execute"
+        );
+    }
+}
+
+#[test]
+fn worker_pool_multiply_matches_reference() {
+    let engine = Engine::builder().workers(2).build().unwrap();
+    let a = graph(256, 4);
+    let session = engine.session(&a).feature_dim(16).open().unwrap();
+    let b = DenseMatrix::random(a.ncols(), 16, 5);
+
+    let c = session.multiply(&b).unwrap();
+    let tol = spmm_common::scalar::tf32_tolerance(a.nrows());
+    let reference = a.spmm_dense(&b).unwrap();
+    assert!(c.approx_eq(&reference, tol, tol));
+}
+
+#[test]
+fn concurrent_clients_get_correct_results() {
+    let engine = Arc::new(Engine::builder().workers(2).max_batch(4).build().unwrap());
+    let a = Arc::new(graph(256, 6));
+    let session = engine.session(&a).feature_dim(16).open().unwrap();
+    let expected: Vec<DenseMatrix> = (0..8)
+        .map(|i| {
+            let b = DenseMatrix::random(a.ncols(), 16, 200 + i);
+            session.plan().execute(&b).unwrap()
+        })
+        .collect();
+
+    std::thread::scope(|s| {
+        for i in 0..8u64 {
+            let session = session.clone();
+            let a = Arc::clone(&a);
+            let expect = expected[i as usize].clone();
+            s.spawn(move || {
+                let b = DenseMatrix::random(a.ncols(), 16, 200 + i);
+                let c = session.multiply(&b).unwrap();
+                assert_eq!(c.as_slice(), expect.as_slice());
+            });
+        }
+    });
+}
+
+#[test]
+fn full_queue_rejects_with_capacity_error() {
+    // No workers and a 2-slot queue: the third submission must bounce.
+    let engine = Engine::builder()
+        .workers(0)
+        .queue_capacity(2)
+        .build()
+        .unwrap();
+    let a = graph(128, 7);
+    let session = engine.session(&a).feature_dim(16).open().unwrap();
+    let b = DenseMatrix::random(a.ncols(), 16, 1);
+
+    let _t1 = session.submit(b.clone()).unwrap();
+    let _t2 = session.submit(b.clone()).unwrap();
+    match session.try_submit(b.clone()) {
+        Submit::Rejected {
+            b: returned,
+            reason,
+        } => {
+            assert_eq!(returned.as_slice(), b.as_slice(), "operand handed back");
+            assert!(
+                matches!(reason, spmm_common::SpmmError::Capacity { capacity: 2, .. }),
+                "got {reason:?}"
+            );
+        }
+        Submit::Accepted(_) => panic!("queue should be full"),
+    }
+    assert_eq!(engine.stats().rejected, 1);
+
+    // Draining the queue makes room again.
+    engine.poll();
+    assert!(matches!(session.try_submit(b), Submit::Accepted(_)));
+}
+
+#[test]
+fn expired_deadline_times_out_queued_request() {
+    let engine = Engine::builder().workers(0).build().unwrap();
+    let a = graph(128, 8);
+    let session = engine.session(&a).feature_dim(16).open().unwrap();
+    let b = DenseMatrix::random(a.ncols(), 16, 2);
+
+    let ticket = match session.try_submit_with_deadline(b, Duration::from_millis(1)) {
+        Submit::Accepted(t) => t,
+        Submit::Rejected { reason, .. } => panic!("rejected: {reason}"),
+    };
+    std::thread::sleep(Duration::from_millis(10));
+    engine.poll();
+
+    match ticket.wait() {
+        Err(spmm_common::SpmmError::Timeout { .. }) => {}
+        other => panic!("expected Timeout, got {other:?}"),
+    }
+    assert_eq!(engine.stats().timed_out, 1);
+}
+
+#[test]
+fn ticket_wait_timeout_gives_up_without_a_worker() {
+    let engine = Engine::builder().workers(0).build().unwrap();
+    let a = graph(128, 9);
+    let session = engine.session(&a).feature_dim(16).open().unwrap();
+    let ticket = session
+        .submit(DenseMatrix::random(a.ncols(), 16, 3))
+        .unwrap();
+    assert!(!ticket.is_ready());
+    match ticket.wait_timeout(Duration::from_millis(5)) {
+        Err(spmm_common::SpmmError::Timeout { .. }) => {}
+        other => panic!("expected Timeout, got {other:?}"),
+    }
+}
+
+#[test]
+fn shape_mismatch_rejected_before_queueing() {
+    let engine = Engine::builder().workers(0).build().unwrap();
+    let a = graph(128, 11);
+    let session = engine.session(&a).feature_dim(16).open().unwrap();
+    let wrong = DenseMatrix::random(a.ncols() + 1, 16, 4);
+    match session.try_submit(wrong) {
+        Submit::Rejected { reason, .. } => {
+            assert!(matches!(reason, spmm_common::SpmmError::Shape { .. }))
+        }
+        Submit::Accepted(_) => panic!("shape mismatch must not enqueue"),
+    }
+    assert_eq!(engine.stats().enqueued, 0);
+}
+
+#[test]
+fn install_shares_an_external_plan() {
+    let a = graph(256, 12);
+    let prepared = PreparedKernel::builder(KernelKind::AccSpmm, &a)
+        .arch(Arch::A800)
+        .feature_dim(16)
+        .build()
+        .unwrap();
+
+    let engine = Engine::builder().workers(0).build().unwrap();
+    let session = engine.install(prepared);
+    // A later session() for the same identity hits the installed entry.
+    let again = engine.session(&a).feature_dim(16).open().unwrap();
+    let stats = engine.stats();
+    assert_eq!(stats.plan_builds, 0, "install must not trigger a build");
+    assert_eq!(stats.cache_hits, 1);
+    assert_eq!(session.key(), again.key());
+}
+
+#[test]
+fn counters_visible_through_spmm_trace() {
+    spmm_trace::enable();
+    spmm_trace::reset();
+    {
+        let engine = Engine::builder()
+            .workers(0)
+            .queue_capacity(1)
+            .build()
+            .unwrap();
+        let a = graph(128, 13);
+        let session = engine.session(&a).feature_dim(16).open().unwrap();
+        let b = DenseMatrix::random(a.ncols(), 16, 5);
+        let _t = session.submit(b.clone()).unwrap();
+        let _ = session.try_submit(b); // rejected
+        engine.poll();
+    }
+    let snap = spmm_trace::snapshot();
+    spmm_trace::disable();
+    assert_eq!(snap.counter("engine.cache_misses"), 1);
+    assert_eq!(snap.counter("engine.plan_builds"), 1);
+    assert_eq!(snap.counter("engine.enqueued"), 1);
+    assert_eq!(snap.counter("engine.rejected"), 1);
+    assert_eq!(snap.counter("engine.batches"), 1);
+}
+
+#[test]
+fn builder_rejects_zero_capacities() {
+    assert!(Engine::builder().queue_capacity(0).build().is_err());
+    assert!(Engine::builder().max_batch(0).build().is_err());
+    assert!(Engine::builder().plan_cache_capacity(0).build().is_err());
+}
+
+#[test]
+fn drop_fails_leftover_tickets_instead_of_hanging() {
+    let a = graph(128, 14);
+    let ticket = {
+        let engine = Engine::builder().workers(0).build().unwrap();
+        let session = engine.session(&a).feature_dim(16).open().unwrap();
+        session
+            .submit(DenseMatrix::random(a.ncols(), 16, 6))
+            .unwrap()
+        // engine dropped here with the request still queued
+    };
+    match ticket.wait() {
+        Err(spmm_common::SpmmError::Capacity { .. }) => {}
+        other => panic!("expected Capacity (shutdown), got {other:?}"),
+    }
+}

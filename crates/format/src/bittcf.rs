@@ -352,7 +352,7 @@ impl BitTcf {
 
     fn check_spmm_shapes(&self, b: &DenseMatrix, c: &DenseMatrix) -> Result<()> {
         if self.ncols != b.nrows() || c.nrows() != self.nrows || c.ncols() != b.ncols() {
-            return Err(SpmmError::DimensionMismatch {
+            return Err(SpmmError::Shape {
                 context: format!(
                     "A is {}x{}, B is {}x{}, C is {}x{}",
                     self.nrows,
@@ -376,7 +376,7 @@ impl BitTcf {
         precision: spmm_common::Precision,
     ) -> Result<DenseMatrix> {
         if self.ncols != b.nrows() {
-            return Err(SpmmError::DimensionMismatch {
+            return Err(SpmmError::Shape {
                 context: format!("A has {} cols, B has {} rows", self.ncols, b.nrows()),
             });
         }

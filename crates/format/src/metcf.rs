@@ -262,7 +262,7 @@ impl MeTcf {
 
     fn check_spmm_shapes(&self, b: &DenseMatrix, c: &DenseMatrix) -> Result<()> {
         if self.ncols != b.nrows() || c.nrows() != self.nrows || c.ncols() != b.ncols() {
-            return Err(SpmmError::DimensionMismatch {
+            return Err(SpmmError::Shape {
                 context: format!(
                     "A is {}x{}, B is {}x{}, C is {}x{}",
                     self.nrows,

@@ -124,7 +124,7 @@ impl Tcf {
     /// writes across rows, so this path stays sequential.
     pub fn spmm_into(&self, b: &DenseMatrix, c: &mut DenseMatrix) -> Result<()> {
         if self.ncols != b.nrows() || c.nrows() != self.nrows || c.ncols() != b.ncols() {
-            return Err(SpmmError::DimensionMismatch {
+            return Err(SpmmError::Shape {
                 context: format!(
                     "A is {}x{}, B is {}x{}, C is {}x{}",
                     self.nrows,

@@ -6,7 +6,7 @@ use spmm_reorder::Algorithm;
 /// Toggles for the Acc-SpMM optimizations. `full()` enables everything
 /// (the shipped kernel); the Figure-15 ablation enables them one at a
 /// time on top of the DTC-SpMM-without-balancing baseline.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct AccConfig {
     /// Use BitTCF (else ME-TCF) — the **BTCF** stage.
     pub use_bittcf: bool,

@@ -34,7 +34,7 @@ pub mod workspace;
 
 pub use acc::AccConfig;
 pub use plan::{ExecutionPlan, FormatChoice, PlanContext, PlanStage, StageSpec, StageTiming};
-pub use workspace::Workspace;
+pub use workspace::{Workspace, WorkspacePool};
 
 use crate::workspace::ensure_staging;
 use spmm_balance::BalancePlan;
@@ -127,20 +127,92 @@ pub struct PreparedKernel {
     plan: ExecutionPlan,
 }
 
+/// Builder for [`PreparedKernel`] — the single construction path.
+///
+/// Defaults: [`Arch::A800`], feature dimension 128, [`AccConfig::full`].
+///
+/// ```
+/// use spmm_kernels::{KernelKind, PreparedKernel};
+/// use spmm_matrix::gen;
+///
+/// let a = gen::uniform_random(128, 4.0, 1);
+/// let k = PreparedKernel::builder(KernelKind::AccSpmm, &a)
+///     .feature_dim(32)
+///     .build()
+///     .unwrap();
+/// assert_eq!(k.feature_dim(), 32);
+/// ```
+#[derive(Debug, Clone)]
+pub struct KernelBuilder<'a> {
+    kind: KernelKind,
+    a: &'a CsrMatrix,
+    arch: Arch,
+    feature_dim: usize,
+    config: AccConfig,
+}
+
+impl<'a> KernelBuilder<'a> {
+    /// Target architecture (the balance model needs its bandwidth/FLOPS).
+    pub fn arch(mut self, arch: Arch) -> Self {
+        self.arch = arch;
+        self
+    }
+
+    /// Feature dimension (columns of B) the plan is specialized for.
+    pub fn feature_dim(mut self, n: usize) -> Self {
+        self.feature_dim = n;
+        self
+    }
+
+    /// Explicit (e.g. ablation) configuration — only meaningful for
+    /// [`KernelKind::AccSpmm`].
+    pub fn config(mut self, config: AccConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Run the staged preprocessing pipeline. Failures surface as
+    /// [`SpmmError::Build`] tagged with the kernel's display name.
+    pub fn build(self) -> Result<PreparedKernel> {
+        let plan =
+            ExecutionPlan::build(self.kind, self.a, self.arch, self.feature_dim, self.config)
+                .map_err(|e| match e {
+                    e @ SpmmError::Build { .. } => e,
+                    other => SpmmError::build(self.kind.name(), other),
+                })?;
+        Ok(PreparedKernel { plan })
+    }
+}
+
 impl PreparedKernel {
+    /// Start building a prepared kernel for `kind` over operand `m`.
+    pub fn builder(kind: KernelKind, m: &CsrMatrix) -> KernelBuilder<'_> {
+        KernelBuilder {
+            kind,
+            a: m,
+            arch: Arch::A800,
+            feature_dim: 128,
+            config: AccConfig::full(),
+        }
+    }
+
     /// Preprocess `m` for the given kernel and feature dimension on the
-    /// given architecture (the balance model needs its bandwidth/FLOPS).
+    /// given architecture.
+    #[deprecated(note = "use `PreparedKernel::builder(kind, m).arch(..).feature_dim(..).build()`")]
     pub fn prepare(
         kind: KernelKind,
         m: &CsrMatrix,
         arch: Arch,
         feature_dim: usize,
     ) -> Result<Self> {
-        Self::prepare_with_config(kind, m, arch, feature_dim, AccConfig::full())
+        Self::builder(kind, m)
+            .arch(arch)
+            .feature_dim(feature_dim)
+            .build()
     }
 
-    /// Like [`PreparedKernel::prepare`] but with an explicit Acc ablation
-    /// configuration (only meaningful for `AccSpmm`).
+    /// Like `prepare` but with an explicit Acc ablation configuration.
+    #[deprecated(note = "use `PreparedKernel::builder(kind, m).config(..).build()`")]
     pub fn prepare_with_config(
         kind: KernelKind,
         m: &CsrMatrix,
@@ -148,9 +220,11 @@ impl PreparedKernel {
         feature_dim: usize,
         acc_config: AccConfig,
     ) -> Result<Self> {
-        Ok(PreparedKernel {
-            plan: ExecutionPlan::build(kind, m, arch, feature_dim, acc_config)?,
-        })
+        Self::builder(kind, m)
+            .arch(arch)
+            .feature_dim(feature_dim)
+            .config(acc_config)
+            .build()
     }
 
     /// Wrap an already-built plan.
@@ -242,7 +316,7 @@ impl PreparedKernel {
         // fail on malformed input halfway through.
         for b in bs {
             if b.nrows() != a_cols {
-                return Err(SpmmError::DimensionMismatch {
+                return Err(SpmmError::Shape {
                     context: format!("A is {a_rows}x{a_cols}, B is {}x{}", b.nrows(), b.ncols()),
                 });
             }
@@ -266,6 +340,45 @@ impl PreparedKernel {
             Some(e) => Err(e),
             None => Ok(outs),
         }
+    }
+
+    /// Sequential batch entry point for callers that manage their own
+    /// threads (the serving engine's micro-batching workers): executes
+    /// every RHS in `bs` into the matching slot of `outs` on the
+    /// *calling* thread, sharing one reusable [`Workspace`] and — on the
+    /// compressed TC formats — decoding each block once for the whole
+    /// batch. Results are bit-identical to calling
+    /// [`PreparedKernel::execute`] per RHS.
+    pub fn execute_batch_into(
+        &self,
+        bs: &[DenseMatrix],
+        outs: &mut [DenseMatrix],
+        ws: &mut Workspace,
+    ) -> Result<()> {
+        if bs.len() != outs.len() {
+            return Err(SpmmError::shape(format!(
+                "batch has {} inputs but {} outputs",
+                bs.len(),
+                outs.len()
+            )));
+        }
+        let (a_rows, a_cols) = (self.csr().nrows(), self.csr().ncols());
+        for (b, out) in bs.iter().zip(outs.iter()) {
+            if b.nrows() != a_cols || out.nrows() != a_rows || out.ncols() != b.ncols() {
+                return Err(SpmmError::shape(format!(
+                    "A is {a_rows}x{a_cols}, B is {}x{}, C is {}x{}",
+                    b.nrows(),
+                    b.ncols(),
+                    out.nrows(),
+                    out.ncols()
+                )));
+            }
+        }
+        if bs.is_empty() {
+            return Ok(());
+        }
+        spmm_trace::counter_add("kernel.batch_rhs", bs.len() as u64);
+        self.execute_group(bs, outs, ws)
     }
 
     /// Run one worker's contiguous slice of the batch.
@@ -364,7 +477,7 @@ impl PreparedKernel {
             None => self.spmm_dispatch(b_eff, out, tiles, parallel),
             Some(perm) => {
                 if out.nrows() != self.csr().nrows() || out.ncols() != b.ncols() {
-                    return Err(SpmmError::DimensionMismatch {
+                    return Err(SpmmError::Shape {
                         context: format!(
                             "output is {}x{}, expected {}x{}",
                             out.nrows(),
@@ -442,7 +555,11 @@ mod tests {
         let reference = m.spmm_dense(&b).unwrap();
         let tol = tf32_tolerance(m.nrows());
         for kind in KernelKind::ALL {
-            let k = PreparedKernel::prepare(kind, &m, Arch::A800, b.ncols()).unwrap();
+            let k = PreparedKernel::builder(kind, &m)
+                .arch(Arch::A800)
+                .feature_dim(b.ncols())
+                .build()
+                .unwrap();
             let c = k.execute(&b).unwrap();
             assert!(
                 c.approx_eq(&reference, tol, tol),
@@ -457,7 +574,11 @@ mod tests {
     fn execute_into_reuses_workspace_and_matches_execute() {
         let (m, b) = workload();
         for kind in KernelKind::ALL {
-            let k = PreparedKernel::prepare(kind, &m, Arch::A800, b.ncols()).unwrap();
+            let k = PreparedKernel::builder(kind, &m)
+                .arch(Arch::A800)
+                .feature_dim(b.ncols())
+                .build()
+                .unwrap();
             let expect = k.execute(&b).unwrap();
             let mut ws = Workspace::for_plan(k.execution_plan());
             let mut out = DenseMatrix::zeros(m.nrows(), b.ncols());
@@ -480,7 +601,11 @@ mod tests {
             KernelKind::DtcSpmm,
             KernelKind::CusparseLike,
         ] {
-            let k = PreparedKernel::prepare(kind, &m, Arch::A800, 24).unwrap();
+            let k = PreparedKernel::builder(kind, &m)
+                .arch(Arch::A800)
+                .feature_dim(24)
+                .build()
+                .unwrap();
             let batched = k.execute_batch(&bs).unwrap();
             assert_eq!(batched.len(), bs.len());
             for (i, b) in bs.iter().enumerate() {
@@ -489,21 +614,33 @@ mod tests {
             }
         }
         // Empty batch is fine.
-        let k = PreparedKernel::prepare(KernelKind::AccSpmm, &m, Arch::A800, 24).unwrap();
+        let k = PreparedKernel::builder(KernelKind::AccSpmm, &m)
+            .arch(Arch::A800)
+            .feature_dim(24)
+            .build()
+            .unwrap();
         assert!(k.execute_batch(&[]).unwrap().is_empty());
     }
 
     #[test]
     fn plan_artifacts_are_exposed() {
         let (m, _) = workload();
-        let k = PreparedKernel::prepare(KernelKind::AccSpmm, &m, Arch::A800, 32).unwrap();
+        let k = PreparedKernel::builder(KernelKind::AccSpmm, &m)
+            .arch(Arch::A800)
+            .feature_dim(32)
+            .build()
+            .unwrap();
         let wp = k.partition().expect("partition artifact retained");
         assert_eq!(wp.num_windows(), m.nrows().div_ceil(8));
         assert!(k.perm().is_some(), "affinity reorder ran");
         assert!(matches!(k.format(), Some(TcFormat::BitTcf(_))));
         assert_eq!(k.execution_plan().stage_timings().len(), 4);
         // CSR kernels carry no TC artifacts.
-        let base = PreparedKernel::prepare(KernelKind::CusparseLike, &m, Arch::A800, 32).unwrap();
+        let base = PreparedKernel::builder(KernelKind::CusparseLike, &m)
+            .arch(Arch::A800)
+            .feature_dim(32)
+            .build()
+            .unwrap();
         assert!(base.partition().is_none() && base.format().is_none() && base.perm().is_none());
     }
 
@@ -513,7 +650,11 @@ mod tests {
         let n = 32;
         let expect = 2 * m.nnz() as u64 * n as u64;
         for kind in KernelKind::ALL {
-            let k = PreparedKernel::prepare(kind, &m, Arch::A800, n).unwrap();
+            let k = PreparedKernel::builder(kind, &m)
+                .arch(Arch::A800)
+                .feature_dim(n)
+                .build()
+                .unwrap();
             let desc = k.trace();
             assert_eq!(desc.effective_flops, expect, "{}", kind.name());
             assert!(
@@ -541,10 +682,16 @@ mod tests {
             5,
         );
         let opts = SimOptions::default();
-        let base = PreparedKernel::prepare(KernelKind::CusparseLike, &m, Arch::A800, 128)
+        let base = PreparedKernel::builder(KernelKind::CusparseLike, &m)
+            .arch(Arch::A800)
+            .feature_dim(128)
+            .build()
             .unwrap()
             .profile(Arch::A800, &opts);
-        let acc = PreparedKernel::prepare(KernelKind::AccSpmm, &m, Arch::A800, 128)
+        let acc = PreparedKernel::builder(KernelKind::AccSpmm, &m)
+            .arch(Arch::A800)
+            .feature_dim(128)
+            .build()
             .unwrap()
             .profile(Arch::A800, &opts);
         assert!(
@@ -562,14 +709,12 @@ mod tests {
         let tol = tf32_tolerance(m.nrows());
         let mut cfg = AccConfig::full();
         cfg.symmetric_reorder = true;
-        let k = PreparedKernel::prepare_with_config(
-            KernelKind::AccSpmm,
-            &m,
-            Arch::A800,
-            b.ncols(),
-            cfg,
-        )
-        .unwrap();
+        let k = PreparedKernel::builder(KernelKind::AccSpmm, &m)
+            .arch(Arch::A800)
+            .feature_dim(b.ncols())
+            .config(cfg)
+            .build()
+            .unwrap();
         let c = k.execute(&b).unwrap();
         assert!(
             c.approx_eq(&reference, tol, tol),
@@ -606,7 +751,11 @@ mod tests {
         let run = |symmetric: bool| {
             let mut cfg = AccConfig::full();
             cfg.symmetric_reorder = symmetric;
-            PreparedKernel::prepare_with_config(KernelKind::AccSpmm, &m, Arch::A800, 128, cfg)
+            PreparedKernel::builder(KernelKind::AccSpmm, &m)
+                .arch(Arch::A800)
+                .feature_dim(128)
+                .config(cfg)
+                .build()
                 .unwrap()
                 .profile(Arch::A800, &opts)
         };
@@ -624,6 +773,10 @@ mod tests {
     #[test]
     fn invalid_feature_dim_rejected() {
         let (m, _) = workload();
-        assert!(PreparedKernel::prepare(KernelKind::AccSpmm, &m, Arch::H100, 0).is_err());
+        assert!(PreparedKernel::builder(KernelKind::AccSpmm, &m)
+            .arch(Arch::H100)
+            .feature_dim(0)
+            .build()
+            .is_err());
     }
 }

@@ -117,6 +117,10 @@ pub struct PlanContext {
     pub spec: StageSpec,
     /// The sparse operand; Reorder replaces it with the permuted matrix.
     pub csr: CsrMatrix,
+    /// Content fingerprint of the *unprocessed* input operand, taken
+    /// before any permutation — the stable identity serving caches key
+    /// plans by.
+    pub input_fingerprint: u64,
     /// Row permutation applied (`perm[old] = new`), if any.
     pub perm: Option<Vec<u32>>,
     /// Shared window squeezing, built once by FormatBuild for all TC
@@ -141,6 +145,7 @@ impl PlanContext {
         feature_dim: usize,
         config: AccConfig,
     ) -> Self {
+        let input_fingerprint = csr.content_fingerprint();
         PlanContext {
             kind,
             arch,
@@ -148,6 +153,7 @@ impl PlanContext {
             config,
             spec: StageSpec::for_kernel(kind, &config),
             csr,
+            input_fingerprint,
             perm: None,
             partition: None,
             format: None,
@@ -393,6 +399,12 @@ impl ExecutionPlan {
     /// The (possibly permuted) sparse operand.
     pub fn csr(&self) -> &CsrMatrix {
         &self.ctx.csr
+    }
+
+    /// Content fingerprint of the unprocessed input operand (taken
+    /// before reordering) — the identity plan caches key on.
+    pub fn input_fingerprint(&self) -> u64 {
+        self.ctx.input_fingerprint
     }
 
     /// Row permutation applied, if any.

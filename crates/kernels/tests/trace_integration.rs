@@ -13,7 +13,11 @@ static SERIAL: Mutex<()> = Mutex::new(());
 
 fn workload() -> (PreparedKernel, DenseMatrix) {
     let m = gen::uniform_random(1024, 8.0, 11);
-    let k = PreparedKernel::prepare(KernelKind::AccSpmm, &m, Arch::A800, 64).unwrap();
+    let k = PreparedKernel::builder(KernelKind::AccSpmm, &m)
+        .arch(Arch::A800)
+        .feature_dim(64)
+        .build()
+        .unwrap();
     let b = DenseMatrix::random(1024, 64, 5);
     (k, b)
 }

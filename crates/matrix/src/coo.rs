@@ -35,7 +35,7 @@ impl CooMatrix {
         values: Vec<f32>,
     ) -> Result<Self> {
         if rows.len() != cols.len() || rows.len() != values.len() {
-            return Err(SpmmError::DimensionMismatch {
+            return Err(SpmmError::Shape {
                 context: format!(
                     "triplet arrays disagree: {} rows, {} cols, {} values",
                     rows.len(),

@@ -98,6 +98,33 @@ impl CsrMatrix {
         Ok(())
     }
 
+    /// A stable 64-bit fingerprint of the matrix *content* (shape,
+    /// sparsity pattern, and value bit patterns), suitable as a cache
+    /// key for preprocessing artifacts shared across callers: two
+    /// matrices fingerprint equal iff they are bit-identical CSR
+    /// structures. FNV-1a over the raw arrays — deterministic across
+    /// runs and platforms (unlike `DefaultHasher`, whose seed varies).
+    pub fn content_fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf29ce484222325;
+        const PRIME: u64 = 0x100000001b3;
+        let mut h = OFFSET;
+        let mut eat = |word: u64| {
+            for byte in word.to_le_bytes() {
+                h ^= byte as u64;
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        eat(self.nrows as u64);
+        eat(self.ncols as u64);
+        for &p in &self.row_ptr {
+            eat(p as u64);
+        }
+        for (&c, &v) in self.col_idx.iter().zip(self.values.iter()) {
+            eat(((v.to_bits() as u64) << 32) | c as u64);
+        }
+        h
+    }
+
     /// Convert from COO (duplicates are summed, entries sorted).
     pub fn from_coo(coo: &CooMatrix) -> Self {
         let mut coo = coo.clone();
@@ -223,7 +250,7 @@ impl CsrMatrix {
     /// permutation).
     pub fn permute_rows(&self, perm: &[u32]) -> Result<CsrMatrix> {
         if perm.len() != self.nrows {
-            return Err(SpmmError::DimensionMismatch {
+            return Err(SpmmError::Shape {
                 context: format!(
                     "permutation of length {} applied to {} rows",
                     perm.len(),
@@ -269,7 +296,7 @@ impl CsrMatrix {
     /// (overwritten, not accumulated) — the allocation-free hot path.
     pub fn spmm_dense_into(&self, b: &DenseMatrix, c: &mut DenseMatrix) -> Result<()> {
         if self.ncols != b.nrows() || c.nrows() != self.nrows || c.ncols() != b.ncols() {
-            return Err(SpmmError::DimensionMismatch {
+            return Err(SpmmError::Shape {
                 context: format!(
                     "A is {}x{}, B is {}x{}, C is {}x{}",
                     self.nrows,
@@ -298,7 +325,7 @@ impl CsrMatrix {
     /// granularity (e.g. over a batch of dense operands).
     pub fn spmm_dense_into_seq(&self, b: &DenseMatrix, c: &mut DenseMatrix) -> Result<()> {
         if self.ncols != b.nrows() || c.nrows() != self.nrows || c.ncols() != b.ncols() {
-            return Err(SpmmError::DimensionMismatch {
+            return Err(SpmmError::Shape {
                 context: format!(
                     "A is {}x{}, B is {}x{}, C is {}x{}",
                     self.nrows,
@@ -445,6 +472,54 @@ mod tests {
     fn avg_row_len_matches() {
         let m = small();
         assert!((m.avg_row_len() - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn content_fingerprint_is_stable_and_content_sensitive() {
+        let m = small();
+        // Deterministic across calls and across equal reconstructions.
+        assert_eq!(m.content_fingerprint(), m.content_fingerprint());
+        let rebuilt = CsrMatrix::new(
+            m.nrows(),
+            m.ncols(),
+            m.row_ptr().to_vec(),
+            m.col_idx().to_vec(),
+            m.values().to_vec(),
+        )
+        .unwrap();
+        assert_eq!(m.content_fingerprint(), rebuilt.content_fingerprint());
+        // Any content perturbation changes the fingerprint: a value ...
+        let mut vals = m.values().to_vec();
+        vals[0] += 1.0;
+        let v2 = CsrMatrix::new(
+            m.nrows(),
+            m.ncols(),
+            m.row_ptr().to_vec(),
+            m.col_idx().to_vec(),
+            vals,
+        )
+        .unwrap();
+        assert_ne!(m.content_fingerprint(), v2.content_fingerprint());
+        // ... the pattern ...
+        let moved = CsrMatrix::new(
+            m.nrows(),
+            m.ncols(),
+            m.row_ptr().to_vec(),
+            vec![1, 2, 0, 2],
+            m.values().to_vec(),
+        )
+        .unwrap();
+        assert_ne!(m.content_fingerprint(), moved.content_fingerprint());
+        // ... or the shape alone (extra padding column).
+        let wider = CsrMatrix::new(
+            m.nrows(),
+            m.ncols() + 1,
+            m.row_ptr().to_vec(),
+            m.col_idx().to_vec(),
+            m.values().to_vec(),
+        )
+        .unwrap();
+        assert_ne!(m.content_fingerprint(), wider.content_fingerprint());
     }
 
     #[test]

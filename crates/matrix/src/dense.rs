@@ -38,7 +38,7 @@ impl DenseMatrix {
     /// Wrap an existing row-major buffer.
     pub fn from_vec(nrows: usize, ncols: usize, data: Vec<f32>) -> Result<Self> {
         if data.len() != nrows * ncols {
-            return Err(SpmmError::DimensionMismatch {
+            return Err(SpmmError::Shape {
                 context: format!(
                     "buffer of {} elements cannot back a {nrows}x{ncols} matrix",
                     data.len()

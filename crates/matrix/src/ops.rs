@@ -16,7 +16,7 @@ impl CsrMatrix {
     /// [`DenseMatrix::permute_rows`]).
     pub fn permute_symmetric(&self, perm: &[u32]) -> Result<CsrMatrix> {
         if self.nrows() != self.ncols() {
-            return Err(SpmmError::DimensionMismatch {
+            return Err(SpmmError::Shape {
                 context: format!(
                     "symmetric permutation requires a square matrix, got {}x{}",
                     self.nrows(),
@@ -60,7 +60,7 @@ impl CsrMatrix {
     /// Sparse addition `self + other` (patterns merged, values summed).
     pub fn add(&self, other: &CsrMatrix) -> Result<CsrMatrix> {
         if self.nrows() != other.nrows() || self.ncols() != other.ncols() {
-            return Err(SpmmError::DimensionMismatch {
+            return Err(SpmmError::Shape {
                 context: format!(
                     "add: {}x{} vs {}x{}",
                     self.nrows(),
@@ -122,7 +122,7 @@ impl DenseMatrix {
     /// a performance kernel.
     pub fn matmul(&self, other: &DenseMatrix) -> Result<DenseMatrix> {
         if self.ncols() != other.nrows() {
-            return Err(SpmmError::DimensionMismatch {
+            return Err(SpmmError::Shape {
                 context: format!(
                     "matmul: {}x{} times {}x{}",
                     self.nrows(),
@@ -181,7 +181,7 @@ impl DenseMatrix {
             ));
         }
         if out.nrows() != self.nrows() || out.ncols() != self.ncols() {
-            return Err(SpmmError::DimensionMismatch {
+            return Err(SpmmError::Shape {
                 context: format!(
                     "permute target is {}x{}, source is {}x{}",
                     out.nrows(),
@@ -200,7 +200,7 @@ impl DenseMatrix {
     /// `self += alpha · other`, elementwise.
     pub fn add_assign_scaled(&mut self, other: &DenseMatrix, alpha: f32) -> Result<()> {
         if self.nrows() != other.nrows() || self.ncols() != other.ncols() {
-            return Err(SpmmError::DimensionMismatch {
+            return Err(SpmmError::Shape {
                 context: "add_assign_scaled shape mismatch".into(),
             });
         }

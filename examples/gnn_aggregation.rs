@@ -7,8 +7,8 @@
 //!
 //! Run with: `cargo run --release --example gnn_aggregation`
 
-use acc_spmm::{AccSpmm, Arch};
-use spmm_matrix::{gen, DenseMatrix};
+use acc_spmm::matrix::gen;
+use acc_spmm::prelude::*;
 use std::time::Instant;
 
 /// ReLU, applied in place between layers.
@@ -47,7 +47,11 @@ fn main() {
 
     // One-time preprocessing.
     let t0 = Instant::now();
-    let handle = AccSpmm::new(&a, Arch::H100, feature_dim).expect("preprocess");
+    let handle = AccSpmm::builder(&a)
+        .arch(Arch::H100)
+        .feature_dim(feature_dim)
+        .build()
+        .expect("preprocess");
     let prep = t0.elapsed();
     println!(
         "preprocess: {:.1} ms (MeanNNZTC {:.2}, {} TC blocks)",

@@ -4,9 +4,9 @@
 //!
 //! Run with: `cargo run --release --example graph_analytics`
 
+use acc_spmm::matrix::gen;
+use acc_spmm::prelude::*;
 use acc_spmm::solvers::{block_power_iteration, personalized_pagerank};
-use acc_spmm::Arch;
-use spmm_matrix::gen;
 
 fn main() {
     // A web-like graph: host communities plus hub pages.

@@ -3,8 +3,8 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use acc_spmm::{AccSpmm, Arch};
-use spmm_matrix::{gen, DenseMatrix};
+use acc_spmm::matrix::gen;
+use acc_spmm::prelude::*;
 
 fn main() {
     // A 16k-vertex power-law graph, the bread-and-butter GNN input.
@@ -29,7 +29,11 @@ fn main() {
 
     // Build the execution plan: Reorder -> FormatBuild (BitTCF) ->
     // BalancePlan -> Compile, artifacts cached for every call below.
-    let handle = AccSpmm::new(&a, Arch::A800, n).expect("preprocess");
+    let handle = AccSpmm::builder(&a)
+        .arch(Arch::A800)
+        .feature_dim(n)
+        .build()
+        .expect("preprocess");
     let s = handle.stats();
     println!(
         "preprocessed in {:.1} ms: {} TC blocks, MeanNNZTC {:.2}, IBD {:.2}, balanced: {}",

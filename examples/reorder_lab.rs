@@ -5,11 +5,11 @@
 //!
 //! Run with: `cargo run --release --example reorder_lab`
 
+use acc_spmm::matrix::gen;
+use acc_spmm::prelude::*;
 use acc_spmm::reorder::{metrics, reorder_apply, Algorithm};
 use acc_spmm::sim::{Arch, SimOptions};
-use acc_spmm::{AccConfig, KernelKind};
-use spmm_kernels::PreparedKernel;
-use spmm_matrix::{gen, CsrMatrix};
+use spmm_matrix::CsrMatrix;
 
 /// Render an ASCII density map: each character cell aggregates a
 /// `rows/size × cols/size` region; darker = denser.
@@ -101,7 +101,11 @@ fn main() {
     ] {
         let mut cfg = AccConfig::full();
         cfg.reorder = alg;
-        let r = PreparedKernel::prepare_with_config(KernelKind::AccSpmm, &m, Arch::A800, 128, cfg)
+        let r = PreparedKernel::builder(KernelKind::AccSpmm, &m)
+            .arch(Arch::A800)
+            .feature_dim(128)
+            .config(cfg)
+            .build()
             .expect("prepare")
             .profile(Arch::A800, &opts);
         println!(

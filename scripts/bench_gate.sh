@@ -11,7 +11,10 @@
 #
 # Fails (non-zero exit) when any kernel's median wall time regressed by
 # more than BENCH_GATE_THRESHOLD (default 0.25 = 25%) relative to the
-# baseline. Wall times are machine-dependent: refresh the baseline with
+# baseline, when the multi-client engine scenario is missing from the
+# candidate, when its results are not bit-identical to the direct path,
+# or when its speedup falls below the conservative 1.2x floor. Wall
+# times are machine-dependent: refresh the baseline with
 # --update-baseline when moving to different hardware.
 set -euo pipefail
 cd "$(dirname "$0")/.."

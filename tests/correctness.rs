@@ -53,7 +53,11 @@ fn all_kernels_match_reference_on_all_workloads() {
             let reference = m.spmm_dense(&b).unwrap();
             let tol = tf32_tolerance(m.ncols());
             for kind in KernelKind::ALL {
-                let k = PreparedKernel::prepare(kind, &m, Arch::A800, n).unwrap();
+                let k = PreparedKernel::builder(kind, &m)
+                    .arch(Arch::A800)
+                    .feature_dim(n)
+                    .build()
+                    .unwrap();
                 let c = k.execute(&b).unwrap();
                 assert!(
                     c.approx_eq(&reference, tol, tol),
@@ -91,7 +95,11 @@ fn balancing_strategies_are_numerically_identical() {
     ] {
         let mut cfg = AccConfig::full();
         cfg.balance = balance;
-        let k = PreparedKernel::prepare_with_config(KernelKind::AccSpmm, &m, Arch::H100, 64, cfg)
+        let k = PreparedKernel::builder(KernelKind::AccSpmm, &m)
+            .arch(Arch::H100)
+            .feature_dim(64)
+            .config(cfg)
+            .build()
             .unwrap();
         results.push(k.execute(&b).unwrap());
     }
@@ -110,7 +118,11 @@ fn every_ablation_stage_is_correct() {
     let tol = tf32_tolerance(m.ncols());
     for stage in 0..6 {
         let cfg = AccConfig::ablation_stage(stage);
-        let k = PreparedKernel::prepare_with_config(KernelKind::AccSpmm, &m, Arch::H100, 32, cfg)
+        let k = PreparedKernel::builder(KernelKind::AccSpmm, &m)
+            .arch(Arch::H100)
+            .feature_dim(32)
+            .config(cfg)
+            .build()
             .unwrap();
         let c = k.execute(&b).unwrap();
         assert!(
@@ -136,9 +148,12 @@ fn reordering_never_changes_results() {
     for alg in Algorithm::ALL {
         let mut cfg = AccConfig::full();
         cfg.reorder = alg;
-        let k =
-            PreparedKernel::prepare_with_config(KernelKind::AccSpmm, &m, Arch::Rtx4090, 48, cfg)
-                .unwrap();
+        let k = PreparedKernel::builder(KernelKind::AccSpmm, &m)
+            .arch(Arch::Rtx4090)
+            .feature_dim(48)
+            .config(cfg)
+            .build()
+            .unwrap();
         let c = k.execute(&b).unwrap();
         assert!(
             c.approx_eq(&reference, tol, tol),
@@ -151,7 +166,11 @@ fn reordering_never_changes_results() {
 #[test]
 fn handle_multiply_is_deterministic_and_linear() {
     let m = gen::uniform_random(400, 8.0, 61);
-    let h = AccSpmm::new(&m, Arch::A800, 16).unwrap();
+    let h = AccSpmm::builder(&m)
+        .arch(Arch::A800)
+        .feature_dim(16)
+        .build()
+        .unwrap();
     let x = DenseMatrix::random(m.ncols(), 16, 1);
     let y = DenseMatrix::random(m.ncols(), 16, 2);
     let cx = h.multiply(&x).unwrap();
@@ -185,7 +204,11 @@ fn every_kernel_profiles_an_empty_matrix_without_panicking() {
     use acc_spmm::SimOptions;
     let empty = CsrMatrix::from_coo(&CooMatrix::new(32, 32));
     for kind in KernelKind::ALL {
-        let k = PreparedKernel::prepare(kind, &empty, Arch::A800, 64).unwrap();
+        let k = PreparedKernel::builder(kind, &empty)
+            .arch(Arch::A800)
+            .feature_dim(64)
+            .build()
+            .unwrap();
         let r = k.profile(Arch::A800, &SimOptions::default());
         assert!(
             r.time_s > 0.0,
@@ -201,7 +224,11 @@ fn empty_and_degenerate_matrices_work_end_to_end() {
     // Empty matrix.
     let empty = CsrMatrix::from_coo(&CooMatrix::new(64, 64));
     let b = DenseMatrix::random(64, 16, 3);
-    let h = AccSpmm::new(&empty, Arch::H100, 16).unwrap();
+    let h = AccSpmm::builder(&empty)
+        .arch(Arch::H100)
+        .feature_dim(16)
+        .build()
+        .unwrap();
     let c = h.multiply(&b).unwrap();
     assert!(c.as_slice().iter().all(|&x| x == 0.0));
 
@@ -210,7 +237,11 @@ fn empty_and_degenerate_matrices_work_end_to_end() {
     coo.push(7, 3, 2.0);
     let single = CsrMatrix::from_coo(&coo);
     let b = DenseMatrix::random(16, 8, 4);
-    let h = AccSpmm::new(&single, Arch::A800, 8).unwrap();
+    let h = AccSpmm::builder(&single)
+        .arch(Arch::A800)
+        .feature_dim(8)
+        .build()
+        .unwrap();
     let c = h.multiply(&b).unwrap();
     let reference = single.spmm_dense(&b).unwrap();
     let tol = tf32_tolerance(16);

@@ -80,7 +80,11 @@ fn all_six_kernels_match_the_f64_scalar_reference() {
         // to TF32 and accumulate in f32, so allow both error sources.
         let tol = tf32_tolerance(a.nrows()) as f64;
         for kind in KernelKind::ALL {
-            let k = PreparedKernel::prepare(kind, &a, Arch::A800, b.ncols()).unwrap();
+            let k = PreparedKernel::builder(kind, &a)
+                .arch(Arch::A800)
+                .feature_dim(b.ncols())
+                .build()
+                .unwrap();
             let c = k.execute(&b).unwrap();
             let diff = max_abs_diff(&c, &want);
             assert!(
@@ -95,7 +99,11 @@ fn all_six_kernels_match_the_f64_scalar_reference() {
 #[test]
 fn multiply_batch_is_bit_identical_to_looped_multiply() {
     for (name, a) in workloads() {
-        let handle = AccSpmm::new(&a, Arch::A800, 16).unwrap();
+        let handle = AccSpmm::builder(&a)
+            .arch(Arch::A800)
+            .feature_dim(16)
+            .build()
+            .unwrap();
         let bs: Vec<DenseMatrix> = (0..10)
             .map(|i| DenseMatrix::random(a.nrows(), 16, 500 + i))
             .collect();
@@ -118,7 +126,11 @@ fn execute_batch_bit_identical_across_all_kernels() {
         .map(|i| DenseMatrix::random(a.nrows(), 24, 900 + i))
         .collect();
     for kind in KernelKind::ALL {
-        let k = PreparedKernel::prepare(kind, &a, Arch::H100, 24).unwrap();
+        let k = PreparedKernel::builder(kind, &a)
+            .arch(Arch::H100)
+            .feature_dim(24)
+            .build()
+            .unwrap();
         let batched = k.execute_batch(&bs).unwrap();
         for (i, b) in bs.iter().enumerate() {
             assert_eq!(

@@ -59,7 +59,10 @@ fn bigger_feature_dims_raise_gflops() {
     let opts = SimOptions::default();
     let mut prev = 0.0;
     for n in [32usize, 128, 512] {
-        let r = PreparedKernel::prepare(KernelKind::AccSpmm, &m, Arch::H100, n)
+        let r = PreparedKernel::builder(KernelKind::AccSpmm, &m)
+            .arch(Arch::H100)
+            .feature_dim(n)
+            .build()
             .unwrap()
             .profile(Arch::H100, &opts);
         assert!(
@@ -78,7 +81,10 @@ fn h100_is_fastest_in_absolute_time() {
     let times: Vec<f64> = Arch::ALL
         .iter()
         .map(|&a| {
-            PreparedKernel::prepare(KernelKind::AccSpmm, &m, a, 128)
+            PreparedKernel::builder(KernelKind::AccSpmm, &m)
+                .arch(a)
+                .feature_dim(128)
+                .build()
                 .unwrap()
                 .profile(a, &opts)
                 .time_s
@@ -128,7 +134,11 @@ fn reordering_reduces_simulated_traffic() {
     let run = |alg| {
         let mut cfg = AccConfig::full();
         cfg.reorder = alg;
-        PreparedKernel::prepare_with_config(KernelKind::AccSpmm, &m, Arch::A800, 128, cfg)
+        PreparedKernel::builder(KernelKind::AccSpmm, &m)
+            .arch(Arch::A800)
+            .feature_dim(128)
+            .config(cfg)
+            .build()
             .unwrap()
             .profile(Arch::A800, &opts)
     };
@@ -151,7 +161,11 @@ fn ablation_stages_never_hurt_meaningfully() {
     let mut prev: Option<f64> = None;
     for stage in 0..6 {
         let cfg = AccConfig::ablation_stage(stage);
-        let t = PreparedKernel::prepare_with_config(KernelKind::AccSpmm, &m, Arch::H100, 128, cfg)
+        let t = PreparedKernel::builder(KernelKind::AccSpmm, &m)
+            .arch(Arch::H100)
+            .feature_dim(128)
+            .config(cfg)
+            .build()
             .unwrap()
             .profile(Arch::H100, &opts)
             .time_s;
@@ -182,8 +196,12 @@ fn eq4_model_predicts_simulated_tb_latencies() {
     let opts = SimOptions::scaled(d.scale_factor());
     let mut cfg = AccConfig::full();
     cfg.balance = BalanceStrategy::None;
-    let k =
-        PreparedKernel::prepare_with_config(KernelKind::AccSpmm, &m, Arch::A800, 128, cfg).unwrap();
+    let k = PreparedKernel::builder(KernelKind::AccSpmm, &m)
+        .arch(Arch::A800)
+        .feature_dim(128)
+        .config(cfg)
+        .build()
+        .unwrap();
     let plan = k.plan().unwrap().clone();
     let spec = Arch::A800.spec();
     let model = PerfModel::new(ModelParams {
@@ -226,7 +244,10 @@ fn pipeline_bubble_fraction_ordering() {
     // Absolute idle time: all three process the same TC blocks, so the
     // pipeline with fewer bubbles idles less in total.
     let bubbles = |kind| {
-        PreparedKernel::prepare(kind, &m, Arch::A800, 128)
+        PreparedKernel::builder(kind, &m)
+            .arch(Arch::A800)
+            .feature_dim(128)
+            .build()
             .unwrap()
             .profile(Arch::A800, &opts)
             .bubble_s
