@@ -1,0 +1,65 @@
+//! Micro-benchmark for the TF32 MMA compute core: the legacy
+//! round-at-every-use kernel ([`spmm_common::scalar::tf32_mma_8x8`])
+//! against the pre-rounded variant
+//! ([`spmm_common::scalar::tf32_mma_8x8_prerounded`]) whose inner loop
+//! is a pure mul-add over operands rounded once up front.
+//!
+//! Swept over feature dimensions {16, 64, 128} — the same N range the
+//! perfsuite uses — so the vectorization win is visible across the
+//! regimes where the inner loop is short (gather-bound) and long
+//! (compute-bound).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spmm_common::scalar::{tf32_mma_8x8, tf32_mma_8x8_prerounded, to_tf32_slice};
+use spmm_common::util::splitmix64;
+use std::hint::black_box;
+use std::time::Duration;
+
+const TILE: usize = 8;
+
+/// Deterministic pseudo-random floats in roughly [-1, 1).
+fn fill(buf: &mut [f32], seed: u64) {
+    for (i, v) in buf.iter_mut().enumerate() {
+        let bits = splitmix64(seed ^ (i as u64).wrapping_mul(0x9E37_79B9));
+        *v = ((bits >> 40) as f32 / (1u64 << 23) as f32) * 2.0 - 1.0;
+    }
+}
+
+fn mma_core(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mma_core");
+    g.sample_size(50);
+    g.measurement_time(Duration::from_secs(2));
+    for n in [16usize, 64, 128] {
+        let mut a = [0f32; TILE * TILE];
+        fill(&mut a, 0xA11CE);
+        let mut b = vec![0f32; TILE * n];
+        fill(&mut b, 0xB0B + n as u64);
+        let mut c_tile = vec![0f32; TILE * n];
+
+        // Pre-rounded copies, rounded once outside the timed region —
+        // exactly what the plan-compile/staging path amortizes.
+        let mut a_r = a;
+        to_tf32_slice(&mut a_r);
+        let mut b_r = b.clone();
+        to_tf32_slice(&mut b_r);
+
+        g.bench_with_input(BenchmarkId::new("rounding", n), &n, |bench, &n| {
+            bench.iter(|| {
+                c_tile.fill(0.0);
+                tf32_mma_8x8(black_box(&a), black_box(&b), &mut c_tile, n);
+                black_box(c_tile[0])
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("prerounded", n), &n, |bench, &n| {
+            bench.iter(|| {
+                c_tile.fill(0.0);
+                tf32_mma_8x8_prerounded(black_box(&a_r), black_box(&b_r), &mut c_tile, n);
+                black_box(c_tile[0])
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, mma_core);
+criterion_main!(benches);

@@ -146,6 +146,19 @@ fn run_suite(cfg: &Config) -> ExitCode {
         }
     }
 
+    // Compute-core microbenchmark: the raw 8x8 MMA with per-use
+    // rounding vs the pre-rounded mul-add core the TC kernels now run.
+    for e in mma_core_entries(cfg) {
+        rows.push(vec![
+            e.dataset.clone(),
+            e.kernel.clone(),
+            format!("{:.3}", e.median_s * 1e3),
+            format!("{:.3}", e.min_s * 1e3),
+            f2(e.gflops),
+        ]);
+        entries.push(e);
+    }
+
     // Multi-client serving scenario: the same workload through the
     // engine's micro-batcher vs independent multiply loops.
     let (scenario_entries, scenario) = engine_scenario(cfg);
@@ -227,6 +240,75 @@ fn measure(dataset: &str, kind: KernelKind, m: &CsrMatrix, cfg: &Config) -> Entr
         min_s: min,
         gflops: 2.0 * m.nnz() as f64 * cfg.dim as f64 / med / 1e9,
     }
+}
+
+/// The compute-core entries: many back-to-back 8x8xN MMA tiles through
+/// the legacy round-at-every-use kernel and through the pre-rounded
+/// mul-add core, at the suite's feature dimension. Feeds the gate the
+/// kernel the TC paths actually spend their FLOPs in, independent of
+/// gather/decompress overheads.
+fn mma_core_entries(cfg: &Config) -> Vec<Entry> {
+    use spmm_common::scalar::{tf32_mma_8x8, tf32_mma_8x8_prerounded, to_tf32_slice};
+    use spmm_common::util::splitmix64;
+    const TILE: usize = 8;
+    let _s = spmm_trace::span("perfsuite.mma_core");
+    let n = cfg.dim;
+    let tiles = if cfg.quick { 2_000 } else { 8_000 };
+
+    let mut a = [0f32; TILE * TILE];
+    let mut b = vec![0f32; TILE * n];
+    for (i, v) in a.iter_mut().enumerate() {
+        *v = (splitmix64(0xA11CE ^ i as u64) >> 40) as f32 / (1u64 << 24) as f32 - 0.5;
+    }
+    for (i, v) in b.iter_mut().enumerate() {
+        *v = (splitmix64(0xB0B ^ i as u64) >> 40) as f32 / (1u64 << 24) as f32 - 0.5;
+    }
+    let mut a_r = a;
+    to_tf32_slice(&mut a_r);
+    let mut b_r = b.clone();
+    to_tf32_slice(&mut b_r);
+    let mut c = vec![0f32; TILE * n];
+
+    let flops = 2.0 * (TILE * TILE * n) as f64 * tiles as f64;
+    let mut run = |kernel: &str, f: &mut dyn FnMut(&mut [f32])| {
+        for _ in 0..cfg.warmup.max(1) {
+            f(&mut c);
+        }
+        let times: Vec<f64> = (0..cfg.repeats.max(1))
+            .map(|_| {
+                let t = Instant::now();
+                f(&mut c);
+                t.elapsed().as_secs_f64()
+            })
+            .collect();
+        let med = median(&times);
+        Entry {
+            dataset: "mma-core".into(),
+            kernel: kernel.into(),
+            rows: TILE as f64,
+            nnz: (TILE * TILE) as f64,
+            feature_dim: n as f64,
+            prep_s: 0.0,
+            median_s: med,
+            min_s: times.iter().copied().fold(f64::INFINITY, f64::min),
+            gflops: flops / med / 1e9,
+        }
+    };
+    let e_old = run("mma-rounding", &mut |c| {
+        for _ in 0..tiles {
+            c.fill(0.0);
+            tf32_mma_8x8(std::hint::black_box(&a), std::hint::black_box(&b), c, n);
+        }
+        std::hint::black_box(c[0]);
+    });
+    let e_new = run("mma-prerounded", &mut |c| {
+        for _ in 0..tiles {
+            c.fill(0.0);
+            tf32_mma_8x8_prerounded(std::hint::black_box(&a_r), std::hint::black_box(&b_r), c, n);
+        }
+        std::hint::black_box(c[0]);
+    });
+    vec![e_old, e_new]
 }
 
 /// The multi-client serving scenario: `SCENARIO_CLIENTS` threads share

@@ -15,4 +15,6 @@ pub mod util;
 
 pub use error::{Result, SpmmError};
 pub use precision::{round_to, Precision};
-pub use scalar::{tf32_dot, tf32_mma_8x8, to_tf32};
+pub use scalar::{
+    tf32_dot, tf32_mma_8x8, tf32_mma_8x8_prerounded, tf32_mma_8x8_rows, to_tf32, to_tf32_slice,
+};

@@ -7,24 +7,52 @@
 //! MMA helpers round operands before multiplying while keeping the
 //! accumulator in FP32.
 
+/// FP32 exponent field mask; an all-ones exponent means NaN or infinity.
+const EXP_MASK: u32 = 0x7F80_0000;
+
 /// Round an `f32` to TF32 precision (10-bit mantissa) with
 /// round-to-nearest-even, which is what Ampere-class tensor cores apply to
 /// `mma` operands.
 ///
 /// NaN and infinities are passed through unchanged; TF32 shares FP32's
-/// 8-bit exponent so no range change occurs.
+/// 8-bit exponent so no range change occurs. The non-finite passthrough
+/// is a branchless bitmask select (not an early return) so slice-level
+/// rounding autovectorizes.
 #[inline]
 pub fn to_tf32(x: f32) -> f32 {
-    if !x.is_finite() {
-        return x;
-    }
     let bits = x.to_bits();
     // 13 low mantissa bits are dropped. Round-to-nearest-even: add half of
-    // the dropped ULP plus the parity bit of the kept part.
+    // the dropped ULP plus the parity bit of the kept part. A round-up
+    // carry out of the mantissa lands in the exponent, which is exactly
+    // IEEE overflow-to-infinity; only a pre-existing all-ones exponent
+    // (NaN/Inf) must keep its original bits, selected by `pass`.
     let round_bit = 1u32 << 12;
     let keep_lsb = (bits >> 13) & 1;
     let rounded = bits.wrapping_add((round_bit - 1) + keep_lsb) & !0x1FFF;
-    f32::from_bits(rounded)
+    let pass = 0u32.wrapping_sub(((bits & EXP_MASK) == EXP_MASK) as u32);
+    f32::from_bits((rounded & !pass) | (bits & pass))
+}
+
+/// Round every element of `xs` to TF32 in place.
+///
+/// Since [`to_tf32`] is idempotent, pre-rounding a buffer once and then
+/// multiplying is bit-identical to rounding at every use — which is what
+/// lets the formats store pre-rounded values and the kernels stage a
+/// pre-rounded copy of B ([`tf32_mma_8x8_prerounded`] consumes both).
+#[inline]
+pub fn to_tf32_slice(xs: &mut [f32]) {
+    for x in xs.iter_mut() {
+        *x = to_tf32(*x);
+    }
+}
+
+/// Round `src` to TF32 into `dst` (same contract as [`to_tf32_slice`]).
+#[inline]
+pub fn to_tf32_slice_into(src: &[f32], dst: &mut [f32]) {
+    debug_assert_eq!(src.len(), dst.len());
+    for (d, &s) in dst.iter_mut().zip(src.iter()) {
+        *d = to_tf32(s);
+    }
 }
 
 /// Dot product with TF32 operand rounding and FP32 accumulation, mirroring
@@ -61,6 +89,81 @@ pub fn tf32_mma_8x8(a: &[f32; 64], b: &[f32], c: &mut [f32], n: usize) {
             let crow = &mut c[i * n..i * n + n];
             for j in 0..n {
                 crow[j] += av * to_tf32(brow[j]);
+            }
+        }
+    }
+}
+
+/// [`tf32_mma_8x8_prerounded`] reading the dense operand through eight
+/// per-row slices instead of a gathered contiguous tile.
+///
+/// With B pre-rounded in a staging buffer, the gather copy that used to
+/// feed the contiguous-tile MMA is pure overhead — the kernel can read
+/// each block row in place. Per output element this performs exactly
+/// the same multiply-adds in the same order as gathering into a tile
+/// first, so results are bit-identical.
+///
+/// Rows whose A column is entirely zero (e.g. a block's padded columns)
+/// may be passed as empty slices: the `av == 0.0` skip guarantees they
+/// are never read, and a structurally impossible nonzero against a
+/// short row panics on the `[..n]` bounds check rather than truncating.
+#[inline]
+pub fn tf32_mma_8x8_rows(a: &[f32; 64], rows: &[&[f32]; 8], c: &mut [f32], n: usize) {
+    debug_assert_eq!(c.len(), 8 * n);
+    for i in 0..8 {
+        let crow = &mut c[i * n..(i + 1) * n];
+        for k in 0..8 {
+            let av = a[i * 8 + k];
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &rows[k][..n];
+            let mut cc = crow.chunks_exact_mut(8);
+            let mut bb = brow.chunks_exact(8);
+            for (cs, bs) in (&mut cc).zip(&mut bb) {
+                for j in 0..8 {
+                    cs[j] += av * bs[j];
+                }
+            }
+            for (cj, &bj) in cc.into_remainder().iter_mut().zip(bb.remainder()) {
+                *cj += av * bj;
+            }
+        }
+    }
+}
+
+/// [`tf32_mma_8x8`] over operands that are **already TF32-rounded**: the
+/// inner loop is a pure `c[j] += av * b[j]`, chunked so LLVM vectorizes
+/// it. Callers must have passed both tiles through [`to_tf32_slice`] (or
+/// built them from pre-rounded values); by idempotency of [`to_tf32`]
+/// the result is then bit-identical to the re-rounding [`tf32_mma_8x8`]
+/// on the raw operands.
+///
+/// The `av == 0.0` skip is kept from the rounding variant — it is
+/// semantically load-bearing, not just a fast path: a zero A slot must
+/// not multiply a non-finite B element (`0 × Inf = NaN` would otherwise
+/// contaminate the accumulator).
+#[inline]
+pub fn tf32_mma_8x8_prerounded(a: &[f32; 64], b: &[f32], c: &mut [f32], n: usize) {
+    debug_assert_eq!(b.len(), 8 * n);
+    debug_assert_eq!(c.len(), 8 * n);
+    for i in 0..8 {
+        let crow = &mut c[i * n..(i + 1) * n];
+        for k in 0..8 {
+            let av = a[i * 8 + k];
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &b[k * n..k * n + n];
+            let mut cc = crow.chunks_exact_mut(8);
+            let mut bb = brow.chunks_exact(8);
+            for (cs, bs) in (&mut cc).zip(&mut bb) {
+                for j in 0..8 {
+                    cs[j] += av * bs[j];
+                }
+            }
+            for (cj, &bj) in cc.into_remainder().iter_mut().zip(bb.remainder()) {
+                *cj += av * bj;
             }
         }
     }
@@ -120,6 +223,146 @@ mod tests {
         assert!(to_tf32(f32::NAN).is_nan());
         assert_eq!(to_tf32(f32::INFINITY), f32::INFINITY);
         assert_eq!(to_tf32(f32::NEG_INFINITY), f32::NEG_INFINITY);
+    }
+
+    /// The pre-branchless scalar (early `is_finite` return), kept as the
+    /// bit-equality oracle for the mask-select rewrite.
+    fn to_tf32_branchy(x: f32) -> f32 {
+        if !x.is_finite() {
+            return x;
+        }
+        let bits = x.to_bits();
+        let round_bit = 1u32 << 12;
+        let keep_lsb = (bits >> 13) & 1;
+        let rounded = bits.wrapping_add((round_bit - 1) + keep_lsb) & !0x1FFF;
+        f32::from_bits(rounded)
+    }
+
+    #[test]
+    fn branchless_matches_branchy_on_every_float_class() {
+        // Every (sign, exponent) combination crossed with mantissas that
+        // straddle the 13-bit rounding boundary: denormals (exp 0),
+        // normals, the overflow-to-Inf edge (exp 254 rounding up), and
+        // NaN/Inf payloads (exp 255) which must pass through verbatim.
+        let mantissas = [
+            0u32, 1, 0x0FFF, 0x1000, 0x1001, 0x1FFF, 0x2000, 0x3000, 0x7FF000, 0x7FFFFF,
+        ];
+        for sign in [0u32, 1] {
+            for exp in 0u32..=255 {
+                for &m in &mantissas {
+                    let bits = (sign << 31) | (exp << 23) | m;
+                    let x = f32::from_bits(bits);
+                    let got = to_tf32(x).to_bits();
+                    let want = to_tf32_branchy(x).to_bits();
+                    assert_eq!(got, want, "bits {bits:#010X}");
+                }
+            }
+        }
+        // And a broad pseudo-random sweep of the full bit space.
+        for i in 0..1_000_000u64 {
+            let bits = crate::util::splitmix64(i) as u32;
+            let x = f32::from_bits(bits);
+            assert_eq!(
+                to_tf32(x).to_bits(),
+                to_tf32_branchy(x).to_bits(),
+                "bits {bits:#010X}"
+            );
+        }
+    }
+
+    #[test]
+    fn slice_rounding_matches_scalar() {
+        let src: Vec<f32> = (0..257u64)
+            .map(|i| f32::from_bits(crate::util::splitmix64(i ^ 0xABCD) as u32))
+            .collect();
+        let mut in_place = src.clone();
+        to_tf32_slice(&mut in_place);
+        let mut into = vec![0.0f32; src.len()];
+        to_tf32_slice_into(&src, &mut into);
+        for (i, &s) in src.iter().enumerate() {
+            assert_eq!(in_place[i].to_bits(), to_tf32(s).to_bits());
+            assert_eq!(into[i].to_bits(), to_tf32(s).to_bits());
+        }
+    }
+
+    #[test]
+    fn prerounded_mma_is_bit_identical_to_rounding_mma() {
+        // Raw operands contaminated with every awkward class: NaN, ±Inf,
+        // denormals, negative zero, and values that round up across the
+        // mantissa boundary.
+        let specials = [
+            f32::NAN,
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+            -0.0,
+            1.0e-41,
+            f32::from_bits(0x3F80_3000),
+        ];
+        for n in [1usize, 5, 8, 16, 19, 64] {
+            let mut a = [0.0f32; 64];
+            for (t, slot) in a.iter_mut().enumerate() {
+                let r = crate::util::splitmix64(t as u64) as u32;
+                *slot = match r % 5 {
+                    0 => 0.0,
+                    1 => specials[(r as usize / 5) % specials.len()],
+                    _ => f32::from_bits(r),
+                };
+            }
+            let b: Vec<f32> = (0..8 * n)
+                .map(|t| {
+                    let r = crate::util::splitmix64(1000 + t as u64) as u32;
+                    match r % 4 {
+                        0 => specials[(r as usize / 4) % specials.len()],
+                        _ => f32::from_bits(r),
+                    }
+                })
+                .collect();
+            let mut c_old = vec![0.5f32; 8 * n];
+            tf32_mma_8x8(&a, &b, &mut c_old, n);
+
+            let mut a_pre = a;
+            to_tf32_slice(&mut a_pre);
+            let mut b_pre = b.clone();
+            to_tf32_slice(&mut b_pre);
+            let mut c_new = vec![0.5f32; 8 * n];
+            tf32_mma_8x8_prerounded(&a_pre, &b_pre, &mut c_new, n);
+
+            // The gather-free variant over per-row slices of the same
+            // pre-rounded operand must match too; rows whose A column is
+            // all zero may legally be empty.
+            let rows: [&[f32]; 8] = std::array::from_fn(|k| {
+                if (0..8).all(|i| a_pre[i * 8 + k] == 0.0) {
+                    &[][..]
+                } else {
+                    &b_pre[k * n..(k + 1) * n]
+                }
+            });
+            let mut c_rows = vec![0.5f32; 8 * n];
+            tf32_mma_8x8_rows(&a_pre, &rows, &mut c_rows, n);
+
+            // NaN-position-exact comparison: when several NaNs compete
+            // for one accumulator, IEEE 754 leaves the surviving payload
+            // unspecified and LLVM may commute `c + a*b` differently per
+            // variant, so payloads are not stable — but a NaN must
+            // appear at exactly the same coordinates, and every non-NaN
+            // element (signed zeros, infinities included) must match
+            // bitwise.
+            let same = |x: f32, y: f32| x.to_bits() == y.to_bits() || (x.is_nan() && y.is_nan());
+            for j in 0..8 * n {
+                assert!(
+                    same(c_old[j], c_new[j]),
+                    "n={n} elem {j}: {} vs {}",
+                    c_old[j],
+                    c_new[j]
+                );
+                assert!(
+                    same(c_old[j], c_rows[j]),
+                    "rows variant: n={n} elem {j}: {} vs {}",
+                    c_old[j],
+                    c_rows[j]
+                );
+            }
+        }
     }
 
     #[test]

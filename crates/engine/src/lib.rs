@@ -159,7 +159,13 @@ impl EngineBuilder {
             config: self.config.clone(),
             cache: PlanCache::new(c.plan_cache_capacity),
             queue: RequestQueue::new(c.queue_capacity),
-            pool: WorkspacePool::new((c.workers + 1) * 2),
+            // Workspaces now retain a TF32-rounded B stage (an extra
+            // operand-sized buffer each), so the idle pool is bounded at
+            // one spare per worker plus one for `poll()` callers instead
+            // of the former 2×(workers+1): concurrency never needs more
+            // than one workspace per executing thread, and each retained
+            // workspace is heavier than before.
+            pool: WorkspacePool::new(c.workers + 1),
             metrics: Metrics::default(),
         });
         let workers = (0..c.workers)

@@ -13,9 +13,9 @@
 //! the value index of the non-zero at bit `t` is the popcount of the bits
 //! below `t`.
 
-use crate::scratch::TileScratch;
+use crate::scratch::{BStage, TileScratch};
 use crate::window::{WindowPartition, PAD_COL, TILE};
-use spmm_common::scalar::tf32_mma_8x8;
+use spmm_common::scalar::{tf32_mma_8x8_prerounded, tf32_mma_8x8_rows, to_tf32_slice};
 use spmm_common::{Result, SpmmError};
 use spmm_matrix::{CooMatrix, CsrMatrix, DenseMatrix};
 
@@ -35,6 +35,10 @@ pub struct BitTcf {
     pub tc_local_bit: Vec<u64>,
     /// Values in block order, row-major within each block (bit order).
     pub values: Vec<f32>,
+    /// Whether `values` have already been rounded to TF32
+    /// ([`BitTcf::preround_values`]); when set, the SpMM paths skip the
+    /// per-block operand rounding.
+    values_tf32: bool,
 }
 
 impl BitTcf {
@@ -53,36 +57,52 @@ impl BitTcf {
     /// (ascending local row, then ascending squeezed column) values
     /// arrive already in bit order — no per-block sort and no per-nnz id
     /// array, unlike the ME-TCF converter.
+    /// Windows are independent in both passes, so each is built in
+    /// parallel and the per-window pieces are stitched in window order —
+    /// byte-identical to the former sequential construction.
     pub fn from_partition(m: &CsrMatrix, wp: &WindowPartition) -> Self {
+        use rayon::prelude::*;
         let num_windows = wp.num_windows();
         let num_blocks = wp.num_tc_blocks();
+
+        // Pass 1 (parallel per window): bitmaps + SparseAToB (one OR per
+        // nnz).
+        let per_window: Vec<(Vec<u64>, Vec<u32>)> = (0..num_windows)
+            .into_par_iter()
+            .map(|w| {
+                let blocks = wp.window_blocks(w);
+                let nb = blocks.len();
+                let mut cols_out = vec![PAD_COL; nb * TILE];
+                for bi in 0..nb {
+                    let cols = wp.block_columns(w, bi);
+                    cols_out[bi * TILE..(bi + 1) * TILE].copy_from_slice(&cols);
+                }
+                let mut bits = vec![0u64; nb];
+                let wcols = wp.window_columns(w);
+                let lo = w * TILE;
+                let hi = ((w + 1) * TILE).min(m.nrows());
+                for r in lo..hi {
+                    let lr = (r - lo) as u8;
+                    let (cols, _) = m.row(r);
+                    for &c in cols {
+                        // Position of c within the squeezed window columns.
+                        let pos = wcols.binary_search(&c).expect("column must be in window");
+                        let lc = (pos % TILE) as u8;
+                        bits[pos / TILE] |= 1u64 << (lr * TILE as u8 + lc);
+                    }
+                }
+                (bits, cols_out)
+            })
+            .collect();
+
         let mut row_window_offset = Vec::with_capacity(num_windows + 1);
         row_window_offset.push(0u32);
-        let mut sparse_a_to_b = vec![PAD_COL; num_blocks * TILE];
-        let mut tc_local_bit = vec![0u64; num_blocks];
-
-        // Pass 1: bitmaps + SparseAToB (one OR per nnz).
-        for w in 0..num_windows {
-            let blocks = wp.window_blocks(w);
-            row_window_offset.push(blocks.end as u32);
-            let wcols = wp.window_columns(w);
-            for (bi, block) in blocks.clone().enumerate() {
-                let cols = wp.block_columns(w, bi);
-                sparse_a_to_b[block * TILE..(block + 1) * TILE].copy_from_slice(&cols);
-            }
-            let lo = w * TILE;
-            let hi = ((w + 1) * TILE).min(m.nrows());
-            for r in lo..hi {
-                let lr = (r - lo) as u8;
-                let (cols, _) = m.row(r);
-                for &c in cols {
-                    // Position of c within the squeezed window columns.
-                    let pos = wcols.binary_search(&c).expect("column must be in window");
-                    let block = blocks.start + pos / TILE;
-                    let lc = (pos % TILE) as u8;
-                    tc_local_bit[block] |= 1u64 << (lr * TILE as u8 + lc);
-                }
-            }
+        let mut sparse_a_to_b = Vec::with_capacity(num_blocks * TILE);
+        let mut tc_local_bit = Vec::with_capacity(num_blocks);
+        for (w, (bits, cols)) in per_window.iter().enumerate() {
+            row_window_offset.push(wp.window_blocks(w).end as u32);
+            tc_local_bit.extend_from_slice(bits);
+            sparse_a_to_b.extend_from_slice(cols);
         }
 
         // TCOffset from bitmap popcounts.
@@ -94,25 +114,40 @@ impl BitTcf {
             tc_offset.push(acc);
         }
 
-        // Pass 2: scatter values straight to their final slots. Within a
-        // block, the visit order (ascending row, ascending column) IS
-        // ascending bit order, so a per-block cursor suffices.
-        let mut values = vec![0f32; m.nnz()];
-        let mut cursor: Vec<u32> = tc_offset[..num_blocks].to_vec();
-        for w in 0..num_windows {
-            let blocks = wp.window_blocks(w);
-            let wcols = wp.window_columns(w);
-            let lo = w * TILE;
-            let hi = ((w + 1) * TILE).min(m.nrows());
-            for r in lo..hi {
-                let (cols, vals) = m.row(r);
-                for (&c, &v) in cols.iter().zip(vals.iter()) {
-                    let pos = wcols.binary_search(&c).expect("column must be in window");
-                    let block = blocks.start + pos / TILE;
-                    values[cursor[block] as usize] = v;
-                    cursor[block] += 1;
+        // Pass 2 (parallel per window): scatter values straight to their
+        // final slots. Within a block, the visit order (ascending row,
+        // ascending column) IS ascending bit order, so a per-block
+        // cursor suffices; a window's values occupy the contiguous
+        // `tc_offset` span of its blocks.
+        let value_chunks: Vec<Vec<f32>> = (0..num_windows)
+            .into_par_iter()
+            .map(|w| {
+                let blocks = wp.window_blocks(w);
+                let base = tc_offset[blocks.start] as usize;
+                let len = tc_offset[blocks.end] as usize - base;
+                let mut vals = vec![0f32; len];
+                let mut cursor: Vec<usize> = blocks
+                    .clone()
+                    .map(|b| tc_offset[b] as usize - base)
+                    .collect();
+                let wcols = wp.window_columns(w);
+                let lo = w * TILE;
+                let hi = ((w + 1) * TILE).min(m.nrows());
+                for r in lo..hi {
+                    let (cols, rvals) = m.row(r);
+                    for (&c, &v) in cols.iter().zip(rvals.iter()) {
+                        let pos = wcols.binary_search(&c).expect("column must be in window");
+                        let bi = pos / TILE;
+                        vals[cursor[bi]] = v;
+                        cursor[bi] += 1;
+                    }
                 }
-            }
+                vals
+            })
+            .collect();
+        let mut values = Vec::with_capacity(m.nnz());
+        for chunk in &value_chunks {
+            values.extend_from_slice(chunk);
         }
 
         BitTcf {
@@ -123,7 +158,29 @@ impl BitTcf {
             sparse_a_to_b,
             tc_local_bit,
             values,
+            values_tf32: false,
         }
+    }
+
+    /// Round the stored values to TF32 in place, marking the format as
+    /// pre-rounded so the SpMM paths skip per-block operand rounding.
+    ///
+    /// Because [`spmm_common::scalar::to_tf32`] is idempotent, every
+    /// multiply result stays bit-identical to the non-prerounded path.
+    /// This is lossy for the *stored* matrix ([`BitTcf::to_csr`] returns
+    /// the rounded values), so it is meant for execution-plan-owned
+    /// formats, not archival ones.
+    pub fn preround_values(&mut self) {
+        if !self.values_tf32 {
+            to_tf32_slice(&mut self.values);
+            self.values_tf32 = true;
+        }
+    }
+
+    /// Whether the stored values are already TF32-rounded.
+    #[inline]
+    pub fn is_prerounded(&self) -> bool {
+        self.values_tf32
     }
 
     /// Reassemble from raw arrays (used by the binary loader, which
@@ -145,6 +202,7 @@ impl BitTcf {
             sparse_a_to_b,
             tc_local_bit,
             values,
+            values_tf32: false,
         }
     }
 
@@ -234,21 +292,33 @@ impl BitTcf {
     }
 
     /// [`BitTcf::spmm`] writing into a caller-provided output matrix.
-    /// Parallel over RowWindows with one [`TileScratch`] per worker, so
-    /// the hot path allocates nothing proportional to the matrix.
+    /// Rounds B into a fresh [`BStage`] and runs the window-parallel
+    /// staged loop; callers that multiply repeatedly should hold their
+    /// own stage and use [`BitTcf::spmm_into_staged`] instead.
     pub fn spmm_into(&self, b: &DenseMatrix, c: &mut DenseMatrix) -> Result<()> {
+        self.check_shapes(b.nrows(), b.ncols(), c)?;
+        let mut stage = BStage::new();
+        stage.stage(b);
+        self.spmm_into_staged(&stage, c)
+    }
+
+    /// The window-parallel SpMM over a pre-rounded B stage (one
+    /// [`TileScratch`] per worker, the stage shared read-only), so the
+    /// hot path allocates nothing proportional to the matrix and the MMA
+    /// inner loop is a pure mul-add.
+    pub fn spmm_into_staged(&self, stage: &BStage, c: &mut DenseMatrix) -> Result<()> {
         use rayon::prelude::*;
-        self.check_spmm_shapes(b, c)?;
-        let n = b.ncols();
+        self.check_shapes(stage.nrows(), stage.ncols(), c)?;
+        let n = stage.ncols();
         c.as_mut_slice()
             .par_chunks_mut(TILE * n)
             .enumerate()
             .for_each_init(
                 || TileScratch::with_feature_dim(n),
                 |scratch, (w, cslab)| {
-                    let (btile, ctile) = scratch.ensure(n);
+                    let (_btile, ctile) = scratch.ensure(n);
                     ctile.iter_mut().for_each(|x| *x = 0.0);
-                    self.window_product(w, b, btile, ctile);
+                    self.window_product(w, stage, ctile);
                     // Write the window's C rows back (last slab may be
                     // ragged).
                     cslab.copy_from_slice(&ctile[..cslab.len()]);
@@ -257,13 +327,28 @@ impl BitTcf {
         Ok(())
     }
 
-    /// Accumulate window `w`'s TC blocks into `ctile`.
-    fn window_product(&self, w: usize, b: &DenseMatrix, btile: &mut [f32], ctile: &mut [f32]) {
-        let n = b.ncols();
+    /// Accumulate window `w`'s TC blocks into `ctile`. Both operands are
+    /// pre-rounded here — B by the stage, A either at
+    /// [`BitTcf::preround_values`] time or per block below — so the MMA
+    /// core never rounds, and it reads B rows in place from the stage
+    /// (no gather copy; padded columns carry structurally zero A values
+    /// and are skipped, so their empty slices are never read).
+    fn window_product(&self, w: usize, stage: &BStage, ctile: &mut [f32]) {
+        let n = stage.ncols();
         for blk in self.window_blocks(w) {
-            let a = self.decompress_block(blk);
-            self.gather_block(blk, b, btile);
-            tf32_mma_8x8(&a, &btile[..TILE * n], ctile, n);
+            let mut a = self.decompress_block(blk);
+            if !self.values_tf32 {
+                to_tf32_slice(&mut a);
+            }
+            let cols = self.block_cols(blk);
+            let rows: [&[f32]; TILE] = std::array::from_fn(|i| {
+                if cols[i] == PAD_COL {
+                    &[][..]
+                } else {
+                    stage.row(cols[i] as usize)
+                }
+            });
+            tf32_mma_8x8_rows(&a, &rows, ctile, n);
         }
     }
 
@@ -273,52 +358,44 @@ impl BitTcf {
     /// kernel keeping the A tile in registers while cycling B tiles.
     /// `btile` and `ctiles` are `TILE × Σ ncols` floats laid out
     /// row-major with the RHS column blocks side by side: row `i` is
-    /// `[rhs0[i] | rhs1[i] | …]`. Per output element the k-accumulation
+    /// `[rhs0[i] | rhs1[i] | …]`. Unlike the single-RHS window product,
+    /// this path keeps the gather: one wide contiguous MMA over
+    /// `Σ ncols` columns measures faster here than cycling per-RHS row
+    /// slices. Per output element the k-accumulation
     /// order is exactly [`BitTcf::spmm_into_seq`]'s, so results stay
     /// bit-identical to one-at-a-time execution.
     pub fn window_product_batch(
         &self,
         w: usize,
-        bs: &[&DenseMatrix],
+        stages: &[&BStage],
         btile: &mut [f32],
         ctiles: &mut [f32],
     ) {
-        let total_n: usize = bs.iter().map(|b| b.ncols()).sum();
+        let total_n: usize = stages.iter().map(|s| s.ncols()).sum();
         for blk in self.window_blocks(w) {
-            let a = self.decompress_block(blk);
+            let mut a = self.decompress_block(blk);
+            if !self.values_tf32 {
+                to_tf32_slice(&mut a);
+            }
             for (i, &col) in self.block_cols(blk).iter().enumerate() {
                 let dst = &mut btile[i * total_n..(i + 1) * total_n];
                 if col == PAD_COL {
                     dst.fill(0.0);
                 } else {
                     let mut off = 0;
-                    for b in bs {
-                        let n = b.ncols();
-                        dst[off..off + n].copy_from_slice(b.row(col as usize));
+                    for s in stages {
+                        let n = s.ncols();
+                        dst[off..off + n].copy_from_slice(s.row(col as usize));
                         off += n;
                     }
                 }
             }
-            tf32_mma_8x8(
+            tf32_mma_8x8_prerounded(
                 &a,
                 &btile[..TILE * total_n],
                 &mut ctiles[..TILE * total_n],
                 total_n,
             );
-        }
-    }
-
-    /// Gather the 8 B rows selected by SparseAToB into `btile`'s prefix
-    /// (padding contributes zero rows, exactly like the zero-filled
-    /// shared-memory slots on the GPU).
-    fn gather_block(&self, blk: usize, b: &DenseMatrix, btile: &mut [f32]) {
-        let n = b.ncols();
-        for (i, &col) in self.block_cols(blk).iter().enumerate() {
-            if col == PAD_COL {
-                btile[i * n..(i + 1) * n].iter_mut().for_each(|x| *x = 0.0);
-            } else {
-                btile[i * n..(i + 1) * n].copy_from_slice(b.row(col as usize));
-            }
         }
     }
 
@@ -334,12 +411,13 @@ impl BitTcf {
         c: &mut DenseMatrix,
         scratch: &mut TileScratch,
     ) -> Result<()> {
-        self.check_spmm_shapes(b, c)?;
+        self.check_shapes(b.nrows(), b.ncols(), c)?;
         let n = b.ncols();
-        let (btile, ctile) = scratch.ensure(n);
+        scratch.stage_b(b);
+        let (stage, ctile) = scratch.staged_parts(n);
         for w in 0..self.num_windows() {
             ctile.iter_mut().for_each(|x| *x = 0.0);
-            self.window_product(w, b, btile, ctile);
+            self.window_product(w, stage, ctile);
             let lo = w * TILE;
             let hi = ((w + 1) * TILE).min(self.nrows);
             for r in lo..hi {
@@ -350,15 +428,15 @@ impl BitTcf {
         Ok(())
     }
 
-    fn check_spmm_shapes(&self, b: &DenseMatrix, c: &DenseMatrix) -> Result<()> {
-        if self.ncols != b.nrows() || c.nrows() != self.nrows || c.ncols() != b.ncols() {
+    fn check_shapes(&self, b_rows: usize, b_cols: usize, c: &DenseMatrix) -> Result<()> {
+        if self.ncols != b_rows || c.nrows() != self.nrows || c.ncols() != b_cols {
             return Err(SpmmError::Shape {
                 context: format!(
                     "A is {}x{}, B is {}x{}, C is {}x{}",
                     self.nrows,
                     self.ncols,
-                    b.nrows(),
-                    b.ncols(),
+                    b_rows,
+                    b_cols,
                     c.nrows(),
                     c.ncols()
                 ),
@@ -554,14 +632,22 @@ mod tests {
         let total_n: usize = bs.iter().map(|b| b.ncols()).sum();
         let mut scratch = TileScratch::new();
         let (btile, ctiles) = scratch.ensure(total_n);
-        let brefs: Vec<&DenseMatrix> = bs.iter().collect();
+        let stages: Vec<BStage> = bs
+            .iter()
+            .map(|b| {
+                let mut s = BStage::new();
+                s.stage(b);
+                s
+            })
+            .collect();
+        let srefs: Vec<&BStage> = stages.iter().collect();
         let mut got: Vec<DenseMatrix> = bs
             .iter()
             .map(|b| DenseMatrix::zeros(96, b.ncols()))
             .collect();
         for w in 0..t.num_windows() {
             ctiles.iter_mut().for_each(|x| *x = 0.0);
-            t.window_product_batch(w, &brefs, btile, ctiles);
+            t.window_product_batch(w, &srefs, btile, ctiles);
             let lo = w * TILE;
             let hi = ((w + 1) * TILE).min(96);
             for r in lo..hi {
@@ -576,6 +662,93 @@ mod tests {
         }
         for (j, b) in bs.iter().enumerate() {
             assert_eq!(got[j], t.spmm(b).unwrap(), "rhs {j} diverged");
+        }
+    }
+
+    /// The pre-change execution path, kept verbatim as the bit-equality
+    /// oracle: gather raw B rows and let the re-rounding
+    /// [`spmm_common::scalar::tf32_mma_8x8`] round both operands at use.
+    fn reference_spmm(t: &BitTcf, b: &DenseMatrix) -> DenseMatrix {
+        use spmm_common::scalar::tf32_mma_8x8;
+        let n = b.ncols();
+        let mut c = DenseMatrix::zeros(t.nrows(), n);
+        let mut btile = vec![0.0f32; TILE * n];
+        let mut ctile = vec![0.0f32; TILE * n];
+        for w in 0..t.num_windows() {
+            ctile.iter_mut().for_each(|x| *x = 0.0);
+            for blk in t.window_blocks(w) {
+                let a = t.decompress_block(blk);
+                for (i, &col) in t.block_cols(blk).iter().enumerate() {
+                    if col == PAD_COL {
+                        btile[i * n..(i + 1) * n].iter_mut().for_each(|x| *x = 0.0);
+                    } else {
+                        btile[i * n..(i + 1) * n].copy_from_slice(b.row(col as usize));
+                    }
+                }
+                tf32_mma_8x8(&a, &btile, &mut ctile, n);
+            }
+            let lo = w * TILE;
+            let hi = ((w + 1) * TILE).min(t.nrows());
+            for r in lo..hi {
+                c.row_mut(r)
+                    .copy_from_slice(&ctile[(r - lo) * n..(r - lo + 1) * n]);
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn prerounded_execution_is_bit_identical_to_reference() {
+        let m = uniform_random(200, 6.0, 21);
+        let b = DenseMatrix::random(200, 20, 5);
+        let t = BitTcf::from_csr(&m);
+        let want = reference_spmm(&t, &b);
+        // Non-prerounded format: rounds the A tile per block.
+        assert_eq!(t.spmm(&b).unwrap(), want);
+        // Prerounded format: rounds the values once at compile time.
+        let mut pre = t.clone();
+        pre.preround_values();
+        assert!(pre.is_prerounded());
+        assert_eq!(pre.spmm(&b).unwrap(), want, "prerounded parallel path");
+        let mut seq = DenseMatrix::zeros(200, 20);
+        pre.spmm_into_seq(&b, &mut seq, &mut TileScratch::new())
+            .unwrap();
+        assert_eq!(seq, want, "prerounded sequential path");
+        // Prerounding twice is a no-op.
+        let mut twice = pre.clone();
+        twice.preround_values();
+        assert_eq!(twice.values, pre.values);
+    }
+
+    #[test]
+    fn prerounded_execution_handles_non_finite_inputs() {
+        let mut coo = CooMatrix::new(16, 16);
+        coo.push(0, 0, f32::NAN);
+        coo.push(0, 3, f32::INFINITY);
+        coo.push(1, 3, 1.0e-41);
+        coo.push(2, 5, -0.0);
+        coo.push(9, 1, 2.5);
+        coo.push(15, 15, f32::NEG_INFINITY);
+        let m = CsrMatrix::from_coo(&coo);
+        let mut b = DenseMatrix::random(16, 9, 4);
+        b.set(3, 0, f32::NAN);
+        b.set(5, 2, f32::INFINITY);
+        b.set(1, 8, 1.0e-42);
+        let t = BitTcf::from_csr(&m);
+        let want = reference_spmm(&t, &b);
+        let mut pre = t.clone();
+        pre.preround_values();
+        let got = pre.spmm(&b).unwrap();
+        for r in 0..16 {
+            for c in 0..9 {
+                let (g, w) = (got.get(r, c), want.get(r, c));
+                // NaN payloads are unspecified under commutation, so
+                // compare NaN-position-exact, everything else bitwise.
+                assert!(
+                    g.to_bits() == w.to_bits() || (g.is_nan() && w.is_nan()),
+                    "({r},{c}): {g} vs {w}"
+                );
+            }
         }
     }
 

@@ -25,6 +25,6 @@ pub mod window;
 
 pub use bittcf::BitTcf;
 pub use metcf::MeTcf;
-pub use scratch::TileScratch;
+pub use scratch::{BStage, TileScratch};
 pub use tcf::Tcf;
-pub use window::{WindowPartition, TILE};
+pub use window::{WindowPartition, PAD_COL, TILE};

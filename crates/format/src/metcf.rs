@@ -7,8 +7,9 @@
 //! flat 8 bytes, so ME-TCF loses ground as blocks densify (> 8 nnz per
 //! block) — the effect Figure 12 measures.
 
-use crate::scratch::TileScratch;
+use crate::scratch::{BStage, TileScratch};
 use crate::window::{WindowPartition, PAD_COL, TILE};
+use spmm_common::scalar::{tf32_mma_8x8_prerounded, tf32_mma_8x8_rows, to_tf32_slice};
 use spmm_common::{Result, SpmmError};
 use spmm_matrix::{CooMatrix, CsrMatrix, DenseMatrix};
 
@@ -27,6 +28,9 @@ pub struct MeTcf {
     pub tc_local_id: Vec<u8>,
     /// Values in block order, position-sorted.
     pub values: Vec<f32>,
+    /// Whether `values` are already TF32-rounded
+    /// ([`MeTcf::preround_values`]).
+    values_tf32: bool,
 }
 
 impl MeTcf {
@@ -36,49 +40,68 @@ impl MeTcf {
         Self::from_partition(m, &wp)
     }
 
-    /// Convert from CSR with a shared partition.
+    /// Convert from CSR with a shared partition. Windows are
+    /// independent, so each one's blocks are collected and sorted in
+    /// parallel and stitched in window order — byte-identical to the
+    /// former sequential construction.
     pub fn from_partition(m: &CsrMatrix, wp: &WindowPartition) -> Self {
+        use rayon::prelude::*;
         let num_windows = wp.num_windows();
         let num_blocks = wp.num_tc_blocks();
+
+        // Per window: the block column slots plus the position-sorted
+        // (id, value) entries of each block.
+        type WindowBlocks = (Vec<u32>, Vec<Vec<(u8, f32)>>);
+        let per_window: Vec<WindowBlocks> = (0..num_windows)
+            .into_par_iter()
+            .map(|w| {
+                let blocks = wp.window_blocks(w);
+                let nb = blocks.len();
+                let mut cols_out = vec![PAD_COL; nb * TILE];
+                for bi in 0..nb {
+                    let cols = wp.block_columns(w, bi);
+                    cols_out[bi * TILE..(bi + 1) * TILE].copy_from_slice(&cols);
+                }
+                let mut entries: Vec<Vec<(u8, f32)>> = vec![Vec::new(); nb];
+                let wcols = wp.window_columns(w);
+                let lo = w * TILE;
+                let hi = ((w + 1) * TILE).min(m.nrows());
+                for r in lo..hi {
+                    let lr = (r - lo) as u8;
+                    let (cols, vals) = m.row(r);
+                    for (&c, &v) in cols.iter().zip(vals.iter()) {
+                        let pos = wcols.binary_search(&c).expect("column must be in window");
+                        let lc = (pos % TILE) as u8;
+                        entries[pos / TILE].push((lr * TILE as u8 + lc, v));
+                    }
+                }
+                for e in entries.iter_mut() {
+                    // Local ids are unique within a block, so the
+                    // unstable sort is deterministic.
+                    e.sort_unstable_by_key(|&(id, _)| id);
+                }
+                (cols_out, entries)
+            })
+            .collect();
+
         let mut row_window_offset = Vec::with_capacity(num_windows + 1);
         row_window_offset.push(0u32);
-        let mut sparse_a_to_b = vec![PAD_COL; num_blocks * TILE];
-        let mut block_entries: Vec<Vec<(u8, f32)>> = vec![Vec::new(); num_blocks];
-
-        for w in 0..num_windows {
-            let blocks = wp.window_blocks(w);
-            row_window_offset.push(blocks.end as u32);
-            let wcols = wp.window_columns(w);
-            for (bi, block) in blocks.clone().enumerate() {
-                let cols = wp.block_columns(w, bi);
-                sparse_a_to_b[block * TILE..(block + 1) * TILE].copy_from_slice(&cols);
-            }
-            let lo = w * TILE;
-            let hi = ((w + 1) * TILE).min(m.nrows());
-            for r in lo..hi {
-                let lr = (r - lo) as u8;
-                let (cols, vals) = m.row(r);
-                for (&c, &v) in cols.iter().zip(vals.iter()) {
-                    let pos = wcols.binary_search(&c).expect("column must be in window");
-                    let block = blocks.start + pos / TILE;
-                    let lc = (pos % TILE) as u8;
-                    block_entries[block].push((lr * TILE as u8 + lc, v));
+        let mut sparse_a_to_b = Vec::with_capacity(num_blocks * TILE);
+        let mut tc_offset = Vec::with_capacity(num_blocks + 1);
+        let mut tc_local_id = Vec::with_capacity(m.nnz());
+        let mut values = Vec::with_capacity(m.nnz());
+        for (w, (cols, entries)) in per_window.iter().enumerate() {
+            row_window_offset.push(wp.window_blocks(w).end as u32);
+            sparse_a_to_b.extend_from_slice(cols);
+            for block in entries {
+                tc_offset.push((values.len()) as u32);
+                for &(id, v) in block {
+                    tc_local_id.push(id);
+                    values.push(v);
                 }
             }
         }
-
-        let mut tc_offset = vec![0u32; num_blocks + 1];
-        let mut tc_local_id = Vec::with_capacity(m.nnz());
-        let mut values = Vec::with_capacity(m.nnz());
-        for (b, entries) in block_entries.iter_mut().enumerate() {
-            entries.sort_unstable_by_key(|&(id, _)| id);
-            tc_offset[b] = values.len() as u32;
-            for &(id, v) in entries.iter() {
-                tc_local_id.push(id);
-                values.push(v);
-            }
-        }
-        tc_offset[num_blocks] = values.len() as u32;
+        tc_offset.push(values.len() as u32);
 
         MeTcf {
             nrows: m.nrows(),
@@ -88,7 +111,24 @@ impl MeTcf {
             sparse_a_to_b,
             tc_local_id,
             values,
+            values_tf32: false,
         }
+    }
+
+    /// Round the stored values to TF32 in place (idempotent, so every
+    /// multiply stays bit-identical; lossy for [`MeTcf::to_csr`] — see
+    /// [`crate::BitTcf::preround_values`]).
+    pub fn preround_values(&mut self) {
+        if !self.values_tf32 {
+            to_tf32_slice(&mut self.values);
+            self.values_tf32 = true;
+        }
+    }
+
+    /// Whether the stored values are already TF32-rounded.
+    #[inline]
+    pub fn is_prerounded(&self) -> bool {
+        self.values_tf32
     }
 
     /// Rows of the represented matrix.
@@ -158,18 +198,27 @@ impl MeTcf {
     /// disjoint output rows, so this computes the same floats as the
     /// sequential path).
     pub fn spmm_into(&self, b: &DenseMatrix, c: &mut DenseMatrix) -> Result<()> {
+        self.check_shapes(b.nrows(), b.ncols(), c)?;
+        let mut stage = BStage::new();
+        stage.stage(b);
+        self.spmm_into_staged(&stage, c)
+    }
+
+    /// The window-parallel SpMM over a pre-rounded B stage (see
+    /// [`crate::BitTcf::spmm_into_staged`]).
+    pub fn spmm_into_staged(&self, stage: &BStage, c: &mut DenseMatrix) -> Result<()> {
         use rayon::prelude::*;
-        self.check_spmm_shapes(b, c)?;
-        let n = b.ncols();
+        self.check_shapes(stage.nrows(), stage.ncols(), c)?;
+        let n = stage.ncols();
         c.as_mut_slice()
             .par_chunks_mut(TILE * n)
             .enumerate()
             .for_each_init(
                 || TileScratch::with_feature_dim(n),
                 |scratch, (w, cslab)| {
-                    let (btile, ctile) = scratch.ensure(n);
+                    let (_btile, ctile) = scratch.ensure(n);
                     ctile.iter_mut().for_each(|x| *x = 0.0);
-                    self.window_product(w, b, btile, ctile);
+                    self.window_product(w, stage, ctile);
                     cslab.copy_from_slice(&ctile[..cslab.len()]);
                 },
             );
@@ -183,12 +232,13 @@ impl MeTcf {
         c: &mut DenseMatrix,
         scratch: &mut TileScratch,
     ) -> Result<()> {
-        self.check_spmm_shapes(b, c)?;
+        self.check_shapes(b.nrows(), b.ncols(), c)?;
         let n = b.ncols();
-        let (btile, ctile) = scratch.ensure(n);
+        scratch.stage_b(b);
+        let (stage, ctile) = scratch.staged_parts(n);
         for w in 0..self.num_windows() {
             ctile.iter_mut().for_each(|x| *x = 0.0);
-            self.window_product(w, b, btile, ctile);
+            self.window_product(w, stage, ctile);
             let lo = w * TILE;
             let hi = ((w + 1) * TILE).min(self.nrows);
             for r in lo..hi {
@@ -199,31 +249,49 @@ impl MeTcf {
         Ok(())
     }
 
-    /// Accumulate window `w`'s TC blocks into `ctile`.
-    fn window_product(&self, w: usize, b: &DenseMatrix, btile: &mut [f32], ctile: &mut [f32]) {
-        let n = b.ncols();
+    /// Accumulate window `w`'s TC blocks into `ctile` (pre-rounded
+    /// operands, gather-free pure mul-add MMA — see
+    /// [`crate::BitTcf::window_product`] for the rounding and padding
+    /// contracts).
+    fn window_product(&self, w: usize, stage: &BStage, ctile: &mut [f32]) {
+        let n = stage.ncols();
         for blk in self.window_blocks(w) {
-            let a = self.decompress_block(blk);
-            self.gather_block(blk, b, btile);
-            spmm_common::scalar::tf32_mma_8x8(&a, &btile[..TILE * n], ctile, n);
+            let mut a = self.decompress_block(blk);
+            if !self.values_tf32 {
+                to_tf32_slice(&mut a);
+            }
+            let base = blk * TILE;
+            let rows: [&[f32]; TILE] = std::array::from_fn(|i| {
+                let col = self.sparse_a_to_b[base + i];
+                if col == PAD_COL {
+                    &[][..]
+                } else {
+                    stage.row(col as usize)
+                }
+            });
+            tf32_mma_8x8_rows(&a, &rows, ctile, n);
         }
     }
 
     /// Accumulate window `w` into a combined ctile for the whole batch,
     /// scattering each block's nnz **once** and running **one wide MMA**
     /// over the concatenated columns (see
-    /// [`crate::BitTcf::window_product_batch`] for the layout contract;
-    /// bit-identical to per-RHS [`MeTcf::spmm_into_seq`]).
+    /// [`crate::BitTcf::window_product_batch`] for the layout contract
+    /// and why the batched path keeps the gather; bit-identical to
+    /// per-RHS [`MeTcf::spmm_into_seq`]).
     pub fn window_product_batch(
         &self,
         w: usize,
-        bs: &[&DenseMatrix],
+        stages: &[&BStage],
         btile: &mut [f32],
         ctiles: &mut [f32],
     ) {
-        let total_n: usize = bs.iter().map(|b| b.ncols()).sum();
+        let total_n: usize = stages.iter().map(|s| s.ncols()).sum();
         for blk in self.window_blocks(w) {
-            let a = self.decompress_block(blk);
+            let mut a = self.decompress_block(blk);
+            if !self.values_tf32 {
+                to_tf32_slice(&mut a);
+            }
             for i in 0..TILE {
                 let col = self.sparse_a_to_b[blk * TILE + i];
                 let dst = &mut btile[i * total_n..(i + 1) * total_n];
@@ -231,14 +299,14 @@ impl MeTcf {
                     dst.fill(0.0);
                 } else {
                     let mut off = 0;
-                    for b in bs {
-                        let n = b.ncols();
-                        dst[off..off + n].copy_from_slice(b.row(col as usize));
+                    for s in stages {
+                        let n = s.ncols();
+                        dst[off..off + n].copy_from_slice(s.row(col as usize));
                         off += n;
                     }
                 }
             }
-            spmm_common::scalar::tf32_mma_8x8(
+            tf32_mma_8x8_prerounded(
                 &a,
                 &btile[..TILE * total_n],
                 &mut ctiles[..TILE * total_n],
@@ -247,28 +315,15 @@ impl MeTcf {
         }
     }
 
-    /// Gather the 8 B rows selected by SparseAToB into `btile`'s prefix.
-    fn gather_block(&self, blk: usize, b: &DenseMatrix, btile: &mut [f32]) {
-        let n = b.ncols();
-        for i in 0..TILE {
-            let col = self.sparse_a_to_b[blk * TILE + i];
-            if col == PAD_COL {
-                btile[i * n..(i + 1) * n].iter_mut().for_each(|x| *x = 0.0);
-            } else {
-                btile[i * n..(i + 1) * n].copy_from_slice(b.row(col as usize));
-            }
-        }
-    }
-
-    fn check_spmm_shapes(&self, b: &DenseMatrix, c: &DenseMatrix) -> Result<()> {
-        if self.ncols != b.nrows() || c.nrows() != self.nrows || c.ncols() != b.ncols() {
+    fn check_shapes(&self, b_rows: usize, b_cols: usize, c: &DenseMatrix) -> Result<()> {
+        if self.ncols != b_rows || c.nrows() != self.nrows || c.ncols() != b_cols {
             return Err(SpmmError::Shape {
                 context: format!(
                     "A is {}x{}, B is {}x{}, C is {}x{}",
                     self.nrows,
                     self.ncols,
-                    b.nrows(),
-                    b.ncols(),
+                    b_rows,
+                    b_cols,
                     c.nrows(),
                     c.ncols()
                 ),

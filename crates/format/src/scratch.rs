@@ -1,20 +1,86 @@
 //! Reusable per-call scratch for the TC SpMM paths.
 //!
-//! Every window iteration of the block formats needs an 8×N gather tile
-//! for the dense operand and an 8×N accumulator tile. Allocating them
-//! per call (let alone per window) dominates small multiplies, so the
-//! zero-allocation entry points ([`crate::BitTcf::spmm_into`] and
-//! friends) borrow them from a caller-owned `TileScratch` that grows
-//! monotonically and is reused across calls — the CPU analogue of the
-//! GPU kernel's persistent shared-memory tiles.
+//! Every window iteration of the block formats needs an 8×N accumulator
+//! tile. Allocating it per call (let alone per window) dominates small
+//! multiplies, so the zero-allocation entry points
+//! ([`crate::BitTcf::spmm_into`] and friends) borrow it from a
+//! caller-owned `TileScratch` that grows monotonically and is reused
+//! across calls — the CPU analogue of the GPU kernel's persistent
+//! shared-memory tiles.
+//!
+//! [`BStage`] is the second half of the pre-rounded operand scheme: one
+//! TF32-rounded copy of the dense operand, refreshed once per multiply.
+//! The single-RHS MMA core reads its rows *in place*
+//! ([`spmm_common::scalar::tf32_mma_8x8_rows`]), so there is no per-block
+//! gather tile and the inner loop stays a pure mul-add; only the batched
+//! path still gathers, into `btile`, where one wide MMA over the
+//! concatenated RHS columns measures faster than per-RHS row cycling.
 
 use crate::window::TILE;
+use spmm_common::scalar::to_tf32_slice_into;
+use spmm_matrix::DenseMatrix;
+
+/// A TF32-rounded staging copy of a dense operand.
+///
+/// `stage` rounds the whole matrix once (idempotent, so bit-identical to
+/// rounding at every use); the buffer grows monotonically and is reused
+/// across multiplies. Windows read it concurrently through shared
+/// references, matching the read-only B slab in GPU global memory.
+#[derive(Debug, Clone, Default)]
+pub struct BStage {
+    data: Vec<f32>,
+    nrows: usize,
+    ncols: usize,
+}
+
+impl BStage {
+    /// An empty stage; the buffer is grown on first use.
+    pub fn new() -> Self {
+        BStage::default()
+    }
+
+    /// Pre-size the backing buffer for an `nrows × ncols` operand.
+    pub fn reserve(&mut self, nrows: usize, ncols: usize) {
+        let want = nrows * ncols;
+        if self.data.len() < want {
+            self.data.resize(want, 0.0);
+        }
+    }
+
+    /// Round `b` into the stage (growing the buffer if needed).
+    pub fn stage(&mut self, b: &DenseMatrix) {
+        let want = b.nrows() * b.ncols();
+        self.data.resize(want.max(self.data.len()), 0.0);
+        to_tf32_slice_into(b.as_slice(), &mut self.data[..want]);
+        self.nrows = b.nrows();
+        self.ncols = b.ncols();
+    }
+
+    /// Rows of the staged operand.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Columns of the staged operand.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Row `r` of the staged (pre-rounded) operand.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.ncols..(r + 1) * self.ncols]
+    }
+}
 
 /// Caller-owned tile buffers for the sequential SpMM paths.
 #[derive(Debug, Clone, Default)]
 pub struct TileScratch {
     btile: Vec<f32>,
     ctile: Vec<f32>,
+    bstage: BStage,
 }
 
 impl TileScratch {
@@ -32,7 +98,8 @@ impl TileScratch {
 
     /// Grow (never shrink) the tiles to hold `TILE × n` floats and hand
     /// them out zeroed (`btile`) / untouched (`ctile` — callers reset it
-    /// per window anyway).
+    /// per window anyway). Only the batched path reads `btile`; the
+    /// single-RHS paths accumulate straight from the stage.
     pub fn ensure(&mut self, n: usize) -> (&mut [f32], &mut [f32]) {
         let want = TILE * n;
         if self.btile.len() < want {
@@ -42,15 +109,41 @@ impl TileScratch {
         (&mut self.btile[..want], &mut self.ctile[..want])
     }
 
+    /// Round `b` into this scratch's owned [`BStage`] and hand it back.
+    pub fn stage_b(&mut self, b: &DenseMatrix) -> &BStage {
+        self.bstage.stage(b);
+        &self.bstage
+    }
+
+    /// Pre-size the owned [`BStage`] (avoids the first-call growth for
+    /// callers that know the operand shape up front).
+    pub fn reserve_stage(&mut self, nrows: usize, ncols: usize) {
+        self.bstage.reserve(nrows, ncols);
+    }
+
+    /// Split-borrow the staged operand together with the accumulator
+    /// tile: the sequential SpMM paths read B rows straight from the
+    /// stage while accumulating in `ctile`, so both must be live at
+    /// once. The stage must have been filled by [`TileScratch::stage_b`]
+    /// for the current operand.
+    pub fn staged_parts(&mut self, n: usize) -> (&BStage, &mut [f32]) {
+        let want = TILE * n;
+        if self.ctile.len() < want {
+            self.ctile.resize(want, 0.0);
+        }
+        (&self.bstage, &mut self.ctile[..want])
+    }
+
     /// Current tile capacity in floats.
     pub fn capacity(&self) -> usize {
-        self.btile.len()
+        self.ctile.len()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use spmm_common::scalar::to_tf32;
 
     #[test]
     fn ensure_grows_monotonically() {
@@ -71,5 +164,49 @@ mod tests {
     fn with_feature_dim_presizes() {
         let s = TileScratch::with_feature_dim(8);
         assert_eq!(s.capacity(), TILE * 8);
+    }
+
+    #[test]
+    fn stage_rounds_every_element() {
+        let b = DenseMatrix::from_fn(5, 3, |r, c| 1.2345678 + r as f32 * 0.1 + c as f32);
+        let mut stage = BStage::new();
+        stage.stage(&b);
+        assert_eq!(stage.nrows(), 5);
+        assert_eq!(stage.ncols(), 3);
+        for r in 0..5 {
+            for c in 0..3 {
+                assert_eq!(stage.row(r)[c].to_bits(), to_tf32(b.get(r, c)).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn stage_reuse_across_shapes_is_exact() {
+        let mut stage = BStage::new();
+        let big = DenseMatrix::random(16, 8, 1);
+        stage.stage(&big);
+        // Restaging a smaller matrix must not read stale tail data.
+        let small = DenseMatrix::from_fn(2, 2, |r, c| (r * 2 + c) as f32 + 0.5);
+        stage.stage(&small);
+        assert_eq!(stage.nrows(), 2);
+        assert_eq!(stage.ncols(), 2);
+        for r in 0..2 {
+            for c in 0..2 {
+                assert_eq!(
+                    stage.row(r)[c].to_bits(),
+                    to_tf32(small.get(r, c)).to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_staged_parts_returns_filled_stage() {
+        let mut s = TileScratch::new();
+        let b = DenseMatrix::random(8, 4, 2);
+        s.stage_b(&b);
+        let (stage, ctile) = s.staged_parts(4);
+        assert_eq!(stage.nrows(), 8);
+        assert_eq!(ctile.len(), TILE * 4);
     }
 }

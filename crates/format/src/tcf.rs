@@ -6,7 +6,9 @@
 //! plus the window pointer — the redundancy both ME-TCF and BitTCF
 //! eliminate.
 
+use crate::scratch::BStage;
 use crate::window::{WindowPartition, TILE};
+use spmm_common::scalar::to_tf32_slice;
 use spmm_common::{Result, SpmmError};
 use spmm_matrix::{CooMatrix, CsrMatrix, DenseMatrix};
 
@@ -28,6 +30,9 @@ pub struct Tcf {
     pub values: Vec<f32>,
     /// TC blocks per window (derived; `blockPartition` in TC-GNN).
     pub blocks_per_window: Vec<u32>,
+    /// Whether `values` are already TF32-rounded
+    /// ([`Tcf::preround_values`]).
+    values_tf32: bool,
 }
 
 impl Tcf {
@@ -37,9 +42,47 @@ impl Tcf {
         Self::from_partition(m, &wp)
     }
 
-    /// Convert from CSR with a shared partition.
+    /// Convert from CSR with a shared partition. Each window's edge
+    /// arrays are computed in parallel and stitched in window order —
+    /// byte-identical to the former sequential construction.
     pub fn from_partition(m: &CsrMatrix, wp: &WindowPartition) -> Self {
+        use rayon::prelude::*;
         let num_windows = wp.num_windows();
+
+        struct WindowEdges {
+            edge_list: Vec<u32>,
+            edge_to_column: Vec<u32>,
+            edge_to_row: Vec<u32>,
+            values: Vec<f32>,
+            blocks: u32,
+        }
+        let per_window: Vec<WindowEdges> = (0..num_windows)
+            .into_par_iter()
+            .map(|w| {
+                let wcols = wp.window_columns(w);
+                let lo = w * TILE;
+                let hi = ((w + 1) * TILE).min(m.nrows());
+                let mut out = WindowEdges {
+                    edge_list: Vec::new(),
+                    edge_to_column: Vec::new(),
+                    edge_to_row: Vec::new(),
+                    values: Vec::new(),
+                    blocks: wcols.len().div_ceil(TILE) as u32,
+                };
+                for r in lo..hi {
+                    let (cols, vals) = m.row(r);
+                    for (&c, &v) in cols.iter().zip(vals.iter()) {
+                        let pos = wcols.binary_search(&c).expect("column in window") as u32;
+                        out.edge_list.push(c);
+                        out.edge_to_column.push(pos);
+                        out.edge_to_row.push(r as u32);
+                        out.values.push(v);
+                    }
+                }
+                out
+            })
+            .collect();
+
         let mut window_nnz_offset = Vec::with_capacity(num_windows + 1);
         window_nnz_offset.push(0u32);
         let mut edge_list = Vec::with_capacity(m.nnz());
@@ -47,21 +90,12 @@ impl Tcf {
         let mut edge_to_row = Vec::with_capacity(m.nnz());
         let mut values = Vec::with_capacity(m.nnz());
         let mut blocks_per_window = Vec::with_capacity(num_windows);
-        for w in 0..num_windows {
-            let wcols = wp.window_columns(w);
-            blocks_per_window.push(wcols.len().div_ceil(TILE) as u32);
-            let lo = w * TILE;
-            let hi = ((w + 1) * TILE).min(m.nrows());
-            for r in lo..hi {
-                let (cols, vals) = m.row(r);
-                for (&c, &v) in cols.iter().zip(vals.iter()) {
-                    let pos = wcols.binary_search(&c).expect("column in window") as u32;
-                    edge_list.push(c);
-                    edge_to_column.push(pos);
-                    edge_to_row.push(r as u32);
-                    values.push(v);
-                }
-            }
+        for we in &per_window {
+            blocks_per_window.push(we.blocks);
+            edge_list.extend_from_slice(&we.edge_list);
+            edge_to_column.extend_from_slice(&we.edge_to_column);
+            edge_to_row.extend_from_slice(&we.edge_to_row);
+            values.extend_from_slice(&we.values);
             window_nnz_offset.push(values.len() as u32);
         }
         Tcf {
@@ -73,7 +107,24 @@ impl Tcf {
             edge_to_row,
             values,
             blocks_per_window,
+            values_tf32: false,
         }
+    }
+
+    /// Round the stored values to TF32 in place (idempotent, so every
+    /// multiply stays bit-identical; lossy for [`Tcf::to_csr`] — see
+    /// [`crate::BitTcf::preround_values`]).
+    pub fn preround_values(&mut self) {
+        if !self.values_tf32 {
+            to_tf32_slice(&mut self.values);
+            self.values_tf32 = true;
+        }
+    }
+
+    /// Whether the stored values are already TF32-rounded.
+    #[inline]
+    pub fn is_prerounded(&self) -> bool {
+        self.values_tf32
     }
 
     /// Rows of the represented matrix.
@@ -136,17 +187,43 @@ impl Tcf {
                 ),
             });
         }
-        let n = b.ncols();
+        let mut stage = BStage::new();
+        stage.stage(b);
+        self.spmm_into_staged(&stage, c)
+    }
+
+    /// [`Tcf::spmm_into`] over a pre-rounded B stage: the per-edge inner
+    /// loop is a pure mul-add (the value is rounded once per edge — or
+    /// not at all when [`Tcf::preround_values`] ran — instead of once
+    /// per output column).
+    pub fn spmm_into_staged(&self, stage: &BStage, c: &mut DenseMatrix) -> Result<()> {
+        if self.ncols != stage.nrows() || c.nrows() != self.nrows || c.ncols() != stage.ncols() {
+            return Err(SpmmError::Shape {
+                context: format!(
+                    "A is {}x{}, B is {}x{}, C is {}x{}",
+                    self.nrows,
+                    self.ncols,
+                    stage.nrows(),
+                    stage.ncols(),
+                    c.nrows(),
+                    c.ncols()
+                ),
+            });
+        }
         c.as_mut_slice().iter_mut().for_each(|x| *x = 0.0);
         use spmm_common::scalar::to_tf32;
         for k in 0..self.nnz() {
             let r = self.edge_to_row[k] as usize;
             let col = self.edge_list[k] as usize;
-            let v = to_tf32(self.values[k]);
-            let brow = b.row(col);
+            let v = if self.values_tf32 {
+                self.values[k]
+            } else {
+                to_tf32(self.values[k])
+            };
+            let brow = stage.row(col);
             let crow = c.row_mut(r);
-            for j in 0..n {
-                crow[j] += v * to_tf32(brow[j]);
+            for (cj, &bj) in crow.iter_mut().zip(brow.iter()) {
+                *cj += v * bj;
             }
         }
         Ok(())

@@ -39,7 +39,7 @@ pub use workspace::{Workspace, WorkspacePool};
 use crate::workspace::ensure_staging;
 use spmm_balance::BalancePlan;
 use spmm_common::{Result, SpmmError};
-use spmm_format::{BitTcf, MeTcf, Tcf, TileScratch, WindowPartition};
+use spmm_format::{BStage, BitTcf, MeTcf, Tcf, TileScratch, WindowPartition};
 use spmm_matrix::{CsrMatrix, DenseMatrix};
 use spmm_sim::{Arch, KernelDesc, KernelReport, SimOptions};
 
@@ -326,18 +326,31 @@ impl PreparedKernel {
             .map(|b| DenseMatrix::zeros(a_rows, b.ncols()))
             .collect();
         let group = bs.len().div_ceil(rayon::current_num_threads()).max(1);
-        let failure = std::sync::Mutex::new(None);
+        // Keep the *first* failure (lowest group index) — groups finish
+        // in arbitrary order, and a last-writer-wins slot would surface
+        // a different error on every run. Every failed group is counted
+        // so multi-failure batches stay observable in traces.
+        let failure: std::sync::Mutex<Option<(usize, SpmmError)>> = std::sync::Mutex::new(None);
+        let failed_groups = std::sync::atomic::AtomicU64::new(0);
         outs.as_mut_slice()
             .par_chunks_mut(group)
             .enumerate()
             .for_each_init(Workspace::new, |ws, (g, out_group)| {
                 let b_group = &bs[g * group..g * group + out_group.len()];
                 if let Err(e) = self.execute_group(b_group, out_group, ws) {
-                    *failure.lock().unwrap() = Some(e);
+                    failed_groups.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    let mut slot = failure.lock().unwrap();
+                    if slot.as_ref().is_none_or(|(held, _)| g < *held) {
+                        *slot = Some((g, e));
+                    }
                 }
             });
+        let failed = failed_groups.into_inner();
+        if failed > 0 {
+            spmm_trace::counter_add("kernel.batch_group_failures", failed);
+        }
         match failure.into_inner().unwrap() {
-            Some(e) => Err(e),
+            Some((_, e)) => Err(e),
             None => Ok(outs),
         }
     }
@@ -407,7 +420,21 @@ impl PreparedKernel {
         }
         let nrows = self.csr().nrows();
         let total_n: usize = bs.iter().map(|b| b.ncols()).sum();
-        let (btile, ctiles) = ws.tiles.ensure(total_n);
+        let Workspace {
+            tiles,
+            batch_stages,
+            ..
+        } = ws;
+        // Round every RHS once per batch into its own reusable stage —
+        // the batched window loop then gathers pre-rounded rows only.
+        if batch_stages.len() < bs.len() {
+            batch_stages.resize_with(bs.len(), BStage::new);
+        }
+        for (stage, b) in batch_stages.iter_mut().zip(bs.iter()) {
+            stage.stage(b);
+        }
+        let stage_refs: Vec<&BStage> = batch_stages[..bs.len()].iter().collect();
+        let (btile, ctiles) = tiles.ensure(total_n);
         // With a row reorder in effect, window w computes rows of the
         // *permuted* matrix; inverting the permutation lets each window
         // write its rows directly in original order, skipping the
@@ -419,13 +446,12 @@ impl PreparedKernel {
             }
             inv
         });
-        let brefs: Vec<&DenseMatrix> = bs.iter().collect();
         let num_windows = nrows.div_ceil(spmm_format::TILE);
         for w in 0..num_windows {
             ctiles.iter_mut().for_each(|x| *x = 0.0);
             match self.plan.format() {
-                Some(TcFormat::BitTcf(f)) => f.window_product_batch(w, &brefs, btile, ctiles),
-                Some(TcFormat::MeTcf(f)) => f.window_product_batch(w, &brefs, btile, ctiles),
+                Some(TcFormat::BitTcf(f)) => f.window_product_batch(w, &stage_refs, btile, ctiles),
+                Some(TcFormat::MeTcf(f)) => f.window_product_batch(w, &stage_refs, btile, ctiles),
                 _ => unreachable!("batched path is TC-only"),
             }
             let lo = w * spmm_format::TILE;
@@ -461,6 +487,7 @@ impl PreparedKernel {
             tiles,
             staging_b,
             staging_c,
+            ..
         } = ws;
         // Symmetric-reorder mode multiplies (P A Pᵀ)(P B) = P (A B): the
         // dense operand is row-permuted on the way in, and the usual
@@ -508,11 +535,16 @@ impl PreparedKernel {
         parallel: bool,
     ) -> Result<()> {
         match (self.plan.format(), parallel) {
-            (Some(TcFormat::Tcf(f)), _) => f.spmm_into(b, c),
-            (Some(TcFormat::MeTcf(f)), true) => f.spmm_into(b, c),
+            // TC formats consume a TF32 pre-rounded B stage owned by the
+            // workspace scratch, so repeated multiplies re-round B into
+            // the same buffer instead of allocating (and the rounding
+            // happens once per multiply, not once per gathered element).
+            (Some(TcFormat::Tcf(f)), _) => f.spmm_into_staged(tiles.stage_b(b), c),
+            (Some(TcFormat::MeTcf(f)), true) => f.spmm_into_staged(tiles.stage_b(b), c),
             (Some(TcFormat::MeTcf(f)), false) => f.spmm_into_seq(b, c, tiles),
-            (Some(TcFormat::BitTcf(f)), true) => f.spmm_into(b, c),
+            (Some(TcFormat::BitTcf(f)), true) => f.spmm_into_staged(tiles.stage_b(b), c),
             (Some(TcFormat::BitTcf(f)), false) => f.spmm_into_seq(b, c, tiles),
+            // CUDA-core kernels are FP32 FMA — no operand rounding.
             (None, true) => self.csr().spmm_dense_into(b, c),
             (None, false) => self.csr().spmm_dense_into_seq(b, c),
         }

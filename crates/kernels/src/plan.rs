@@ -217,12 +217,24 @@ impl PlanStage for FormatBuildStage {
             return Ok(());
         }
         let wp = WindowPartition::build(&ctx.csr);
-        ctx.format = Some(match ctx.spec.format {
+        spmm_trace::counter_add("plan.format_build.windows", wp.num_windows() as u64);
+        spmm_trace::counter_add("plan.parallel_workers", rayon::current_num_threads() as u64);
+        let mut format = match ctx.spec.format {
             FormatChoice::Tcf => TcFormat::Tcf(Tcf::from_partition(&ctx.csr, &wp)),
             FormatChoice::MeTcf => TcFormat::MeTcf(MeTcf::from_partition(&ctx.csr, &wp)),
             FormatChoice::BitTcf => TcFormat::BitTcf(BitTcf::from_partition(&ctx.csr, &wp)),
             FormatChoice::Csr => unreachable!(),
-        });
+        };
+        // TC execution rounds A to TF32 anyway; rounding once at compile
+        // time is bit-identical (idempotent) and turns every block
+        // multiply into a pure mul-add. Plan-owned formats are execution
+        // artifacts, so the lossy in-place rounding is safe here.
+        match &mut format {
+            TcFormat::Tcf(f) => f.preround_values(),
+            TcFormat::MeTcf(f) => f.preround_values(),
+            TcFormat::BitTcf(f) => f.preround_values(),
+        }
+        ctx.format = Some(format);
         ctx.partition = Some(wp);
         Ok(())
     }

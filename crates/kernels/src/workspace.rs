@@ -1,19 +1,21 @@
 //! Reusable execution buffers for the zero-allocation multiply path.
 
 use crate::plan::ExecutionPlan;
-use spmm_format::TileScratch;
+use spmm_format::{BStage, TileScratch};
 use spmm_matrix::DenseMatrix;
 
 /// Caller-owned buffer pool for [`crate::PreparedKernel::execute_into`]:
-/// holds the TC tile scratch plus the staging matrices the permuted
-/// kernels need (row-permuted B in symmetric mode, pre-scatter C when a
-/// row permutation must be undone). Buffers grow on first use and are
-/// reused on every subsequent call, so steady-state multiplies allocate
-/// nothing — the pattern iterative solvers and GNN training loops live
-/// in.
+/// holds the TC tile scratch (which owns the TF32 pre-rounded B stage),
+/// the per-RHS stages of the batched path, plus the staging matrices the
+/// permuted kernels need (row-permuted B in symmetric mode, pre-scatter
+/// C when a row permutation must be undone). Buffers grow on first use
+/// and are reused on every subsequent call, so steady-state multiplies
+/// allocate nothing — the pattern iterative solvers and GNN training
+/// loops live in.
 #[derive(Debug, Clone, Default)]
 pub struct Workspace {
     pub(crate) tiles: TileScratch,
+    pub(crate) batch_stages: Vec<BStage>,
     pub(crate) staging_b: Option<DenseMatrix>,
     pub(crate) staging_c: Option<DenseMatrix>,
 }
@@ -24,11 +26,15 @@ impl Workspace {
         Workspace::default()
     }
 
-    /// A workspace pre-sized for a plan's feature dimension (avoids
-    /// even the first-call growth on the tile scratch).
+    /// A workspace pre-sized for a plan's feature dimension and operand
+    /// shape (avoids even the first-call growth on the tile scratch and
+    /// the pre-rounded B stage).
     pub fn for_plan(plan: &ExecutionPlan) -> Self {
+        let mut tiles = TileScratch::with_feature_dim(plan.feature_dim());
+        tiles.reserve_stage(plan.csr().ncols(), plan.feature_dim());
         Workspace {
-            tiles: TileScratch::with_feature_dim(plan.feature_dim()),
+            tiles,
+            batch_stages: Vec::new(),
             staging_b: None,
             staging_c: None,
         }

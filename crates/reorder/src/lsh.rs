@@ -11,24 +11,32 @@ use spmm_matrix::CsrMatrix;
 
 /// Compute an LSH permutation using `bands` minhash bands (1 = LSH64,
 /// 4 = DTC-LSH).
+///
+/// Per-row signatures are independent, so the scoring pass runs in
+/// parallel; the ordered collect keeps the key vector — and therefore
+/// the sort and the resulting permutation — byte-identical to the
+/// sequential computation.
 pub fn lsh_order(m: &CsrMatrix, bands: usize) -> Vec<u32> {
+    use rayon::prelude::*;
     assert!(bands >= 1);
     let n = m.nrows();
-    let mut keys: Vec<(Vec<u64>, u32)> = Vec::with_capacity(n);
-    for r in 0..n {
-        let (cols, _) = m.row(r);
-        let mut sig = Vec::with_capacity(bands);
-        for b in 0..bands {
-            let salt = 0xB1A5_ED00 + b as u64;
-            let mh = cols
-                .iter()
-                .map(|&c| splitmix64((c as u64) ^ (salt << 32)))
-                .min()
-                .unwrap_or(u64::MAX);
-            sig.push(mh);
-        }
-        keys.push((sig, r as u32));
-    }
+    let mut keys: Vec<(Vec<u64>, u32)> = (0..n)
+        .into_par_iter()
+        .map(|r| {
+            let (cols, _) = m.row(r);
+            let mut sig = Vec::with_capacity(bands);
+            for b in 0..bands {
+                let salt = 0xB1A5_ED00 + b as u64;
+                let mh = cols
+                    .iter()
+                    .map(|&c| splitmix64((c as u64) ^ (salt << 32)))
+                    .min()
+                    .unwrap_or(u64::MAX);
+                sig.push(mh);
+            }
+            (sig, r as u32)
+        })
+        .collect();
     // Sort by signature; within equal signatures DTC-LSH sorts by degree
     // (longer rows first) so window density stays high, LSH64 by id.
     keys.sort_by(|a, b| {

@@ -3,9 +3,71 @@
 use proptest::prelude::*;
 use spmm_balance::{plan, BalanceStrategy, ModelParams, PerfModel, MAX_BLOCKS_PER_TB};
 use spmm_common::util::is_permutation;
-use spmm_format::{BitTcf, MeTcf, Tcf, WindowPartition, TILE};
+use spmm_format::{BitTcf, MeTcf, Tcf, WindowPartition, PAD_COL, TILE};
 use spmm_matrix::{CooMatrix, CsrMatrix, DenseMatrix};
 use spmm_reorder::Algorithm;
+
+/// Non-finite / edge-case floats to splice into operands, selected by
+/// a proptest-drawn index.
+fn special(code: usize) -> f32 {
+    [
+        f32::NAN,
+        f32::INFINITY,
+        f32::NEG_INFINITY,
+        -0.0f32,
+        1.0e-41f32, // denormal
+        f32::MAX,
+    ][code % 6]
+}
+
+/// The pre-change sequential BitTCF SpMM: decompress each block, gather
+/// raw dense rows, and run the round-at-every-use
+/// [`spmm_common::scalar::tf32_mma_8x8`]. The pre-rounded production
+/// paths must stay bit-identical to this.
+fn reference_bittcf_spmm(t: &BitTcf, b: &DenseMatrix) -> DenseMatrix {
+    use spmm_common::scalar::tf32_mma_8x8;
+    let n = b.ncols();
+    let mut c = DenseMatrix::zeros(t.nrows(), n);
+    let mut btile = vec![0.0f32; TILE * n];
+    let mut ctile = vec![0.0f32; TILE * n];
+    for w in 0..t.num_windows() {
+        ctile.iter_mut().for_each(|x| *x = 0.0);
+        for blk in t.window_blocks(w) {
+            let a = t.decompress_block(blk);
+            for (i, &col) in t.block_cols(blk).iter().enumerate() {
+                if col == PAD_COL {
+                    btile[i * n..(i + 1) * n].iter_mut().for_each(|x| *x = 0.0);
+                } else {
+                    btile[i * n..(i + 1) * n].copy_from_slice(b.row(col as usize));
+                }
+            }
+            tf32_mma_8x8(&a, &btile, &mut ctile, n);
+        }
+        let lo = w * TILE;
+        let hi = ((w + 1) * TILE).min(t.nrows());
+        for r in lo..hi {
+            c.row_mut(r)
+                .copy_from_slice(&ctile[(r - lo) * n..(r - lo + 1) * n]);
+        }
+    }
+    c
+}
+
+/// Bit-level equality, NaN-position-exact: every non-NaN element must
+/// match bitwise (including signed zeros and infinities) and NaNs must
+/// appear at exactly the same positions. NaN *payloads* are allowed to
+/// differ — IEEE 754 leaves invalid-operation payload propagation
+/// unspecified, and the compiler may commute `c + a*b`, so payloads are
+/// not stable across differently-vectorized builds of the same
+/// arithmetic.
+fn bits_equal(a: &DenseMatrix, b: &DenseMatrix) -> bool {
+    a.nrows() == b.nrows()
+        && a.ncols() == b.ncols()
+        && a.as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .all(|(x, y)| x.to_bits() == y.to_bits() || (x.is_nan() && y.is_nan()))
+}
 
 /// Strategy: an arbitrary small sparse square matrix (duplicates summed).
 fn arb_matrix(max_n: usize, max_nnz: usize) -> impl Strategy<Value = CsrMatrix> {
@@ -187,11 +249,124 @@ proptest! {
     }
 
     #[test]
+    fn prerounded_spmm_into_matches_sequential_reference(
+        m in arb_matrix(48, 160),
+        seed in 0u64..1000,
+        a_specials in proptest::collection::vec((0usize..4096, 0usize..6), 0..6),
+        b_specials in proptest::collection::vec((0usize..4096, 0usize..6), 0..6),
+    ) {
+        let n = 8;
+        let mut t = BitTcf::from_csr(&m);
+        let mut b = DenseMatrix::random(m.ncols(), n, seed);
+        // Splice NaN/Inf/denormal edge cases into both operands: the
+        // pre-rounded path must propagate them bit-for-bit like the
+        // round-at-every-use reference.
+        for &(i, v) in &a_specials {
+            if !t.values.is_empty() {
+                let idx = i % t.values.len();
+                t.values[idx] = special(v);
+            }
+        }
+        for &(i, v) in &b_specials {
+            let s = b.as_mut_slice();
+            let idx = i % s.len();
+            s[idx] = special(v);
+        }
+        let reference = reference_bittcf_spmm(&t, &b);
+
+        // Raw format (rounds the decompressed tile per block).
+        let mut c = DenseMatrix::zeros(m.nrows(), n);
+        t.spmm_into(&b, &mut c).unwrap();
+        prop_assert!(bits_equal(&c, &reference), "raw-format path diverged");
+
+        // Pre-rounded format (the plan-compiled configuration).
+        t.preround_values();
+        let mut c2 = DenseMatrix::zeros(m.nrows(), n);
+        t.spmm_into(&b, &mut c2).unwrap();
+        prop_assert!(bits_equal(&c2, &reference), "prerounded-format path diverged");
+
+        // Sequential scratch path.
+        let mut scratch = spmm_format::TileScratch::new();
+        let mut c3 = DenseMatrix::zeros(m.nrows(), n);
+        t.spmm_into_seq(&b, &mut c3, &mut scratch).unwrap();
+        prop_assert!(bits_equal(&c3, &reference), "sequential path diverged");
+    }
+
+    #[test]
+    fn execute_batch_is_bit_identical_to_sequential_executes(
+        m in arb_matrix(40, 120),
+        seeds in proptest::collection::vec(0u64..1000, 1..4),
+        specials in proptest::collection::vec((0usize..4096, 0usize..6), 0..4),
+    ) {
+        let n = 8;
+        let k = spmm_kernels::PreparedKernel::builder(spmm_kernels::KernelKind::AccSpmm, &m)
+            .feature_dim(n)
+            .build()
+            .unwrap();
+        let mut bs: Vec<DenseMatrix> = seeds
+            .iter()
+            .map(|&s| DenseMatrix::random(m.ncols(), n, s))
+            .collect();
+        for (j, &(i, v)) in specials.iter().enumerate() {
+            let b = &mut bs[j % seeds.len()];
+            let s = b.as_mut_slice();
+            let idx = i % s.len();
+            s[idx] = special(v);
+        }
+        let expected: Vec<DenseMatrix> =
+            bs.iter().map(|b| k.execute(b).unwrap()).collect();
+        let got = k.execute_batch(&bs).unwrap();
+        prop_assert_eq!(got.len(), expected.len());
+        for (g, e) in got.iter().zip(&expected) {
+            prop_assert!(bits_equal(g, e), "batched output diverged from sequential");
+        }
+    }
+
+    #[test]
     fn bittcf_binary_roundtrip(m in arb_matrix(48, 160)) {
         let t = BitTcf::from_csr(&m);
         let mut buf = Vec::new();
         spmm_format::io::write_bittcf(&mut buf, &t).unwrap();
         let rt = spmm_format::io::read_bittcf(std::io::Cursor::new(buf)).unwrap();
         prop_assert_eq!(rt.to_csr(), m);
+    }
+}
+
+proptest! {
+    // Engine cases spin up worker threads; keep the case count small.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn engine_submit_is_bit_identical_to_direct_multiply(
+        m in arb_matrix(40, 120),
+        seeds in proptest::collection::vec(0u64..1000, 1..4),
+        specials in proptest::collection::vec((0usize..4096, 0usize..6), 0..4),
+    ) {
+        use acc_spmm::{AccSpmm, Engine};
+        let n = 8;
+        let handle = AccSpmm::builder(&m).feature_dim(n).build().unwrap();
+        let mut bs: Vec<DenseMatrix> = seeds
+            .iter()
+            .map(|&s| DenseMatrix::random(m.ncols(), n, s))
+            .collect();
+        for (j, &(i, v)) in specials.iter().enumerate() {
+            let b = &mut bs[j % seeds.len()];
+            let s = b.as_mut_slice();
+            let idx = i % s.len();
+            s[idx] = special(v);
+        }
+        let expected: Vec<DenseMatrix> =
+            bs.iter().map(|b| handle.multiply(b).unwrap()).collect();
+
+        let engine = Engine::builder().workers(1).build().unwrap();
+        let session = engine.install(handle.prepared().clone());
+        let tickets: Vec<_> = bs
+            .iter()
+            .map(|b| session.submit(b.clone()).unwrap())
+            .collect();
+        for (t, e) in tickets.into_iter().zip(&expected) {
+            let got = t.wait().unwrap();
+            prop_assert!(bits_equal(&got, e), "engine output diverged from direct multiply");
+        }
     }
 }
