@@ -19,7 +19,9 @@
 
 use acc_spmm::matrix::{gen, CsrMatrix, Dataset, DenseMatrix, TABLE2};
 use acc_spmm::sim::Arch;
-use acc_spmm::{AccSpmm, Engine, KernelKind, PreparedKernel, Workspace};
+use acc_spmm::{
+    AccSpmm, DistSpmm, Engine, KernelKind, ModeledTransport, PreparedKernel, Workspace,
+};
 use spmm_bench::{f2, print_table};
 use spmm_common::json::{Json, ToJson};
 use spmm_common::stats::median;
@@ -173,6 +175,20 @@ fn run_suite(cfg: &Config) -> ExitCode {
     }
     entries.extend(scenario_entries);
 
+    // Sharded multi-node scenario: the Table-2 collection cut into
+    // 1/2/4/8 row-block shards (spmm-dist), bit-identity verified.
+    let (dist_entries, dist) = dist_scenario(cfg);
+    for e in &dist_entries {
+        rows.push(vec![
+            e.dataset.clone(),
+            e.kernel.clone(),
+            format!("{:.3}", e.median_s * 1e3),
+            format!("{:.3}", e.min_s * 1e3),
+            f2(e.gflops),
+        ]);
+    }
+    entries.extend(dist_entries);
+
     spmm_trace::disable();
     let counters = spmm_trace::snapshot().counters;
 
@@ -188,8 +204,15 @@ fn run_suite(cfg: &Config) -> ExitCode {
              (bit-identical: {bit})"
         );
     }
+    if let Some(speedup) = dist["speedup_4x"].as_f64() {
+        let bit = matches!(dist["bit_identical"], Json::Bool(true));
+        eprintln!(
+            "dist scenario: {speedup:.2}x critical-path speedup at 4 shards \
+             (bit-identical: {bit})"
+        );
+    }
 
-    let doc = suite_json(cfg, mode, &entries, &scenario, &counters);
+    let doc = suite_json(cfg, mode, &entries, &scenario, &dist, &counters);
     let text = doc.to_string_pretty();
     match std::fs::File::create(&cfg.out).and_then(|mut f| f.write_all(text.as_bytes())) {
         Ok(()) => {
@@ -463,11 +486,178 @@ fn engine_scenario(cfg: &Config) -> (Vec<Entry>, Json) {
     (entries, Json::Obj(sj))
 }
 
+/// The sharded multi-node scenario: every suite dataset cut into
+/// 1/2/4/8 nnz-balanced row-block shards and executed by `spmm-dist`
+/// over the in-process channel transport.
+///
+/// Timing methodology: per-shard busy seconds are measured with
+/// **sequential dispatch** (`multiply_profiled`), so each shard runs
+/// uncontended, and completion is modeled as the **critical path**
+/// `scatter + max(shard busy) + gather` — what a deployment with one
+/// core per worker would see. (On this CI host every worker shares one
+/// core, so concurrent wall-clock would only measure time-slicing; the
+/// artifact records both.) Bit-identity against the single-node kernel
+/// is verified on every dataset and shard count.
+///
+/// A second sweep prices the same shard plans over
+/// [`ModeledTransport::for_arch`] links for each simulated
+/// architecture — the scaling curves EXPERIMENTS.md reports.
+fn dist_scenario(cfg: &Config) -> (Vec<Entry>, Json) {
+    const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+    let _s = spmm_trace::span("perfsuite.dist_scenario");
+    let datasets = suite_datasets(cfg.quick);
+    let runs = cfg.repeats.clamp(1, 3);
+
+    let mut bit_identical = true;
+    // Per shard count: (sum of critical-path seconds, sum of wall
+    // seconds) across the collection.
+    let mut cp_total = [0.0f64; SHARD_COUNTS.len()];
+    let mut wall_total = [0.0f64; SHARD_COUNTS.len()];
+    let mut rows_total = 0f64;
+    let mut nnz_total = 0f64;
+    let mut largest: Option<CsrMatrix> = None;
+
+    for d in &datasets {
+        let m = spmm_bench::build_dataset(d);
+        let b = DenseMatrix::random(m.ncols(), cfg.dim, 0xD157);
+        let reference = {
+            let k = PreparedKernel::builder(KernelKind::AccSpmm, &m)
+                .arch(cfg.arch)
+                .feature_dim(cfg.dim)
+                .build()
+                .expect("single-node reference");
+            k.execute(&b).expect("reference multiply")
+        };
+        rows_total += m.nrows() as f64;
+        nnz_total += m.nnz() as f64;
+
+        for (i, &shards) in SHARD_COUNTS.iter().enumerate() {
+            let dist = DistSpmm::builder(KernelKind::AccSpmm, &m)
+                .shards(shards)
+                .arch(cfg.arch)
+                .feature_dim(cfg.dim)
+                .build()
+                .expect("shard build");
+            for _ in 0..cfg.warmup.max(1) {
+                dist.multiply_profiled(&b).expect("warmup");
+            }
+            let mut cps = Vec::with_capacity(runs);
+            let mut walls = Vec::with_capacity(runs);
+            let mut last = None;
+            for _ in 0..runs {
+                let (out, report) = dist.multiply_profiled(&b).expect("profiled multiply");
+                cps.push(report.critical_path_seconds);
+                walls.push(report.wall_seconds);
+                last = Some(out);
+            }
+            bit_identical &= last.is_some_and(|out| {
+                out.as_slice()
+                    .iter()
+                    .zip(reference.as_slice())
+                    .all(|(g, w)| g.to_bits() == w.to_bits())
+            });
+            cp_total[i] += median(&cps);
+            wall_total[i] += median(&walls);
+        }
+        if largest.as_ref().is_none_or(|best| m.nnz() > best.nnz()) {
+            largest = Some(m);
+        }
+    }
+
+    let flops = 2.0 * nnz_total * cfg.dim as f64;
+    let entries: Vec<Entry> = SHARD_COUNTS
+        .iter()
+        .enumerate()
+        .map(|(i, &shards)| Entry {
+            dataset: "dist-table2".into(),
+            kernel: format!("dist-{shards}-shard"),
+            rows: rows_total,
+            nnz: nnz_total,
+            feature_dim: cfg.dim as f64,
+            prep_s: 0.0,
+            median_s: cp_total[i],
+            min_s: wall_total[i],
+            gflops: flops / cp_total[i] / 1e9,
+        })
+        .collect();
+
+    // Modeled-transport scaling curves on the largest dataset of the
+    // selection, one curve per simulated architecture.
+    let mut curves = BTreeMap::new();
+    if let Some(m) = &largest {
+        let b = DenseMatrix::random(m.ncols(), cfg.dim, 0xD157);
+        for arch in [Arch::Rtx4090, Arch::A800, Arch::H100] {
+            let mut points = Vec::new();
+            let mut cp1 = 0.0;
+            for &shards in &SHARD_COUNTS {
+                let dist = DistSpmm::builder(KernelKind::AccSpmm, m)
+                    .shards(shards)
+                    .arch(arch)
+                    .feature_dim(cfg.dim)
+                    .transport(Arc::new(ModeledTransport::for_arch(arch)))
+                    .build()
+                    .expect("modeled shard build");
+                dist.multiply_profiled(&b).expect("modeled warmup");
+                let (_, report) = dist.multiply_profiled(&b).expect("modeled multiply");
+                let cp = report.critical_path_seconds;
+                if shards == 1 {
+                    cp1 = cp;
+                }
+                let mut p = BTreeMap::new();
+                p.insert("shards".into(), Json::Num(shards as f64));
+                p.insert("critical_path_s".into(), Json::Num(cp));
+                p.insert(
+                    "comm_s".into(),
+                    Json::Num(report.scatter_seconds + report.gather_seconds),
+                );
+                p.insert(
+                    "speedup_vs_1".into(),
+                    Json::Num(if cp > 0.0 { cp1 / cp } else { 0.0 }),
+                );
+                points.push(Json::Obj(p));
+            }
+            curves.insert(format!("{arch:?}"), Json::Arr(points));
+        }
+    }
+
+    let mut sj = BTreeMap::new();
+    sj.insert("transport".into(), Json::Str("channel".into()));
+    sj.insert("datasets".into(), Json::Num(datasets.len() as f64));
+    sj.insert("feature_dim".into(), Json::Num(cfg.dim as f64));
+    sj.insert(
+        "shard_counts".into(),
+        Json::Arr(SHARD_COUNTS.iter().map(|&s| Json::Num(s as f64)).collect()),
+    );
+    sj.insert(
+        "critical_path_s".into(),
+        Json::Arr(cp_total.iter().map(|&s| Json::Num(s)).collect()),
+    );
+    sj.insert(
+        "wall_s".into(),
+        Json::Arr(wall_total.iter().map(|&s| Json::Num(s)).collect()),
+    );
+    sj.insert(
+        "aggregate_gflops".into(),
+        Json::Arr(
+            cp_total
+                .iter()
+                .map(|&s| Json::Num(flops / s / 1e9))
+                .collect(),
+        ),
+    );
+    // SHARD_COUNTS[0] == 1 and [2] == 4: the gate's headline ratio.
+    sj.insert("speedup_4x".into(), Json::Num(cp_total[0] / cp_total[2]));
+    sj.insert("bit_identical".into(), Json::Bool(bit_identical));
+    sj.insert("modeled_curves".into(), Json::Obj(curves));
+    (entries, Json::Obj(sj))
+}
+
 fn suite_json(
     cfg: &Config,
     mode: &str,
     entries: &[Entry],
     scenario: &Json,
+    dist: &Json,
     counters: &BTreeMap<String, u64>,
 ) -> Json {
     let mut doc = BTreeMap::new();
@@ -480,6 +670,7 @@ fn suite_json(
     doc.insert("repeats".into(), Json::Num(cfg.repeats as f64));
     doc.insert("entries".into(), entries.to_json());
     doc.insert("engine_scenario".into(), scenario.clone());
+    doc.insert("dist_scenario".into(), dist.clone());
     doc.insert(
         "counters".into(),
         Json::Obj(
@@ -579,6 +770,23 @@ fn gate(baseline: &str, candidate: &str, threshold: f64) -> ExitCode {
             && !matches!(cand["engine_scenario"]["bit_identical"], Json::Bool(true))
         {
             failures.push("engine_scenario: results not bit-identical".into());
+        }
+    }
+    // The sharded scenario must stay present, bit-identical, and show a
+    // real critical-path win at 4 shards. The 1.5x floor is the
+    // acceptance bar; the committed artifact shows the full margin.
+    if base["dist_scenario"].as_object().is_some() {
+        match cand["dist_scenario"]["speedup_4x"].as_f64() {
+            None => failures.push("dist_scenario: missing from candidate".into()),
+            Some(s) if s < 1.5 => failures.push(format!(
+                "dist_scenario: 4-shard speedup {s:.2}x below 1.5x floor"
+            )),
+            Some(_) => {}
+        }
+        if cand["dist_scenario"].as_object().is_some()
+            && !matches!(cand["dist_scenario"]["bit_identical"], Json::Bool(true))
+        {
+            failures.push("dist_scenario: results not bit-identical".into());
         }
     }
 

@@ -62,6 +62,17 @@ pub enum SpmmError {
         /// Description of the problem.
         detail: String,
     },
+    /// A shard of a distributed multiply failed after exhausting its
+    /// retries; surfaces which shard so operators can map the failure to
+    /// a worker.
+    Shard {
+        /// Index of the failing shard.
+        shard: usize,
+        /// Retries attempted before giving up.
+        retries: usize,
+        /// The underlying per-shard failure.
+        cause: Box<SpmmError>,
+    },
     /// I/O failure, with the underlying message flattened to a string so the
     /// error stays `Clone + Eq`.
     Io(String),
@@ -103,6 +114,13 @@ impl fmt::Display for SpmmError {
             }
             SpmmError::IndexOutOfBounds { what, index, bound } => {
                 write!(f, "{what} index {index} out of bounds (< {bound} required)")
+            }
+            SpmmError::Shard {
+                shard,
+                retries,
+                cause,
+            } => {
+                write!(f, "shard {shard} failed after {retries} retries: {cause}")
             }
             SpmmError::MalformedFormat { detail } => write!(f, "malformed format: {detail}"),
             SpmmError::Parse { line, detail } => write!(f, "parse error at line {line}: {detail}"),
@@ -170,6 +188,21 @@ mod tests {
                 ..
             }
         ));
+    }
+
+    #[test]
+    fn shard_errors_surface_the_failing_shard() {
+        let e = SpmmError::Shard {
+            shard: 3,
+            retries: 2,
+            cause: Box::new(SpmmError::shape("bad operand")),
+        };
+        assert!(matches!(e, SpmmError::Shard { shard: 3, .. }));
+        let msg = e.to_string();
+        assert!(
+            msg.contains("shard 3") && msg.contains("bad operand"),
+            "{msg}"
+        );
     }
 
     #[test]

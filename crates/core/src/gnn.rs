@@ -9,6 +9,8 @@
 
 use crate::handle::AccSpmm;
 use spmm_common::{Result, SpmmError};
+use spmm_dist::DistSpmm;
+use spmm_kernels::KernelKind;
 use spmm_matrix::{CooMatrix, CsrMatrix, DenseMatrix};
 use spmm_sim::Arch;
 
@@ -133,6 +135,7 @@ impl GcnLayer {
 #[derive(Debug, Clone)]
 pub struct Gcn {
     spmm: AccSpmm,
+    normalized: CsrMatrix,
     layers: Vec<GcnLayer>,
 }
 
@@ -165,7 +168,11 @@ impl Gcn {
                 GcnLayer::new(w[0], w[1], act, seed ^ (i as u64) << 8)
             })
             .collect();
-        Ok(Gcn { spmm, layers })
+        Ok(Gcn {
+            spmm,
+            normalized,
+            layers,
+        })
     }
 
     /// Full forward pass.
@@ -230,6 +237,57 @@ impl Gcn {
             h = layer.combine(aggregated)?;
         }
         Ok(h)
+    }
+
+    /// Shard this model's normalized adjacency across `shards` workers
+    /// (see [`DistSpmm`]): same kernel kind, architecture, feature
+    /// specialization, and ablation config as the single-node handle.
+    /// The returned coordinator feeds [`Gcn::forward_sharded`].
+    pub fn shard(&self, shards: usize) -> Result<DistSpmm> {
+        let plan = self.spmm.prepared().execution_plan();
+        DistSpmm::builder(KernelKind::AccSpmm, &self.normalized)
+            .shards(shards)
+            .arch(plan.arch())
+            .feature_dim(plan.feature_dim())
+            .config(*plan.config())
+            .build()
+    }
+
+    /// [`Gcn::forward`] with the aggregation sharded across `dist`'s
+    /// workers and **halo exchange** between layers: after each layer,
+    /// the per-shard feature blocks stay on their shards and only the
+    /// boundary rows other shards reference move — instead of
+    /// re-gathering the full dense feature matrix every layer. The
+    /// dense `· W` half of each layer is row-local, so it runs
+    /// per-shard too. Bit-identical to [`Gcn::forward`].
+    pub fn forward_sharded(&self, dist: &DistSpmm, x: &DenseMatrix) -> Result<DenseMatrix> {
+        let _span = spmm_trace::span("gcn.forward_sharded");
+        spmm_trace::counter_add("gcn.layers_applied", self.layers.len() as u64);
+        if dist.nrows() != self.normalized.nrows() || dist.ncols() != self.normalized.ncols() {
+            return Err(SpmmError::Shape {
+                context: format!(
+                    "coordinator is over a {}x{} operand, model graph is {}x{}",
+                    dist.nrows(),
+                    dist.ncols(),
+                    self.normalized.nrows(),
+                    self.normalized.ncols()
+                ),
+            });
+        }
+        let mut parts = dist.split_rows(x)?;
+        for layer in &self.layers {
+            for part in &parts {
+                if part.nrows() > 0 {
+                    layer.check_input(part)?;
+                }
+            }
+            let aggregated = dist.propagate_halo(&parts)?;
+            parts = aggregated
+                .into_iter()
+                .map(|agg| layer.combine(agg))
+                .collect::<Result<Vec<_>>>()?;
+        }
+        dist.concat_rows(&parts)
     }
 
     /// The underlying SpMM handle (for profiling).
@@ -318,6 +376,36 @@ mod tests {
         assert!(out.as_slice().iter().any(|&v| v < 0.0));
         // Profiling the underlying handle works.
         assert!(gcn.spmm().profile_default().gflops > 0.0);
+    }
+
+    #[test]
+    fn sharded_forward_is_bit_identical_to_forward() {
+        let a = graph();
+        let gcn = Gcn::new(&a, &[16, 8, 4], Arch::A800, 11).unwrap();
+        let x = DenseMatrix::random(a.nrows(), 16, 6);
+        let expect = gcn.forward(&x).unwrap();
+        for shards in [1, 3, 4] {
+            let dist = gcn.shard(shards).unwrap();
+            let got = gcn.forward_sharded(&dist, &x).unwrap();
+            assert_eq!(
+                got.as_slice()
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect::<Vec<_>>(),
+                expect
+                    .as_slice()
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect::<Vec<_>>(),
+                "x{shards}"
+            );
+            // Layer-to-layer halo exchange moved fewer rows than a full
+            // re-gather would have.
+            let (halo, regather) = dist.halo_traffic_rows();
+            if shards > 1 {
+                assert!(halo < regather, "halo {halo} vs regather {regather}");
+            }
+        }
     }
 
     #[test]

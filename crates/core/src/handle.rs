@@ -143,27 +143,6 @@ impl AccSpmm {
         }
     }
 
-    /// Preprocess with the full Acc-SpMM configuration.
-    #[deprecated(note = "use `AccSpmm::builder(a).arch(..).feature_dim(..).build()`")]
-    pub fn new(a: &CsrMatrix, arch: Arch, feature_dim: usize) -> Result<Self> {
-        Self::builder(a).arch(arch).feature_dim(feature_dim).build()
-    }
-
-    /// Preprocess with an explicit (e.g. ablation) configuration.
-    #[deprecated(note = "use `AccSpmm::builder(a).config(..).build()`")]
-    pub fn with_config(
-        a: &CsrMatrix,
-        arch: Arch,
-        feature_dim: usize,
-        config: AccConfig,
-    ) -> Result<Self> {
-        Self::builder(a)
-            .arch(arch)
-            .feature_dim(feature_dim)
-            .config(config)
-            .build()
-    }
-
     /// Functional SpMM: `C = A × B` in original row order, TF32
     /// tensor-core numerics.
     pub fn multiply(&self, b: &DenseMatrix) -> Result<DenseMatrix> {
@@ -288,28 +267,6 @@ mod tests {
             .build()
             .unwrap();
         assert!(h.stats().ibd > 0.0);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_constructors_match_builder() {
-        // The pre-builder constructors must keep working (and agree with
-        // the builder bit-for-bit) until they are removed.
-        let a = molecule_union(256, 6, 14, true, 8);
-        let b = DenseMatrix::random(a.nrows(), 32, 9);
-        let via_builder = AccSpmm::builder(&a)
-            .arch(Arch::H100)
-            .feature_dim(32)
-            .build()
-            .unwrap();
-        let via_new = AccSpmm::new(&a, Arch::H100, 32).unwrap();
-        let via_config = AccSpmm::with_config(&a, Arch::H100, 32, AccConfig::full()).unwrap();
-        let expect = via_builder.multiply(&b).unwrap();
-        assert_eq!(via_new.multiply(&b).unwrap().as_slice(), expect.as_slice());
-        assert_eq!(
-            via_config.multiply(&b).unwrap().as_slice(),
-            expect.as_slice()
-        );
     }
 
     #[test]

@@ -46,7 +46,7 @@
 //!
 //! The substrate crates are re-exported under their natural names:
 //! [`matrix`], [`graph`], [`reorder`], [`format`](mod@crate::format), [`sim`], [`balance`],
-//! [`kernels`], [`engine`].
+//! [`kernels`], [`engine`], [`dist`].
 
 pub mod comparison;
 pub mod gnn;
@@ -63,6 +63,9 @@ pub mod solvers;
 pub mod prelude {
     pub use crate::handle::{AccSpmm, PreprocessStats, SpmmBuilder};
     pub use spmm_common::{Result, SpmmError};
+    pub use spmm_dist::{
+        ChannelTransport, DistBuilder, DistReport, DistSpmm, DistStats, ModeledTransport, Transport,
+    };
     pub use spmm_engine::{Engine, EngineBuilder, EngineStats, Session, Submit, Ticket};
     pub use spmm_kernels::{AccConfig, KernelKind, PreparedKernel, Workspace};
     pub use spmm_matrix::{CsrMatrix, DenseMatrix};
@@ -74,6 +77,7 @@ pub use gnn::{gcn_normalize, Gcn, GcnLayer};
 pub use handle::{AccSpmm, PreprocessStats, SpmmBuilder};
 
 pub use spmm_balance as balance;
+pub use spmm_dist as dist;
 pub use spmm_engine as engine;
 pub use spmm_format as format;
 pub use spmm_graph as graph;
@@ -83,6 +87,7 @@ pub use spmm_reorder as reorder;
 pub use spmm_sim as sim;
 
 pub use spmm_common::{Result, SpmmError};
+pub use spmm_dist::{ChannelTransport, DistReport, DistSpmm, DistStats, ModeledTransport};
 pub use spmm_engine::{Engine, EngineBuilder, EngineStats, Session, Submit, Ticket};
 pub use spmm_kernels::{
     AccConfig, ExecutionPlan, KernelKind, PreparedKernel, StageSpec, StageTiming, Workspace,

@@ -1,0 +1,955 @@
+//! # spmm-dist — sharded multi-node SpMM execution
+//!
+//! Executes one logical `C = A × B` across many workers: the
+//! coordinator cuts `A` into nnz-balanced, window-aligned row blocks
+//! (see [`partition`]), builds an independent [`PreparedKernel`] per
+//! shard through the regular plan pipeline (optionally via the serving
+//! engine's [`PlanCache`]), scatters `B`, runs the shards on a worker
+//! pool, and gathers the row-block results — **bit-identical** to a
+//! single-node `multiply_into`.
+//!
+//! Bit-identity across arbitrary row partitionings is a structural
+//! property of the compute core: every output element accumulates
+//! exactly its row's non-zero lanes in ascending column order
+//! (zero-padded lanes are skipped), so cutting rows into blocks — or
+//! reordering them differently per shard — cannot change a single bit.
+//!
+//! Transports ([`transport::Transport`]) price the data movement:
+//! [`transport::ChannelTransport`] is the real-concurrency in-process
+//! configuration; [`transport::ModeledTransport`] adds per-message
+//! latency + bandwidth from `sim::arch` constants so scaling curves can
+//! be reported for hardware the host doesn't have.
+//!
+//! Robustness follows the serving engine's semantics: a failing shard
+//! is retried up to a bound, then surfaced as [`SpmmError::Shard`];
+//! dropping the coordinator drains in-flight work before joining the
+//! workers.
+
+pub mod partition;
+pub mod transport;
+mod worker;
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use spmm_balance::{ModelParams, PerfModel};
+use spmm_common::{Result, SpmmError};
+use spmm_engine::{PlanCache, PlanKey};
+use spmm_kernels::{AccConfig, KernelKind, PreparedKernel};
+use spmm_matrix::{CsrMatrix, DenseMatrix};
+use spmm_sim::Arch;
+
+pub use partition::{plan_shards, row_block, ShardPlan, ShardSpec};
+pub use transport::{ChannelTransport, ModeledTransport, Route, Transport};
+
+use worker::{Job, Operand, WorkerPool};
+
+/// Builder for [`DistSpmm`] — mirrors `PreparedKernel::builder` plus
+/// the distribution knobs.
+pub struct DistBuilder<'a> {
+    kind: KernelKind,
+    a: &'a CsrMatrix,
+    arch: Arch,
+    feature_dim: usize,
+    config: AccConfig,
+    shards: usize,
+    transport: Arc<dyn Transport>,
+    cache: Option<Arc<PlanCache>>,
+    max_retries: usize,
+}
+
+impl<'a> DistBuilder<'a> {
+    /// Number of shards (workers). Default 2.
+    pub fn shards(mut self, n: usize) -> Self {
+        self.shards = n;
+        self
+    }
+
+    /// Target architecture (drives the shard cost model and per-shard
+    /// balance planning).
+    pub fn arch(mut self, arch: Arch) -> Self {
+        self.arch = arch;
+        self
+    }
+
+    /// Feature dimension the shard plans are specialized for.
+    pub fn feature_dim(mut self, n: usize) -> Self {
+        self.feature_dim = n;
+        self
+    }
+
+    /// Acc ablation configuration.
+    pub fn config(mut self, config: AccConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Transport pricing the scatter/gather/halo movement. Default
+    /// [`ChannelTransport`] (free in-process handoffs).
+    pub fn transport(mut self, t: Arc<dyn Transport>) -> Self {
+        self.transport = t;
+        self
+    }
+
+    /// Resolve shard plans through a shared [`PlanCache`] (each shard's
+    /// sub-matrix is keyed by its own content fingerprint, so repeated
+    /// coordinators over the same operand reuse the builds).
+    pub fn plan_cache(mut self, cache: Arc<PlanCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// How many times a failing shard execution is retried before the
+    /// multiply fails with [`SpmmError::Shard`]. Default 1.
+    pub fn max_retries(mut self, n: usize) -> Self {
+        self.max_retries = n;
+        self
+    }
+
+    /// Plan the shards, build every shard kernel, spawn the workers.
+    pub fn build(self) -> Result<DistSpmm> {
+        if self.shards == 0 {
+            return Err(SpmmError::InvalidConfig("need at least one shard".into()));
+        }
+        let _span = spmm_trace::span("dist.build");
+        let t0 = Instant::now();
+        let spec = self.arch.spec();
+        let model = PerfModel::new(ModelParams {
+            feature_dim: self.feature_dim,
+            bandwidth: spec.dram_bw_gbps * 1e9,
+            flops: spec.tc_tf32_tflops * 1e12,
+            num_sms: spec.num_sms,
+        });
+        let plan = plan_shards(self.a, self.shards, &model);
+
+        let mut kernels: Vec<Option<Arc<PreparedKernel>>> = Vec::with_capacity(self.shards);
+        let mut scatter_rows: Vec<u64> = Vec::with_capacity(self.shards);
+        let mut halo_rows: Vec<Vec<u32>> = Vec::with_capacity(self.shards);
+        let mut seen = vec![false; self.a.ncols()];
+        for s in &plan.shards {
+            if s.is_empty() {
+                kernels.push(None);
+                scatter_rows.push(0);
+                halo_rows.push(Vec::new());
+                continue;
+            }
+            let sub = row_block(self.a, s.row_lo, s.row_hi);
+            let build = || {
+                PreparedKernel::builder(self.kind, &sub)
+                    .arch(self.arch)
+                    .feature_dim(self.feature_dim)
+                    .config(self.config)
+                    .build()
+            };
+            let kernel = match &self.cache {
+                Some(cache) => cache.get_or_build(
+                    PlanKey {
+                        fingerprint: sub.content_fingerprint(),
+                        kind: self.kind,
+                        arch: self.arch,
+                        feature_dim: self.feature_dim,
+                        config: self.config,
+                    },
+                    build,
+                )?,
+                None => Arc::new(build()?),
+            };
+            // Column coverage: how many B rows the shard references
+            // (scatter payload), and which referenced rows live outside
+            // the shard's own range (halo payload).
+            seen.iter_mut().for_each(|x| *x = false);
+            for &c in sub.col_idx() {
+                seen[c as usize] = true;
+            }
+            let referenced = seen.iter().filter(|&&x| x).count() as u64;
+            let halo: Vec<u32> = seen
+                .iter()
+                .enumerate()
+                .filter(|&(c, &x)| x && !(s.row_lo..s.row_hi).contains(&c))
+                .map(|(c, _)| c as u32)
+                .collect();
+            scatter_rows.push(referenced);
+            halo_rows.push(halo);
+            kernels.push(Some(kernel));
+        }
+        spmm_trace::counter_add("dist.shards", self.shards as u64);
+        let pool = WorkerPool::spawn(&kernels);
+        Ok(DistSpmm {
+            nrows: self.a.nrows(),
+            ncols: self.a.ncols(),
+            feature_dim: self.feature_dim,
+            kind: self.kind,
+            arch: self.arch,
+            transport: self.transport,
+            max_retries: self.max_retries,
+            plan,
+            scatter_rows,
+            halo_rows,
+            pool,
+            epoch: AtomicU64::new(0),
+            last_report: Mutex::new(None),
+            halo_scratch: Mutex::new(Vec::new()),
+            build_seconds: t0.elapsed().as_secs_f64(),
+        })
+    }
+}
+
+/// One multiply's execution accounting.
+#[derive(Debug, Clone, Default)]
+#[non_exhaustive]
+pub struct DistReport {
+    /// Uncontended kernel seconds per shard (empty shards report 0).
+    pub per_shard_busy: Vec<f64>,
+    /// Modeled seconds scattering B rows to the shards (summed: the
+    /// coordinator link serializes outbound messages).
+    pub scatter_seconds: f64,
+    /// Modeled seconds gathering result row blocks (summed, same link).
+    pub gather_seconds: f64,
+    /// Modeled seconds of shard-to-shard halo exchange (halo rounds
+    /// only; 0 for plain multiplies).
+    pub halo_seconds: f64,
+    /// Modeled completion: scatter + slowest shard + gather (+ halo).
+    /// On a host with one core per worker this is what wall-clock
+    /// converges to; on this simulator it is the number scaling curves
+    /// report.
+    pub critical_path_seconds: f64,
+    /// Wall-clock seconds of the whole round on the host.
+    pub wall_seconds: f64,
+    /// B bytes scattered (only rows each shard actually references).
+    pub bytes_scattered: u64,
+    /// Result bytes gathered.
+    pub bytes_gathered: u64,
+    /// Halo bytes exchanged (halo rounds only).
+    pub bytes_halo: u64,
+    /// Shard executions retried after a failure.
+    pub retries: u64,
+}
+
+impl DistReport {
+    /// Slowest shard's busy seconds.
+    pub fn max_busy_seconds(&self) -> f64 {
+        self.per_shard_busy.iter().cloned().fold(0.0, f64::max)
+    }
+}
+
+/// Static description of a coordinator (for stats reporting).
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct DistStats {
+    /// Shard ranges and per-shard modeled cost.
+    pub shards: Vec<ShardSpec>,
+    /// `max/mean` modeled cost over non-empty shards.
+    pub imbalance: f64,
+    /// Seconds spent planning + building every shard kernel.
+    pub build_seconds: f64,
+    /// Transport name ("channel", "modeled", ...).
+    pub transport: &'static str,
+}
+
+/// A sharded SpMM coordinator bound to one operand.
+///
+/// ```
+/// use spmm_dist::DistSpmm;
+/// use spmm_kernels::KernelKind;
+/// use spmm_matrix::{gen, DenseMatrix};
+///
+/// let a = gen::uniform_random(256, 6.0, 1);
+/// let dist = DistSpmm::builder(KernelKind::AccSpmm, &a)
+///     .shards(4)
+///     .feature_dim(16)
+///     .build()
+///     .unwrap();
+/// let b = DenseMatrix::random(256, 16, 2);
+/// let c = dist.multiply(&b).unwrap();
+/// assert_eq!(c.nrows(), 256);
+/// ```
+pub struct DistSpmm {
+    nrows: usize,
+    ncols: usize,
+    feature_dim: usize,
+    kind: KernelKind,
+    arch: Arch,
+    transport: Arc<dyn Transport>,
+    max_retries: usize,
+    plan: ShardPlan,
+    /// Per shard: how many B rows it references (scatter payload rows).
+    scatter_rows: Vec<u64>,
+    /// Per shard: referenced rows *outside* its own range (halo rows).
+    halo_rows: Vec<Vec<u32>>,
+    pool: WorkerPool,
+    epoch: AtomicU64,
+    last_report: Mutex<Option<DistReport>>,
+    /// Reusable per-shard halo assembly buffers.
+    halo_scratch: Mutex<Vec<Option<Box<DenseMatrix>>>>,
+    build_seconds: f64,
+}
+
+impl DistSpmm {
+    /// Start building a coordinator for `kind` over operand `a`.
+    pub fn builder(kind: KernelKind, a: &CsrMatrix) -> DistBuilder<'_> {
+        DistBuilder {
+            kind,
+            a,
+            arch: Arch::A800,
+            feature_dim: 128,
+            config: AccConfig::full(),
+            shards: 2,
+            transport: Arc::new(ChannelTransport),
+            cache: None,
+            max_retries: 1,
+        }
+    }
+
+    /// Rows of the operand (and of every multiply's output).
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Columns of the operand.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of shards (including empty ones).
+    pub fn num_shards(&self) -> usize {
+        self.plan.shards.len()
+    }
+
+    /// The shard ranges.
+    pub fn shards(&self) -> &[ShardSpec] {
+        &self.plan.shards
+    }
+
+    /// Kernel strategy every shard runs.
+    pub fn kind(&self) -> KernelKind {
+        self.kind
+    }
+
+    /// Architecture the shard plans target.
+    pub fn arch(&self) -> Arch {
+        self.arch
+    }
+
+    /// Feature dimension the shard plans are specialized for.
+    pub fn feature_dim(&self) -> usize {
+        self.feature_dim
+    }
+
+    /// Static coordinator stats.
+    pub fn stats(&self) -> DistStats {
+        DistStats {
+            shards: self.plan.shards.clone(),
+            imbalance: self.plan.imbalance,
+            build_seconds: self.build_seconds,
+            transport: self.transport.name(),
+        }
+    }
+
+    /// Accounting of the most recent multiply (or halo round).
+    pub fn last_report(&self) -> Option<DistReport> {
+        self.last_report.lock().unwrap().clone()
+    }
+
+    /// Sharded `C = A × B`. Bit-identical to the single-node kernel.
+    pub fn multiply(&self, b: &DenseMatrix) -> Result<DenseMatrix> {
+        let mut out = DenseMatrix::zeros(self.nrows, b.ncols());
+        self.multiply_into(b, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`DistSpmm::multiply`] into a caller-provided output.
+    pub fn multiply_into(&self, b: &DenseMatrix, out: &mut DenseMatrix) -> Result<()> {
+        self.run_multiply(b, out, false).map(|_| ())
+    }
+
+    /// [`DistSpmm::multiply`] with shards dispatched one at a time so
+    /// each shard's busy seconds are measured uncontended (on a host
+    /// with fewer cores than shards, concurrent dispatch time-slices
+    /// the workers and inflates every per-shard measurement). The
+    /// returned report's `critical_path_seconds` is the modeled
+    /// completion a one-worker-per-node deployment would see.
+    pub fn multiply_profiled(&self, b: &DenseMatrix) -> Result<(DenseMatrix, DistReport)> {
+        let mut out = DenseMatrix::zeros(self.nrows, b.ncols());
+        let report = self.run_multiply(b, &mut out, true)?;
+        Ok((out, report))
+    }
+
+    fn check_b(&self, b: &DenseMatrix) -> Result<()> {
+        if b.nrows() != self.ncols {
+            return Err(SpmmError::shape(format!(
+                "A is {}x{}, B is {}x{}",
+                self.nrows,
+                self.ncols,
+                b.nrows(),
+                b.ncols()
+            )));
+        }
+        Ok(())
+    }
+
+    fn run_multiply(
+        &self,
+        b: &DenseMatrix,
+        out: &mut DenseMatrix,
+        sequential: bool,
+    ) -> Result<DistReport> {
+        let _span = spmm_trace::span("dist.multiply");
+        spmm_trace::counter_add("dist.multiplies", 1);
+        self.check_b(b)?;
+        if out.nrows() != self.nrows || out.ncols() != b.ncols() {
+            return Err(SpmmError::shape(format!(
+                "output is {}x{}, expected {}x{}",
+                out.nrows(),
+                out.ncols(),
+                self.nrows,
+                b.ncols()
+            )));
+        }
+        let t_wall = Instant::now();
+        let epoch = self.epoch.fetch_add(1, Ordering::Relaxed);
+        let shared = Arc::new(b.clone());
+        let elem = b.ncols() as u64 * 4;
+
+        let mut report = DistReport {
+            per_shard_busy: vec![0.0; self.num_shards()],
+            ..DistReport::default()
+        };
+        // Scatter accounting: each shard receives only the B rows it
+        // references; the coordinator link serializes the messages.
+        {
+            let _s = spmm_trace::span("dist.scatter");
+            for s in &self.plan.shards {
+                if s.is_empty() {
+                    continue;
+                }
+                let bytes = self.scatter_rows[s.id] * elem;
+                report.bytes_scattered += bytes;
+                report.scatter_seconds += self
+                    .transport
+                    .transfer(Route::Scatter { shard: s.id }, bytes);
+            }
+            spmm_trace::counter_add("dist.bytes_scattered", report.bytes_scattered);
+        }
+
+        let shard_ids: Vec<usize> = self
+            .plan
+            .shards
+            .iter()
+            .filter(|s| !s.is_empty())
+            .map(|s| s.id)
+            .collect();
+        let mut outs: Vec<Option<DenseMatrix>> = (0..self.num_shards()).map(|_| None).collect();
+        if sequential {
+            for &id in &shard_ids {
+                self.submit_shared(id, epoch, &shared)?;
+                self.collect(epoch, 1, &shared, &mut outs, &mut report)?;
+            }
+        } else {
+            for &id in &shard_ids {
+                self.submit_shared(id, epoch, &shared)?;
+            }
+            self.collect(epoch, shard_ids.len(), &shared, &mut outs, &mut report)?;
+        }
+
+        // Gather: copy each shard's rows into place; empty shards own
+        // no rows but their (zero-row) ranges still cost nothing.
+        {
+            let _s = spmm_trace::span("dist.gather");
+            for s in &self.plan.shards {
+                match outs[s.id].take() {
+                    Some(shard_out) => {
+                        for r in 0..s.rows() {
+                            out.row_mut(s.row_lo + r).copy_from_slice(shard_out.row(r));
+                        }
+                        let bytes = s.rows() as u64 * elem;
+                        report.bytes_gathered += bytes;
+                        report.gather_seconds += self
+                            .transport
+                            .transfer(Route::Gather { shard: s.id }, bytes);
+                    }
+                    None => debug_assert!(s.is_empty(), "non-empty shard produced no output"),
+                }
+            }
+            spmm_trace::counter_add("dist.bytes_gathered", report.bytes_gathered);
+        }
+
+        report.wall_seconds = t_wall.elapsed().as_secs_f64();
+        report.critical_path_seconds =
+            report.scatter_seconds + report.max_busy_seconds() + report.gather_seconds;
+        *self.last_report.lock().unwrap() = Some(report.clone());
+        Ok(report)
+    }
+
+    fn submit_shared(&self, shard: usize, epoch: u64, b: &Arc<DenseMatrix>) -> Result<()> {
+        self.pool.submit(
+            shard,
+            Job {
+                epoch,
+                b: Operand::Shared(Arc::clone(b)),
+            },
+        )
+    }
+
+    /// Receive `pending` outcomes for `epoch`, retrying failed shards
+    /// up to the bound. `shared` reissues shared-operand jobs; owned
+    /// operands come back with the failed outcome.
+    fn collect(
+        &self,
+        epoch: u64,
+        mut pending: usize,
+        shared: &Arc<DenseMatrix>,
+        outs: &mut [Option<DenseMatrix>],
+        report: &mut DistReport,
+    ) -> Result<()> {
+        let mut attempts = vec![0usize; self.num_shards()];
+        let mut terminal: Option<SpmmError> = None;
+        while pending > 0 {
+            let o = self.pool.recv()?;
+            if o.epoch != epoch {
+                continue; // stale outcome from an abandoned round
+            }
+            match o.result {
+                Ok(shard_out) => {
+                    report.per_shard_busy[o.shard] = o.busy_seconds;
+                    outs[o.shard] = Some(shard_out);
+                    pending -= 1;
+                }
+                Err(e) => {
+                    attempts[o.shard] += 1;
+                    if attempts[o.shard] <= self.max_retries {
+                        spmm_trace::counter_add("dist.retries", 1);
+                        report.retries += 1;
+                        let operand = match o.operand_back {
+                            Some(owned) => Operand::Owned(owned),
+                            None => Operand::Shared(Arc::clone(shared)),
+                        };
+                        self.pool.submit(o.shard, Job { epoch, b: operand })?;
+                    } else {
+                        spmm_trace::counter_add("dist.shard_failures", 1);
+                        if terminal.is_none() {
+                            terminal = Some(SpmmError::Shard {
+                                shard: o.shard,
+                                retries: self.max_retries,
+                                cause: Box::new(e),
+                            });
+                        }
+                        pending -= 1;
+                    }
+                }
+            }
+        }
+        match terminal {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Split a full-height dense matrix into per-shard row blocks
+    /// (empty shards get zero-row matrices).
+    pub fn split_rows(&self, x: &DenseMatrix) -> Result<Vec<DenseMatrix>> {
+        if x.nrows() != self.nrows {
+            return Err(SpmmError::shape(format!(
+                "expected {} rows, got {}",
+                self.nrows,
+                x.nrows()
+            )));
+        }
+        Ok(self
+            .plan
+            .shards
+            .iter()
+            .map(|s| {
+                let mut part = DenseMatrix::zeros(s.rows(), x.ncols());
+                for r in 0..s.rows() {
+                    part.row_mut(r).copy_from_slice(x.row(s.row_lo + r));
+                }
+                part
+            })
+            .collect())
+    }
+
+    /// Reassemble per-shard row blocks into a full-height matrix.
+    pub fn concat_rows(&self, parts: &[DenseMatrix]) -> Result<DenseMatrix> {
+        self.check_parts(parts)?;
+        let ncols = parts
+            .iter()
+            .map(DenseMatrix::ncols)
+            .max()
+            .unwrap_or(self.feature_dim);
+        let mut out = DenseMatrix::zeros(self.nrows, ncols);
+        for (s, part) in self.plan.shards.iter().zip(parts) {
+            for r in 0..s.rows() {
+                out.row_mut(s.row_lo + r).copy_from_slice(part.row(r));
+            }
+        }
+        Ok(out)
+    }
+
+    fn check_parts(&self, parts: &[DenseMatrix]) -> Result<()> {
+        if parts.len() != self.num_shards() {
+            return Err(SpmmError::shape(format!(
+                "expected {} shard parts, got {}",
+                self.num_shards(),
+                parts.len()
+            )));
+        }
+        for (s, part) in self.plan.shards.iter().zip(parts) {
+            if part.nrows() != s.rows() {
+                return Err(SpmmError::shape(format!(
+                    "shard {} part has {} rows, expected {}",
+                    s.id,
+                    part.nrows(),
+                    s.rows()
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// One sharded propagation round with **halo exchange**: `parts`
+    /// are the per-shard row blocks of a full feature matrix `H`; the
+    /// result is the per-shard row blocks of `A × H`. Instead of
+    /// re-gathering `H` on the coordinator, each shard's operand is
+    /// assembled from its own rows plus only the *boundary* rows other
+    /// shards own that its columns reference — the layer-to-layer
+    /// traffic a multi-layer sharded GCN actually needs.
+    ///
+    /// Requires a square operand (the output of one round feeds the
+    /// next). Bit-identical to gathering `H` and calling
+    /// [`DistSpmm::multiply`].
+    pub fn propagate_halo(&self, parts: &[DenseMatrix]) -> Result<Vec<DenseMatrix>> {
+        let _span = spmm_trace::span("dist.propagate_halo");
+        if self.nrows != self.ncols {
+            return Err(SpmmError::shape(format!(
+                "halo propagation needs a square operand, got {}x{}",
+                self.nrows, self.ncols
+            )));
+        }
+        self.check_parts(parts)?;
+        let d = parts
+            .iter()
+            .map(DenseMatrix::ncols)
+            .max()
+            .unwrap_or(self.feature_dim);
+        for part in parts {
+            if part.nrows() > 0 && part.ncols() != d {
+                return Err(SpmmError::shape(
+                    "halo parts must share one feature dimension",
+                ));
+            }
+        }
+        let t_wall = Instant::now();
+        let epoch = self.epoch.fetch_add(1, Ordering::Relaxed);
+        let elem = d as u64 * 4;
+        let mut report = DistReport {
+            per_shard_busy: vec![0.0; self.num_shards()],
+            ..DistReport::default()
+        };
+
+        // Assemble each shard's operand: own rows in place, halo rows
+        // copied from their owners; priced one message per (from, to).
+        let mut scratch = self.halo_scratch.lock().unwrap();
+        scratch.resize_with(self.num_shards(), || None);
+        let owner_of = |row: usize| -> usize {
+            self.plan
+                .shards
+                .iter()
+                .position(|s| (s.row_lo..s.row_hi).contains(&row))
+                .expect("shard ranges tile the row space")
+        };
+        let mut halo_row_total = 0u64;
+        for s in &self.plan.shards {
+            if s.is_empty() {
+                continue;
+            }
+            let mut buf = match scratch[s.id].take() {
+                Some(b) if b.nrows() == self.ncols && b.ncols() == d => b,
+                _ => Box::new(DenseMatrix::zeros(self.ncols, d)),
+            };
+            for r in 0..s.rows() {
+                buf.row_mut(s.row_lo + r)
+                    .copy_from_slice(parts[s.id].row(r));
+            }
+            let mut from_counts = vec![0u64; self.num_shards()];
+            for &h in &self.halo_rows[s.id] {
+                let owner = owner_of(h as usize);
+                buf.row_mut(h as usize)
+                    .copy_from_slice(parts[owner].row(h as usize - self.plan.shards[owner].row_lo));
+                from_counts[owner] += 1;
+            }
+            for (from, &rows) in from_counts.iter().enumerate() {
+                if rows == 0 {
+                    continue;
+                }
+                let bytes = rows * elem;
+                report.bytes_halo += bytes;
+                report.halo_seconds += self
+                    .transport
+                    .transfer(Route::Halo { from, to: s.id }, bytes);
+                halo_row_total += rows;
+            }
+            self.pool.submit(
+                s.id,
+                Job {
+                    epoch,
+                    b: Operand::Owned(buf),
+                },
+            )?;
+        }
+        spmm_trace::counter_add("dist.halo_rows", halo_row_total);
+        spmm_trace::counter_add("dist.bytes_halo", report.bytes_halo);
+
+        let pending = self.plan.shards.iter().filter(|s| !s.is_empty()).count();
+        let mut outs: Vec<Option<DenseMatrix>> = (0..self.num_shards()).map(|_| None).collect();
+        // Shared fallback never fires for owned jobs (operands travel
+        // back with failures), but collect() needs one to satisfy its
+        // signature cheaply.
+        let dummy = Arc::new(DenseMatrix::zeros(0, 0));
+        let collected = self.collect(epoch, pending, &dummy, &mut outs, &mut report);
+        // Stash operand buffers for the next round before propagating
+        // any failure.
+        collected?;
+
+        let result: Vec<DenseMatrix> = self
+            .plan
+            .shards
+            .iter()
+            .map(|s| match outs[s.id].take() {
+                Some(o) => o,
+                None => DenseMatrix::zeros(0, d),
+            })
+            .collect();
+        report.wall_seconds = t_wall.elapsed().as_secs_f64();
+        report.critical_path_seconds = report.halo_seconds + report.max_busy_seconds();
+        *self.last_report.lock().unwrap() = Some(report.clone());
+        Ok(result)
+    }
+
+    /// Total halo rows a propagation round moves, vs the rows a full
+    /// re-gather would move — the traffic saving halo exchange exists
+    /// for.
+    pub fn halo_traffic_rows(&self) -> (u64, u64) {
+        let halo: u64 = self.halo_rows.iter().map(|h| h.len() as u64).sum();
+        let regather: u64 = self
+            .plan
+            .shards
+            .iter()
+            .filter(|s| !s.is_empty())
+            .map(|_| self.nrows as u64)
+            .sum();
+        (halo, regather)
+    }
+
+    /// Test hook: make `shard` fail its next `times` executions with a
+    /// synthetic error, exercising retry and failure surfacing.
+    #[doc(hidden)]
+    pub fn inject_shard_failures(&self, shard: usize, times: u32) {
+        self.pool.inject_failures(shard, times);
+    }
+
+    /// Jobs fully processed by the workers since construction (drain
+    /// observability; includes retried attempts).
+    pub fn jobs_processed(&self) -> u64 {
+        self.pool.processed()
+    }
+}
+
+impl std::fmt::Debug for DistSpmm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DistSpmm")
+            .field("kind", &self.kind)
+            .field("shards", &self.num_shards())
+            .field("nrows", &self.nrows)
+            .field("transport", &self.transport.name())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spmm_kernels::Workspace;
+    use spmm_matrix::gen;
+
+    fn reference(m: &CsrMatrix, kind: KernelKind, b: &DenseMatrix) -> DenseMatrix {
+        let k = PreparedKernel::builder(kind, m)
+            .feature_dim(b.ncols())
+            .build()
+            .unwrap();
+        let mut out = DenseMatrix::zeros(m.nrows(), b.ncols());
+        let mut ws = Workspace::for_plan(k.execution_plan());
+        k.execute_into(b, &mut out, &mut ws).unwrap();
+        out
+    }
+
+    #[test]
+    fn sharded_multiply_is_bit_identical() {
+        let m = gen::clustered(
+            gen::ClusteredConfig {
+                n: 512,
+                cluster_size: 64,
+                intra_deg: 10.0,
+                inter_deg: 2.0,
+                ..Default::default()
+            },
+            3,
+        );
+        let b = DenseMatrix::random(m.ncols(), 16, 7);
+        for kind in [KernelKind::AccSpmm, KernelKind::CusparseLike] {
+            let expect = reference(&m, kind, &b);
+            for shards in [1, 3, 4] {
+                let dist = DistSpmm::builder(kind, &m)
+                    .shards(shards)
+                    .feature_dim(16)
+                    .build()
+                    .unwrap();
+                let got = dist.multiply(&b).unwrap();
+                assert_eq!(
+                    got.as_slice()
+                        .iter()
+                        .map(|x| x.to_bits())
+                        .collect::<Vec<_>>(),
+                    expect
+                        .as_slice()
+                        .iter()
+                        .map(|x| x.to_bits())
+                        .collect::<Vec<_>>(),
+                    "{kind:?} x{shards}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn retry_recovers_from_transient_failures() {
+        let m = gen::uniform_random(128, 5.0, 1);
+        let b = DenseMatrix::random(128, 8, 2);
+        let dist = DistSpmm::builder(KernelKind::CusparseLike, &m)
+            .shards(2)
+            .feature_dim(8)
+            .max_retries(2)
+            .build()
+            .unwrap();
+        dist.inject_shard_failures(1, 2);
+        let expect = reference(&m, KernelKind::CusparseLike, &b);
+        let got = dist.multiply(&b).unwrap();
+        assert_eq!(got.as_slice(), expect.as_slice());
+        assert_eq!(dist.last_report().unwrap().retries, 2);
+    }
+
+    #[test]
+    fn exhausted_retries_surface_the_failing_shard() {
+        let m = gen::uniform_random(128, 5.0, 1);
+        let b = DenseMatrix::random(128, 8, 2);
+        let dist = DistSpmm::builder(KernelKind::CusparseLike, &m)
+            .shards(2)
+            .feature_dim(8)
+            .max_retries(1)
+            .build()
+            .unwrap();
+        // 3 injected failures: attempt + retry exhaust the first
+        // multiply (terminal), the third fails once more on the next
+        // multiply and the retry then succeeds.
+        dist.inject_shard_failures(1, 3);
+        match dist.multiply(&b) {
+            Err(SpmmError::Shard { shard, retries, .. }) => {
+                assert_eq!(shard, 1);
+                assert_eq!(retries, 1);
+            }
+            other => panic!("expected shard failure, got {other:?}"),
+        }
+        // The coordinator stays usable once the injection is spent.
+        assert!(dist.multiply(&b).is_ok());
+    }
+
+    #[test]
+    fn modeled_transport_prices_the_critical_path() {
+        let m = gen::uniform_random(256, 6.0, 4);
+        let b = DenseMatrix::random(256, 16, 5);
+        let dist = DistSpmm::builder(KernelKind::AccSpmm, &m)
+            .shards(4)
+            .feature_dim(16)
+            .transport(Arc::new(ModeledTransport::for_arch(Arch::A800)))
+            .build()
+            .unwrap();
+        let (_, report) = dist.multiply_profiled(&b).unwrap();
+        assert!(report.scatter_seconds > 0.0);
+        assert!(report.gather_seconds > 0.0);
+        assert!(report.bytes_scattered > 0 && report.bytes_gathered > 0);
+        assert!(
+            report.critical_path_seconds
+                >= report.scatter_seconds + report.max_busy_seconds() + report.gather_seconds
+                    - 1e-12
+        );
+        // Gather moves exactly the output matrix.
+        assert_eq!(report.bytes_gathered, (256 * 16 * 4) as u64);
+    }
+
+    #[test]
+    fn halo_propagation_matches_full_multiply_and_moves_less() {
+        // Contiguous clusters (no shuffle): row-block shards align with
+        // communities, so boundary rows are few.
+        let m = gen::clustered(
+            gen::ClusteredConfig {
+                n: 512,
+                cluster_size: 64,
+                intra_deg: 12.0,
+                inter_deg: 1.0,
+                shuffle: false,
+                ..Default::default()
+            },
+            9,
+        );
+        let h = DenseMatrix::random(512, 8, 3);
+        let dist = DistSpmm::builder(KernelKind::AccSpmm, &m)
+            .shards(4)
+            .feature_dim(8)
+            .build()
+            .unwrap();
+        let expect = dist.multiply(&h).unwrap();
+        let parts = dist.split_rows(&h).unwrap();
+        let out_parts = dist.propagate_halo(&parts).unwrap();
+        let got = dist.concat_rows(&out_parts).unwrap();
+        assert_eq!(got.as_slice(), expect.as_slice());
+        // Clustered matrix: boundary rows are a small fraction of a
+        // full re-gather.
+        let (halo, regather) = dist.halo_traffic_rows();
+        assert!(
+            halo < regather / 2,
+            "halo {halo} rows vs re-gather {regather} rows"
+        );
+    }
+
+    #[test]
+    fn plan_cache_is_reused_across_coordinators() {
+        let m = gen::uniform_random(256, 5.0, 8);
+        let cache = Arc::new(PlanCache::new(16));
+        for _ in 0..2 {
+            let _ = DistSpmm::builder(KernelKind::AccSpmm, &m)
+                .shards(3)
+                .feature_dim(8)
+                .plan_cache(Arc::clone(&cache))
+                .build()
+                .unwrap();
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.builds, 3, "3 shard plans built once each");
+        assert!(stats.hits >= 3, "second coordinator hits the cache");
+    }
+
+    #[test]
+    fn empty_shards_are_tolerated() {
+        let m = gen::uniform_random(16, 3.0, 2); // 2 windows, 7 shards
+        let b = DenseMatrix::random(16, 4, 1);
+        let dist = DistSpmm::builder(KernelKind::SputnikLike, &m)
+            .shards(7)
+            .feature_dim(4)
+            .build()
+            .unwrap();
+        assert!(dist.shards().iter().any(|s| s.is_empty()));
+        let expect = reference(&m, KernelKind::SputnikLike, &b);
+        let got = dist.multiply(&b).unwrap();
+        assert_eq!(got.as_slice(), expect.as_slice());
+    }
+}

@@ -1,0 +1,314 @@
+//! The shard worker pool: one persistent thread per non-empty shard.
+//!
+//! Workers own their shard's [`PreparedKernel`] and a reusable
+//! [`Workspace`], pull jobs off a per-shard channel, and push outcomes
+//! onto one shared results channel. Dropping the pool closes every job
+//! channel; workers **drain** jobs already queued before exiting, so
+//! coordinator shutdown never abandons accepted work (the engine's
+//! drain-on-drop semantics, one level up).
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use spmm_common::{Result, SpmmError};
+use spmm_kernels::{PreparedKernel, Workspace};
+use spmm_matrix::DenseMatrix;
+
+/// The dense operand a job carries: shared (one `Arc` for every shard)
+/// or owned (per-shard halo scratch, returned with the outcome for
+/// reuse).
+pub(crate) enum Operand {
+    /// One B shared by every shard of the multiply.
+    Shared(Arc<DenseMatrix>),
+    /// A per-shard operand (halo-assembled); travels back with the
+    /// outcome so the coordinator can reuse the allocation.
+    Owned(Box<DenseMatrix>),
+}
+
+impl Operand {
+    fn matrix(&self) -> &DenseMatrix {
+        match self {
+            Operand::Shared(b) => b,
+            Operand::Owned(b) => b,
+        }
+    }
+}
+
+/// One unit of shard work.
+pub(crate) struct Job {
+    /// Multiply sequence number (guards against stale outcomes after a
+    /// retry).
+    pub epoch: u64,
+    /// The dense operand.
+    pub b: Operand,
+}
+
+/// What a worker sends back.
+pub(crate) struct Outcome {
+    /// Which shard produced it.
+    pub shard: usize,
+    /// Echo of the job's epoch.
+    pub epoch: u64,
+    /// The shard's output rows (`rows × feature_dim`), or the failure.
+    pub result: Result<DenseMatrix>,
+    /// Uncontended execution seconds measured on the worker around the
+    /// kernel call only (excludes queue wait).
+    pub busy_seconds: f64,
+    /// Owned operands travel back for reuse (also on failure, so a
+    /// retry can resend without reassembly).
+    pub operand_back: Option<Box<DenseMatrix>>,
+}
+
+struct ShardWorker {
+    sender: mpsc::Sender<Job>,
+    handle: Option<JoinHandle<()>>,
+    /// Fail the next N jobs with a synthetic error (test hook for the
+    /// retry path; see [`WorkerPool::inject_failures`]).
+    fail_next: Arc<AtomicU32>,
+}
+
+/// The coordinator's handle to every shard worker.
+pub(crate) struct WorkerPool {
+    /// Indexed by shard id; `None` for empty shards (no thread).
+    workers: Vec<Option<ShardWorker>>,
+    results_rx: mpsc::Receiver<Outcome>,
+    /// Jobs fully processed across all workers (drain observability).
+    processed: Arc<AtomicU64>,
+}
+
+impl WorkerPool {
+    /// Spawn one worker per `Some` kernel; `None` slots (empty shards)
+    /// get no thread.
+    pub fn spawn(kernels: &[Option<Arc<PreparedKernel>>]) -> WorkerPool {
+        let (results_tx, results_rx) = mpsc::channel::<Outcome>();
+        let processed = Arc::new(AtomicU64::new(0));
+        let workers = kernels
+            .iter()
+            .enumerate()
+            .map(|(shard, kernel)| {
+                let kernel = Arc::clone(kernel.as_ref()?);
+                let results_tx = results_tx.clone();
+                let fail_next = Arc::new(AtomicU32::new(0));
+                let fail = Arc::clone(&fail_next);
+                let processed = Arc::clone(&processed);
+                let (sender, rx) = mpsc::channel::<Job>();
+                let handle = std::thread::Builder::new()
+                    .name(format!("spmm-dist-{shard}"))
+                    .spawn(move || worker_loop(shard, &kernel, &rx, &results_tx, &fail, &processed))
+                    .expect("spawn dist worker");
+                Some(ShardWorker {
+                    sender,
+                    handle: Some(handle),
+                    fail_next,
+                })
+            })
+            .collect();
+        WorkerPool {
+            workers,
+            results_rx,
+            processed,
+        }
+    }
+
+    /// Whether `shard` has a live worker (false for empty shards).
+    #[cfg(test)]
+    pub fn has_worker(&self, shard: usize) -> bool {
+        self.workers.get(shard).is_some_and(|w| w.is_some())
+    }
+
+    /// Queue a job on `shard`'s worker.
+    pub fn submit(&self, shard: usize, job: Job) -> Result<()> {
+        let worker = self.workers[shard].as_ref().ok_or(SpmmError::Capacity {
+            what: "empty shard has no worker",
+            capacity: 0,
+        })?;
+        worker.sender.send(job).map_err(|_| SpmmError::Capacity {
+            what: "dist worker (shut down)",
+            capacity: 0,
+        })
+    }
+
+    /// Block for the next outcome from any shard.
+    pub fn recv(&self) -> Result<Outcome> {
+        self.results_rx.recv().map_err(|_| SpmmError::Capacity {
+            what: "dist workers (all exited)",
+            capacity: 0,
+        })
+    }
+
+    /// Jobs fully processed since spawn.
+    pub fn processed(&self) -> u64 {
+        self.processed.load(Ordering::Relaxed)
+    }
+
+    /// Make `shard`'s worker fail its next `times` jobs with a
+    /// synthetic error (exercises the coordinator's retry path).
+    pub fn inject_failures(&self, shard: usize, times: u32) {
+        if let Some(w) = self.workers[shard].as_ref() {
+            w.fail_next.store(times, Ordering::SeqCst);
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Closing the job channels lets each worker drain what's queued
+        // and exit; joining makes the drain synchronous.
+        for w in self.workers.iter_mut().flatten() {
+            drop(std::mem::replace(&mut w.sender, dead_sender()));
+        }
+        for w in self.workers.iter_mut().flatten() {
+            if let Some(h) = w.handle.take() {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+/// A sender whose receiver is already gone (placeholder after close).
+fn dead_sender() -> mpsc::Sender<Job> {
+    mpsc::channel().0
+}
+
+fn worker_loop(
+    shard: usize,
+    kernel: &PreparedKernel,
+    rx: &mpsc::Receiver<Job>,
+    results: &mpsc::Sender<Outcome>,
+    fail_next: &AtomicU32,
+    processed: &AtomicU64,
+) {
+    let mut ws = Workspace::for_plan(kernel.execution_plan());
+    // `for` over the receiver drains queued jobs after the senders drop.
+    for job in rx.iter() {
+        let outcome = run_job(shard, kernel, &mut ws, fail_next, job);
+        processed.fetch_add(1, Ordering::Relaxed);
+        spmm_trace::counter_add("dist.jobs", 1);
+        if results.send(outcome).is_err() {
+            // Coordinator gone; keep draining so submitted work is
+            // accounted, but nobody hears the results.
+            continue;
+        }
+    }
+}
+
+fn run_job(
+    shard: usize,
+    kernel: &PreparedKernel,
+    ws: &mut Workspace,
+    fail_next: &AtomicU32,
+    job: Job,
+) -> Outcome {
+    let epoch = job.epoch;
+    if fail_next
+        .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+        .is_ok()
+    {
+        spmm_trace::counter_add("dist.injected_failures", 1);
+        return Outcome {
+            shard,
+            epoch,
+            result: Err(SpmmError::Io(format!("injected failure on shard {shard}"))),
+            busy_seconds: 0.0,
+            operand_back: match job.b {
+                Operand::Owned(b) => Some(b),
+                Operand::Shared(_) => None,
+            },
+        };
+    }
+    let _span = spmm_trace::span("dist.shard_execute");
+    let b = job.b.matrix();
+    let mut out = DenseMatrix::zeros(kernel.csr().nrows(), b.ncols());
+    let t0 = Instant::now();
+    let result = kernel.execute_into(b, &mut out, ws).map(|()| out);
+    let busy_seconds = t0.elapsed().as_secs_f64();
+    Outcome {
+        shard,
+        epoch,
+        result,
+        busy_seconds,
+        operand_back: match job.b {
+            Operand::Owned(b) => Some(b),
+            Operand::Shared(_) => None,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spmm_kernels::KernelKind;
+    use spmm_matrix::gen::uniform_random;
+
+    fn kernel(n: usize) -> Arc<PreparedKernel> {
+        let m = uniform_random(n, 4.0, 9);
+        Arc::new(
+            PreparedKernel::builder(KernelKind::CusparseLike, &m)
+                .feature_dim(8)
+                .build()
+                .unwrap(),
+        )
+    }
+
+    #[test]
+    fn drop_drains_queued_jobs() {
+        let k = kernel(64);
+        let pool = WorkerPool::spawn(&[Some(Arc::clone(&k))]);
+        let b = Arc::new(DenseMatrix::random(64, 8, 1));
+        for epoch in 0..5 {
+            pool.submit(
+                0,
+                Job {
+                    epoch,
+                    b: Operand::Shared(Arc::clone(&b)),
+                },
+            )
+            .unwrap();
+        }
+        // Drop without receiving: the worker must still process all 5.
+        let processed = Arc::clone(&pool.processed);
+        drop(pool);
+        assert_eq!(processed.load(Ordering::Relaxed), 5);
+    }
+
+    #[test]
+    fn injected_failures_return_errors_then_recover() {
+        let k = kernel(32);
+        let pool = WorkerPool::spawn(&[Some(k)]);
+        pool.inject_failures(0, 2);
+        let b = Arc::new(DenseMatrix::random(32, 8, 2));
+        for epoch in 0..3 {
+            pool.submit(
+                0,
+                Job {
+                    epoch,
+                    b: Operand::Shared(Arc::clone(&b)),
+                },
+            )
+            .unwrap();
+        }
+        let outcomes: Vec<Outcome> = (0..3).map(|_| pool.recv().unwrap()).collect();
+        let failures = outcomes.iter().filter(|o| o.result.is_err()).count();
+        assert_eq!(failures, 2);
+        assert!(outcomes.iter().any(|o| o.result.is_ok()));
+    }
+
+    #[test]
+    fn empty_shard_slots_have_no_worker() {
+        let k = kernel(16);
+        let pool = WorkerPool::spawn(&[None, Some(k)]);
+        assert!(!pool.has_worker(0));
+        assert!(pool.has_worker(1));
+        assert!(pool
+            .submit(
+                0,
+                Job {
+                    epoch: 0,
+                    b: Operand::Shared(Arc::new(DenseMatrix::zeros(16, 8))),
+                }
+            )
+            .is_err());
+    }
+}

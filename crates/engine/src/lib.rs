@@ -192,6 +192,9 @@ struct Metrics {
     batches: AtomicU64,
     batched_requests: AtomicU64,
     degraded_builds: AtomicU64,
+    /// Gauge (not monotonic): requests currently executing inside a
+    /// batch on some worker (or `poll()` caller).
+    in_flight: AtomicU64,
 }
 
 impl Metrics {
@@ -231,6 +234,9 @@ pub struct EngineStats {
     pub cache_evictions: u64,
     /// Requests currently queued.
     pub queue_depth: u64,
+    /// Requests currently executing (dequeued, inside a batch, not yet
+    /// completed).
+    pub in_flight: u64,
 }
 
 struct EngineShared {
@@ -308,6 +314,7 @@ impl Engine {
             plan_builds: c.builds,
             cache_evictions: c.evictions,
             queue_depth: self.shared.queue.len() as u64,
+            in_flight: m.in_flight.load(Ordering::Relaxed),
         }
     }
 
@@ -625,6 +632,8 @@ fn run_batch(shared: &Arc<EngineShared>, first: Request, ws: &mut Workspace) -> 
 
     let plan = Arc::clone(&live[0].plan);
     let nrows = plan.csr().nrows();
+    let live_count = live.len() as u64;
+    m.in_flight.fetch_add(live_count, Ordering::Relaxed);
     let (bs, tickets): (Vec<DenseMatrix>, Vec<Arc<TicketShared>>) =
         live.into_iter().map(|r| (r.b, r.ticket)).unzip();
     let mut outs: Vec<DenseMatrix> = bs
@@ -643,5 +652,6 @@ fn run_batch(shared: &Arc<EngineShared>, first: Request, ws: &mut Workspace) -> 
             }
         }
     }
+    m.in_flight.fetch_sub(live_count, Ordering::Relaxed);
     resolved
 }

@@ -311,3 +311,49 @@ fn drop_fails_leftover_tickets_instead_of_hanging() {
         other => panic!("expected Capacity (shutdown), got {other:?}"),
     }
 }
+
+#[test]
+fn stats_expose_queue_depth_and_in_flight() {
+    let engine = Arc::new(Engine::builder().workers(0).max_batch(1).build().unwrap());
+    let a = graph(768, 14);
+    let session = engine.session(&a).feature_dim(64).open().unwrap();
+    let b = DenseMatrix::random(a.ncols(), 64, 40);
+
+    // Zero workers: submitted requests sit in the queue until poll().
+    let mut tickets: Vec<_> = (0..3).map(|_| session.submit(b.clone()).unwrap()).collect();
+    assert_eq!(engine.stats().queue_depth, 3);
+    assert_eq!(engine.stats().in_flight, 0);
+    assert_eq!(engine.poll(), 1);
+    assert_eq!(engine.stats().queue_depth, 2);
+
+    // Sample the gauge from another thread while this thread executes:
+    // in_flight must be visible mid-batch and settle back to 0.
+    let observer = {
+        let engine = Arc::clone(&engine);
+        std::thread::spawn(move || {
+            let deadline = std::time::Instant::now() + Duration::from_secs(20);
+            while std::time::Instant::now() < deadline {
+                if engine.stats().in_flight >= 1 {
+                    return true;
+                }
+                std::thread::yield_now();
+            }
+            false
+        })
+    };
+    while !observer.is_finished() {
+        tickets.push(session.submit(b.clone()).unwrap());
+        engine.poll();
+    }
+    assert!(
+        observer.join().unwrap(),
+        "observer never saw in_flight >= 1"
+    );
+    while engine.poll() > 0 {}
+    for t in tickets {
+        t.wait().unwrap();
+    }
+    let stats = engine.stats();
+    assert_eq!(stats.queue_depth, 0);
+    assert_eq!(stats.in_flight, 0);
+}

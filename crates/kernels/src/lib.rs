@@ -196,37 +196,6 @@ impl PreparedKernel {
         }
     }
 
-    /// Preprocess `m` for the given kernel and feature dimension on the
-    /// given architecture.
-    #[deprecated(note = "use `PreparedKernel::builder(kind, m).arch(..).feature_dim(..).build()`")]
-    pub fn prepare(
-        kind: KernelKind,
-        m: &CsrMatrix,
-        arch: Arch,
-        feature_dim: usize,
-    ) -> Result<Self> {
-        Self::builder(kind, m)
-            .arch(arch)
-            .feature_dim(feature_dim)
-            .build()
-    }
-
-    /// Like `prepare` but with an explicit Acc ablation configuration.
-    #[deprecated(note = "use `PreparedKernel::builder(kind, m).config(..).build()`")]
-    pub fn prepare_with_config(
-        kind: KernelKind,
-        m: &CsrMatrix,
-        arch: Arch,
-        feature_dim: usize,
-        acc_config: AccConfig,
-    ) -> Result<Self> {
-        Self::builder(kind, m)
-            .arch(arch)
-            .feature_dim(feature_dim)
-            .config(acc_config)
-            .build()
-    }
-
     /// Wrap an already-built plan.
     pub fn from_plan(plan: ExecutionPlan) -> Self {
         PreparedKernel { plan }

@@ -189,6 +189,20 @@ impl PlanStage for ReorderStage {
             Some(alg) if alg != Algorithm::Identity && alg != Algorithm::Sgt => alg,
             _ => return Ok(()),
         };
+        // Graph-based orderings need square adjacency semantics. Sharded
+        // row-blocks are rectangular, so those fall back to DTC-LSH row
+        // clustering — reorder choice never affects output bits (only
+        // block packing), so the fallback is purely a quality trade.
+        let alg = if ctx.csr.nrows() != ctx.csr.ncols() && alg.requires_square() {
+            if ctx.spec.symmetric {
+                return Err(SpmmError::InvalidConfig(
+                    "symmetric reordering requires a square operand".into(),
+                ));
+            }
+            Algorithm::DtcLsh
+        } else {
+            alg
+        };
         let perm = spmm_reorder::reorder(&ctx.csr, alg);
         ctx.csr = if ctx.spec.symmetric {
             // Future-work mode (§6): relabel rows AND columns; B's rows

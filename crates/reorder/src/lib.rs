@@ -56,6 +56,18 @@ impl Algorithm {
         Algorithm::Affinity,
     ];
 
+    /// Whether the algorithm interprets the matrix as a square adjacency
+    /// graph. Graph-based orderings (bisection, community detection,
+    /// dendrogram merges) walk edges both ways, so they only apply when
+    /// `nrows == ncols`; the hash-based orderings cluster raw row
+    /// patterns and work on any shape (e.g. sharded row-blocks).
+    pub fn requires_square(&self) -> bool {
+        matches!(
+            self,
+            Algorithm::MetisLike | Algorithm::Louvain | Algorithm::Rabbit | Algorithm::Affinity
+        )
+    }
+
     /// Display name matching the paper's legend.
     pub fn name(&self) -> &'static str {
         match self {

@@ -13,9 +13,12 @@
 # more than BENCH_GATE_THRESHOLD (default 0.25 = 25%) relative to the
 # baseline, when the multi-client engine scenario is missing from the
 # candidate, when its results are not bit-identical to the direct path,
-# or when its speedup falls below the conservative 1.2x floor. Wall
-# times are machine-dependent: refresh the baseline with
-# --update-baseline when moving to different hardware.
+# or when its speedup falls below the conservative 1.2x floor. The
+# sharded (spmm-dist) scenario is gated the same way: it must be
+# present, bit-identical to single-node execution, and show >= 1.5x
+# critical-path speedup at 4 shards. Wall times are machine-dependent:
+# refresh the baseline with --update-baseline when moving to different
+# hardware.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

@@ -24,6 +24,11 @@ echo "==> cargo test"
 cargo test --workspace -q
 
 if [[ "$QUICK" == "1" ]]; then
+  # Explicit re-assert of the sharded-execution unit tests (cheap; the
+  # binaries are already built) so a trimmed-down quick loop that edits
+  # the workspace test filter still exercises spmm-dist.
+  echo "==> cargo test -p spmm-dist"
+  cargo test -q -p spmm-dist
   echo "Quick checks passed (build + test)."
   exit 0
 fi
