@@ -1,0 +1,236 @@
+//! planc — the offline plan compiler.
+//!
+//! Precompiles persistent execution plans (see `spmm_kernels::ir`) so
+//! serving processes warm-start instead of paying the preprocessing
+//! pipeline at first request:
+//!
+//! ```text
+//! cargo run -p spmm-bench --bin planc --release               # Table-2 sweep
+//! cargo run -p spmm-bench --bin planc -- --out DIR            # custom store dir
+//! cargo run -p spmm-bench --bin planc -- --arch h100 --dim 256
+//! cargo run -p spmm-bench --bin planc -- --dataset YH,OH      # subset
+//! cargo run -p spmm-bench --bin planc -- --smoke DIR          # CI smoke step
+//! ```
+//!
+//! Every compiled plan is written into a `PlanStore` layout (the same
+//! directory format `Engine::builder().plan_store(dir)` consumes) and
+//! verified by reloading it through a fully-bound `PlanLoader` and
+//! executing one multiply against the freshly built plan —
+//! bit-identity is asserted, not assumed. A JSON manifest of the
+//! compiled artifacts is printed to stdout and saved next to them.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use acc_spmm::engine::{PlanKey, PlanStore};
+use acc_spmm::kernels::ir;
+use acc_spmm::matrix::{gen, CsrMatrix, Dataset, DenseMatrix, TABLE2};
+use acc_spmm::{AccConfig, Arch, KernelKind, PlanLoader, PreparedKernel};
+use spmm_common::json::Json;
+
+struct Options {
+    out: std::path::PathBuf,
+    arch: Arch,
+    dim: usize,
+    kind: KernelKind,
+    datasets: Option<Vec<String>>,
+    smoke: Option<std::path::PathBuf>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        out: std::path::PathBuf::from("results/plans"),
+        arch: Arch::A800,
+        dim: 128,
+        kind: KernelKind::AccSpmm,
+        datasets: None,
+        smoke: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--out" => opts.out = value("--out")?.into(),
+            "--arch" => {
+                let v = value("--arch")?;
+                opts.arch = Arch::parse(&v).ok_or_else(|| format!("unknown arch '{v}'"))?;
+            }
+            "--dim" => {
+                opts.dim = value("--dim")?
+                    .parse()
+                    .map_err(|_| "--dim requires an integer".to_string())?;
+            }
+            "--kernel" => {
+                let v = value("--kernel")?;
+                opts.kind = KernelKind::ALL
+                    .into_iter()
+                    .find(|&k| ir::kind_slug(k).eq_ignore_ascii_case(&v))
+                    .ok_or_else(|| format!("unknown kernel '{v}'"))?;
+            }
+            "--dataset" => {
+                opts.datasets = Some(value("--dataset")?.split(',').map(str::to_string).collect());
+            }
+            "--smoke" => opts.smoke = Some(value("--smoke")?.into()),
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    Ok(opts)
+}
+
+/// Compile one plan into the store, then prove the persisted artifact
+/// by reloading it with every binding pinned and executing one
+/// multiply bit-identically against the fresh build.
+fn compile_and_verify(
+    store: &PlanStore,
+    m: &CsrMatrix,
+    kind: KernelKind,
+    arch: Arch,
+    dim: usize,
+) -> Result<(u64, f64, f64), String> {
+    let key = PlanKey {
+        fingerprint: m.content_fingerprint(),
+        kind,
+        arch,
+        feature_dim: dim,
+        config: AccConfig::full(),
+    };
+    let t0 = Instant::now();
+    let kernel = PreparedKernel::builder(kind, m)
+        .arch(arch)
+        .feature_dim(dim)
+        .config(AccConfig::full())
+        .build()
+        .map_err(|e| format!("build failed: {e}"))?;
+    let build_seconds = t0.elapsed().as_secs_f64();
+
+    let bytes = store
+        .save(&key, kernel.execution_plan())
+        .map_err(|e| format!("save failed: {e}"))?;
+
+    // Reload through a fresh, fully-bound loader — the same path a
+    // restarted engine takes.
+    let t1 = Instant::now();
+    let reloaded = PlanLoader::new()
+        .expect_fingerprint(key.fingerprint)
+        .expect_kind(kind)
+        .expect_arch(arch)
+        .expect_feature_dim(dim)
+        .expect_config(AccConfig::full())
+        .load(store.path_for(&key))
+        .map_err(|e| format!("reload failed: {e}"))?;
+    let load_seconds = t1.elapsed().as_secs_f64();
+
+    let b = DenseMatrix::random(m.ncols(), dim, 7);
+    let fresh = kernel.execute(&b).map_err(|e| format!("execute: {e}"))?;
+    let replay = PreparedKernel::from_plan(reloaded)
+        .execute(&b)
+        .map_err(|e| format!("replay execute: {e}"))?;
+    if fresh
+        .as_slice()
+        .iter()
+        .zip(replay.as_slice())
+        .any(|(x, y)| x.to_bits() != y.to_bits())
+    {
+        return Err("reloaded plan is not bit-identical to the fresh build".into());
+    }
+    Ok((bytes, build_seconds, load_seconds))
+}
+
+fn smoke(dir: &std::path::Path) -> Result<(), String> {
+    let store = PlanStore::open(dir).map_err(|e| format!("open store: {e}"))?;
+    let m = gen::uniform_random(256, 5.0, 42);
+    let (bytes, build_s, load_s) =
+        compile_and_verify(&store, &m, KernelKind::AccSpmm, Arch::A800, 32)?;
+    println!(
+        "planc smoke: compiled+reloaded+executed 1 plan ({bytes} bytes, \
+         build {build_s:.3}s, reload {load_s:.3}s) in {}",
+        dir.display()
+    );
+    Ok(())
+}
+
+fn sweep(opts: &Options) -> Result<(), String> {
+    let store = PlanStore::open(&opts.out).map_err(|e| format!("open store: {e}"))?;
+    let selected: Vec<&'static Dataset> = match &opts.datasets {
+        None => TABLE2.iter().collect(),
+        Some(names) => names
+            .iter()
+            .map(|n| Dataset::by_abbr(n).ok_or_else(|| format!("unknown dataset '{n}'")))
+            .collect::<Result<_, _>>()?,
+    };
+
+    let mut plans = Vec::new();
+    for d in selected {
+        let m = spmm_bench::build_dataset(d);
+        let (bytes, build_s, load_s) =
+            compile_and_verify(&store, &m, opts.kind, opts.arch, opts.dim)?;
+        let key = PlanKey {
+            fingerprint: m.content_fingerprint(),
+            kind: opts.kind,
+            arch: opts.arch,
+            feature_dim: opts.dim,
+            config: AccConfig::full(),
+        };
+        let file = store
+            .path_for(&key)
+            .file_name()
+            .map(|f| f.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        eprintln!(
+            "  {} -> {file} ({bytes} bytes, build {build_s:.2}s, reload {load_s:.3}s)",
+            d.abbr
+        );
+        let mut o = BTreeMap::new();
+        o.insert("dataset".into(), Json::Str(d.abbr.into()));
+        o.insert("file".into(), Json::Str(file));
+        o.insert(
+            "fingerprint".into(),
+            Json::Str(format!("{:016x}", key.fingerprint)),
+        );
+        o.insert("bytes".into(), Json::Num(bytes as f64));
+        o.insert("build_seconds".into(), Json::Num(build_s));
+        o.insert("reload_seconds".into(), Json::Num(load_s));
+        o.insert("verified".into(), Json::Bool(true));
+        plans.push(Json::Obj(o));
+    }
+
+    let mut manifest = BTreeMap::new();
+    manifest.insert(
+        "schema_version".into(),
+        Json::Num(ir::PLAN_IR_VERSION as f64),
+    );
+    manifest.insert("arch".into(), Json::Str(ir::arch_slug(opts.arch).into()));
+    manifest.insert("kernel".into(), Json::Str(ir::kind_slug(opts.kind).into()));
+    manifest.insert("feature_dim".into(), Json::Num(opts.dim as f64));
+    manifest.insert("store".into(), Json::Str(opts.out.display().to_string()));
+    manifest.insert("plans".into(), Json::Arr(plans));
+    let manifest = Json::Obj(manifest).to_string_pretty();
+    let _ = std::fs::write(opts.out.join("manifest.json"), &manifest);
+    println!("{manifest}");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("planc: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match &opts.smoke {
+        Some(dir) => smoke(dir),
+        None => sweep(&opts),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("planc: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

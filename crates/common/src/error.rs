@@ -73,11 +73,115 @@ pub enum SpmmError {
         /// The underlying per-shard failure.
         cause: Box<SpmmError>,
     },
+    /// A persisted execution plan failed to load or validate. The nested
+    /// [`PlanLoadError`] distinguishes the rejection classes so callers
+    /// (warm-start caches, plan-shipping coordinators) can decide between
+    /// *rebuild* and *report*.
+    PlanLoad(PlanLoadError),
     /// I/O failure, with the underlying message flattened to a string so the
     /// error stays `Clone + Eq`.
     Io(String),
     /// A configuration value is invalid (zero tile size, empty arch, ...).
     InvalidConfig(String),
+}
+
+/// Why a persisted plan IR was rejected by the loader/validator.
+///
+/// Every variant carries the *plan-side* and (where applicable) the
+/// *requested* value as display strings, keeping the enum
+/// `Clone + PartialEq + Eq` without dragging plan-layer types into the
+/// error substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PlanLoadError {
+    /// The bytes are not a plan IR container (bad magic, unparsable
+    /// header, truncated framing).
+    NotPlanIr {
+        /// What failed to parse.
+        detail: String,
+    },
+    /// The container's schema version is not supported by this build.
+    VersionMismatch {
+        /// Version recorded in the file.
+        found: u32,
+        /// Version this build reads and writes.
+        supported: u32,
+    },
+    /// The plan was compiled for a different GPU architecture than the
+    /// loader expects (balance schedules and traces are arch-specific).
+    ArchMismatch {
+        /// Architecture recorded in the plan header.
+        plan: String,
+        /// Architecture the loader was asked to validate against.
+        requested: String,
+    },
+    /// The plan's operand content fingerprint does not match the matrix
+    /// the caller wants served — the plan describes different data.
+    FingerprintMismatch {
+        /// Fingerprint recorded in the plan header (hex).
+        plan: String,
+        /// Fingerprint the loader was asked to validate against (hex).
+        requested: String,
+    },
+    /// A non-arch binding (kernel kind, feature dimension, Acc config)
+    /// disagrees with what the loader expects.
+    BindingMismatch {
+        /// Which binding field disagreed.
+        field: &'static str,
+        /// Value recorded in the plan header.
+        plan: String,
+        /// Value the loader was asked to validate against.
+        requested: String,
+    },
+    /// A stage-artifact section is missing, truncated, or internally
+    /// inconsistent with the header.
+    ArtifactInvalid {
+        /// Which section ("perm", "csr", "format", "balance", "trace").
+        section: &'static str,
+        /// The violated invariant.
+        detail: String,
+    },
+}
+
+impl fmt::Display for PlanLoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanLoadError::NotPlanIr { detail } => {
+                write!(f, "not a plan IR container: {detail}")
+            }
+            PlanLoadError::VersionMismatch { found, supported } => {
+                write!(
+                    f,
+                    "plan IR version {found} unsupported (expected {supported})"
+                )
+            }
+            PlanLoadError::ArchMismatch { plan, requested } => {
+                write!(f, "plan compiled for {plan}, loader expects {requested}")
+            }
+            PlanLoadError::FingerprintMismatch { plan, requested } => {
+                write!(
+                    f,
+                    "plan fingerprint {plan} does not match operand {requested}"
+                )
+            }
+            PlanLoadError::BindingMismatch {
+                field,
+                plan,
+                requested,
+            } => {
+                write!(f, "plan {field} is {plan}, loader expects {requested}")
+            }
+            PlanLoadError::ArtifactInvalid { section, detail } => {
+                write!(f, "plan {section} artifact invalid: {detail}")
+            }
+        }
+    }
+}
+
+impl From<PlanLoadError> for SpmmError {
+    fn from(e: PlanLoadError) -> Self {
+        SpmmError::PlanLoad(e)
+    }
 }
 
 impl SpmmError {
@@ -123,6 +227,7 @@ impl fmt::Display for SpmmError {
                 write!(f, "shard {shard} failed after {retries} retries: {cause}")
             }
             SpmmError::MalformedFormat { detail } => write!(f, "malformed format: {detail}"),
+            SpmmError::PlanLoad(e) => write!(f, "plan load rejected: {e}"),
             SpmmError::Parse { line, detail } => write!(f, "parse error at line {line}: {detail}"),
             SpmmError::Io(msg) => write!(f, "I/O error: {msg}"),
             SpmmError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
@@ -203,6 +308,41 @@ mod tests {
             msg.contains("shard 3") && msg.contains("bad operand"),
             "{msg}"
         );
+    }
+
+    #[test]
+    fn plan_load_errors_are_typed_and_informative() {
+        let e: SpmmError = PlanLoadError::VersionMismatch {
+            found: 7,
+            supported: 1,
+        }
+        .into();
+        assert!(matches!(
+            e,
+            SpmmError::PlanLoad(PlanLoadError::VersionMismatch { found: 7, .. })
+        ));
+        assert!(e.to_string().contains("version 7"));
+
+        let e: SpmmError = PlanLoadError::ArchMismatch {
+            plan: "H100".into(),
+            requested: "A800".into(),
+        }
+        .into();
+        assert!(e.to_string().contains("H100") && e.to_string().contains("A800"));
+
+        let e: SpmmError = PlanLoadError::FingerprintMismatch {
+            plan: "0xdead".into(),
+            requested: "0xbeef".into(),
+        }
+        .into();
+        assert!(e.to_string().contains("0xdead"));
+
+        let e: SpmmError = PlanLoadError::ArtifactInvalid {
+            section: "format",
+            detail: "offsets not monotone".into(),
+        }
+        .into();
+        assert!(e.to_string().contains("format artifact"));
     }
 
     #[test]

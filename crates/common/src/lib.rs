@@ -13,7 +13,7 @@ pub mod scalar;
 pub mod stats;
 pub mod util;
 
-pub use error::{Result, SpmmError};
+pub use error::{PlanLoadError, Result, SpmmError};
 pub use precision::{round_to, Precision};
 pub use scalar::{
     tf32_dot, tf32_mma_8x8, tf32_mma_8x8_prerounded, tf32_mma_8x8_rows, to_tf32, to_tf32_slice,

@@ -55,9 +55,11 @@
 
 pub mod cache;
 pub mod queue;
+pub mod store;
 
 pub use cache::{CacheStats, PlanCache, PlanKey};
 pub use queue::Ticket;
+pub use store::PlanStore;
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -87,6 +89,10 @@ pub struct EngineConfig {
     pub max_batch: usize,
     /// Plans the LRU cache retains.
     pub plan_cache_capacity: usize,
+    /// Directory of persisted plans backing the cache, if any —
+    /// built plans are written through, and restarts rehydrate from it
+    /// instead of re-running the preprocessing pipeline.
+    pub plan_store: Option<std::path::PathBuf>,
     /// Deadline applied to every request that doesn't carry its own.
     pub default_deadline: Option<Duration>,
 }
@@ -99,6 +105,7 @@ impl Default for EngineConfig {
             batch_window: Duration::from_micros(200),
             max_batch: 16,
             plan_cache_capacity: 32,
+            plan_store: None,
             default_deadline: None,
         }
     }
@@ -141,6 +148,14 @@ impl EngineBuilder {
         self
     }
 
+    /// Back the plan cache with a persistent [`PlanStore`] at `dir`:
+    /// built plans are saved there, and a restarted engine warm-starts
+    /// by rehydrating them instead of re-running preprocessing.
+    pub fn plan_store(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.config.plan_store = Some(dir.into());
+        self
+    }
+
     /// Default per-request deadline.
     pub fn default_deadline(mut self, d: Duration) -> Self {
         self.config.default_deadline = Some(d);
@@ -155,9 +170,13 @@ impl EngineBuilder {
                 "engine queue_capacity, max_batch and plan_cache_capacity must be >= 1".into(),
             ));
         }
+        let cache = match &c.plan_store {
+            Some(dir) => PlanCache::with_store(c.plan_cache_capacity, dir)?,
+            None => PlanCache::new(c.plan_cache_capacity),
+        };
         let shared = Arc::new(EngineShared {
             config: self.config.clone(),
-            cache: PlanCache::new(c.plan_cache_capacity),
+            cache,
             queue: RequestQueue::new(c.queue_capacity),
             // Workspaces now retain a TF32-rounded B stage (an extra
             // operand-sized buffer each), so the idle pool is bounded at
@@ -232,6 +251,13 @@ pub struct EngineStats {
     pub plan_builds: u64,
     /// Plans evicted by the LRU bound.
     pub cache_evictions: u64,
+    /// Cache misses served by rehydrating a persisted plan.
+    pub store_hits: u64,
+    /// Cache misses that found no persisted plan.
+    pub store_misses: u64,
+    /// Persisted plans that failed validation and degraded to a fresh
+    /// build.
+    pub load_fallbacks: u64,
     /// Requests currently queued.
     pub queue_depth: u64,
     /// Requests currently executing (dequeued, inside a batch, not yet
@@ -313,6 +339,9 @@ impl Engine {
             cache_misses: c.misses,
             plan_builds: c.builds,
             cache_evictions: c.evictions,
+            store_hits: c.store_hits,
+            store_misses: c.store_misses,
+            load_fallbacks: c.load_fallbacks,
             queue_depth: self.shared.queue.len() as u64,
             in_flight: m.in_flight.load(Ordering::Relaxed),
         }

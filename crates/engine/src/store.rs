@@ -1,0 +1,186 @@
+//! The persistent plan tier: a directory of plan-IR files keyed by
+//! [`PlanKey`].
+//!
+//! The in-memory [`PlanCache`](crate::PlanCache) amortizes
+//! preprocessing across clients of one process; the store amortizes it
+//! across *processes*. Every plan the cache builds is written through
+//! here, and a warm restart serves its first request from disk — a
+//! rehydration (deserialize + deterministic partition rebuild) instead
+//! of the full reorder/format/balance/compile pipeline.
+//!
+//! Loads are strict: the file name encodes the full key, and the
+//! [`PlanLoader`] re-validates every binding against the key before
+//! rehydrating, so a corrupted or stale artifact degrades to a fresh
+//! build (see `plan.load_fallback` in the cache), never to a wrong
+//! answer.
+
+use std::path::{Path, PathBuf};
+
+use crate::cache::PlanKey;
+use spmm_common::{Result, SpmmError};
+use spmm_kernels::ir::{acc_config_hash, arch_slug, kind_slug};
+use spmm_kernels::{ExecutionPlan, PlanLoader};
+
+/// A directory of serialized plans, one file per [`PlanKey`].
+#[derive(Debug, Clone)]
+pub struct PlanStore {
+    dir: PathBuf,
+}
+
+impl PlanStore {
+    /// Open (creating if needed) a store rooted at `dir`.
+    pub fn open(dir: impl AsRef<Path>) -> Result<PlanStore> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        Ok(PlanStore { dir })
+    }
+
+    /// The store's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The file a key maps to: every key component is in the name, so
+    /// distinct bindings never collide.
+    pub fn path_for(&self, key: &PlanKey) -> PathBuf {
+        self.dir.join(format!(
+            "{:016x}-{}-{}-d{}-{:016x}.plan",
+            key.fingerprint,
+            kind_slug(key.kind),
+            arch_slug(key.arch),
+            key.feature_dim,
+            acc_config_hash(&key.config),
+        ))
+    }
+
+    /// Persist a plan under its key. The write is atomic (temp file +
+    /// rename), so concurrent readers never observe a torn artifact.
+    /// Returns the serialized size in bytes.
+    pub fn save(&self, key: &PlanKey, plan: &ExecutionPlan) -> Result<u64> {
+        let bytes = plan.to_ir().to_bytes()?;
+        let path = self.path_for(key);
+        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+        std::fs::write(&tmp, &bytes)?;
+        std::fs::rename(&tmp, &path).map_err(|e| {
+            let _ = std::fs::remove_file(&tmp);
+            SpmmError::from(e)
+        })?;
+        Ok(bytes.len() as u64)
+    }
+
+    /// Load and rehydrate the plan for `key`. `Ok(None)` means the
+    /// store has no artifact for the key; `Err` means an artifact
+    /// exists but failed validation or rehydration (the caller should
+    /// fall back to a fresh build).
+    pub fn load(&self, key: &PlanKey) -> Result<Option<ExecutionPlan>> {
+        let path = self.path_for(key);
+        if !path.exists() {
+            return Ok(None);
+        }
+        PlanLoader::new()
+            .expect_fingerprint(key.fingerprint)
+            .expect_kind(key.kind)
+            .expect_arch(key.arch)
+            .expect_feature_dim(key.feature_dim)
+            .expect_config(key.config)
+            .load(&path)
+            .map(Some)
+    }
+
+    /// Whether an artifact for `key` is present (no validation).
+    pub fn contains(&self, key: &PlanKey) -> bool {
+        self.path_for(key).exists()
+    }
+
+    /// Number of plan artifacts resident in the store.
+    pub fn len(&self) -> usize {
+        std::fs::read_dir(&self.dir)
+            .map(|entries| {
+                entries
+                    .filter_map(|e| e.ok())
+                    .filter(|e| e.path().extension().is_some_and(|x| x == "plan"))
+                    .count()
+            })
+            .unwrap_or(0)
+    }
+
+    /// Whether the store holds no plan artifacts.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spmm_kernels::{AccConfig, KernelKind, PreparedKernel};
+    use spmm_matrix::gen::uniform_random;
+    use spmm_sim::Arch;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "spmm-store-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn key_for(m: &spmm_matrix::CsrMatrix) -> PlanKey {
+        PlanKey {
+            fingerprint: m.content_fingerprint(),
+            kind: KernelKind::AccSpmm,
+            arch: Arch::A800,
+            feature_dim: 16,
+            config: AccConfig::full(),
+        }
+    }
+
+    #[test]
+    fn save_load_roundtrip_and_misses() {
+        let dir = temp_dir("roundtrip");
+        let store = PlanStore::open(&dir).unwrap();
+        let m = uniform_random(64, 4.0, 11);
+        let key = key_for(&m);
+        assert!(store.load(&key).unwrap().is_none());
+        assert!(store.is_empty());
+
+        let plan =
+            spmm_kernels::ExecutionPlan::build(key.kind, &m, key.arch, key.feature_dim, key.config)
+                .unwrap();
+        let bytes = store.save(&key, &plan).unwrap();
+        assert!(bytes > 0);
+        assert!(store.contains(&key));
+        assert_eq!(store.len(), 1);
+
+        let loaded = store.load(&key).unwrap().expect("artifact present");
+        let b = spmm_matrix::DenseMatrix::random(64, 16, 3);
+        let c1 = PreparedKernel::from_plan(plan).execute(&b).unwrap();
+        let c2 = PreparedKernel::from_plan(loaded).execute(&b).unwrap();
+        assert_eq!(c1.as_slice(), c2.as_slice());
+
+        // A different key (feature dim) misses cleanly.
+        let other = PlanKey {
+            feature_dim: 32,
+            ..key
+        };
+        assert!(store.load(&other).unwrap().is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupted_artifact_is_an_error_not_a_miss() {
+        let dir = temp_dir("corrupt");
+        let store = PlanStore::open(&dir).unwrap();
+        let m = uniform_random(48, 3.0, 5);
+        let key = key_for(&m);
+        let plan =
+            spmm_kernels::ExecutionPlan::build(key.kind, &m, key.arch, key.feature_dim, key.config)
+                .unwrap();
+        store.save(&key, &plan).unwrap();
+        std::fs::write(store.path_for(&key), b"not a plan at all").unwrap();
+        assert!(store.load(&key).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,12 +1,16 @@
-//! Binary serialization of preprocessed BitTCF matrices.
+//! Binary serialization of preprocessed TC formats.
 //!
 //! Preprocessing (reorder + conversion + planning) is the expensive part
 //! of the pipeline; iterative applications amortize it across thousands
 //! of multiplies *within* a run, and this module amortizes it across
-//! runs: a preprocessed [`BitTcf`] round-trips through a compact
-//! versioned binary file (little-endian, no unsafe, no external codec).
+//! runs: a preprocessed [`BitTcf`], [`Tcf`], or [`MeTcf`] round-trips
+//! through a compact versioned binary stream (little-endian, no unsafe,
+//! no external codec). These per-format codecs are also the "format
+//! blob" section of the plan IR container (`spmm-kernels::ir`).
 
 use crate::bittcf::BitTcf;
+use crate::metcf::MeTcf;
+use crate::tcf::Tcf;
 use crate::window::TILE;
 use spmm_common::{Result, SpmmError};
 use std::io::{BufReader, BufWriter, Read, Write};
@@ -15,6 +19,17 @@ use std::path::Path;
 /// File magic: "BTCF" + format version.
 const MAGIC: [u8; 4] = *b"BTCF";
 const VERSION: u32 = 1;
+
+/// Magic + version for the TCF codec.
+const TCF_MAGIC: [u8; 4] = *b"TCF1";
+const TCF_VERSION: u32 = 1;
+
+/// Magic + version for the ME-TCF codec.
+const METCF_MAGIC: [u8; 4] = *b"METC";
+const METCF_VERSION: u32 = 1;
+
+/// Sanity bound on array lengths shared by every reader.
+const CAP: u64 = 1 << 34;
 
 fn put_u32(w: &mut impl Write, v: u32) -> Result<()> {
     w.write_all(&v.to_le_bytes())?;
@@ -58,6 +73,69 @@ fn get_u32_vec(r: &mut impl Read, cap: u64) -> Result<Vec<u32>> {
         v.push(get_u32(r)?);
     }
     Ok(v)
+}
+
+fn put_u8_slice(w: &mut impl Write, v: &[u8]) -> Result<()> {
+    put_u64(w, v.len() as u64)?;
+    w.write_all(v)?;
+    Ok(())
+}
+
+fn get_u8_vec(r: &mut impl Read, cap: u64) -> Result<Vec<u8>> {
+    let len = get_u64(r)?;
+    if len > cap {
+        return Err(SpmmError::MalformedFormat {
+            detail: format!("array length {len} exceeds sanity cap {cap}"),
+        });
+    }
+    let mut v = vec![0u8; len as usize];
+    r.read_exact(&mut v)?;
+    Ok(v)
+}
+
+fn put_f32_slice(w: &mut impl Write, v: &[f32]) -> Result<()> {
+    put_u64(w, v.len() as u64)?;
+    for &x in v {
+        w.write_all(&x.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+fn get_f32_vec(r: &mut impl Read, cap: u64) -> Result<Vec<f32>> {
+    let len = get_u64(r)?;
+    if len > cap {
+        return Err(SpmmError::MalformedFormat {
+            detail: format!("array length {len} exceeds sanity cap {cap}"),
+        });
+    }
+    let mut v = Vec::with_capacity(len as usize);
+    let mut b = [0u8; 4];
+    for _ in 0..len {
+        r.read_exact(&mut b)?;
+        v.push(f32::from_le_bytes(b));
+    }
+    Ok(v)
+}
+
+fn check_magic(r: &mut impl Read, expected: [u8; 4], what: &str) -> Result<()> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if magic != expected {
+        return Err(SpmmError::MalformedFormat {
+            detail: format!("not a {what} stream (bad magic)"),
+        });
+    }
+    Ok(())
+}
+
+fn check_version(r: &mut impl Read, expected: u32, what: &str) -> Result<()> {
+    let version = get_u32(r)?;
+    if version != expected {
+        return Err(SpmmError::MalformedFormat {
+            detail: format!("unsupported {what} version {version}"),
+        });
+    }
+    Ok(())
 }
 
 /// Serialize a BitTCF matrix.
@@ -176,6 +254,161 @@ pub fn load_bittcf(path: impl AsRef<Path>) -> Result<BitTcf> {
     read_bittcf(std::fs::File::open(path)?)
 }
 
+/// Serialize a TCF matrix.
+pub fn write_tcf<W: Write>(w: W, t: &Tcf) -> Result<()> {
+    let mut w = BufWriter::new(w);
+    w.write_all(&TCF_MAGIC)?;
+    put_u32(&mut w, TCF_VERSION)?;
+    put_u64(&mut w, t.nrows() as u64)?;
+    put_u64(&mut w, t.ncols() as u64)?;
+    put_u32_slice(&mut w, &t.window_nnz_offset)?;
+    put_u32_slice(&mut w, &t.edge_list)?;
+    put_u32_slice(&mut w, &t.edge_to_column)?;
+    put_u32_slice(&mut w, &t.edge_to_row)?;
+    put_f32_slice(&mut w, &t.values)?;
+    put_u32_slice(&mut w, &t.blocks_per_window)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Deserialize a TCF matrix, validating structural invariants.
+pub fn read_tcf<R: Read>(r: R) -> Result<Tcf> {
+    let mut r = BufReader::new(r);
+    check_magic(&mut r, TCF_MAGIC, "TCF")?;
+    check_version(&mut r, TCF_VERSION, "TCF")?;
+    let nrows = get_u64(&mut r)? as usize;
+    let ncols = get_u64(&mut r)? as usize;
+    let window_nnz_offset = get_u32_vec(&mut r, CAP)?;
+    let edge_list = get_u32_vec(&mut r, CAP)?;
+    let edge_to_column = get_u32_vec(&mut r, CAP)?;
+    let edge_to_row = get_u32_vec(&mut r, CAP)?;
+    let values = get_f32_vec(&mut r, CAP)?;
+    let blocks_per_window = get_u32_vec(&mut r, CAP)?;
+
+    // Structural validation before constructing.
+    let nnz = values.len();
+    let num_windows = nrows.div_ceil(TILE);
+    if window_nnz_offset.len() != num_windows + 1
+        || blocks_per_window.len() != num_windows
+        || edge_list.len() != nnz
+        || edge_to_column.len() != nnz
+        || edge_to_row.len() != nnz
+        || window_nnz_offset.first().copied().unwrap_or(u32::MAX) != 0
+        || window_nnz_offset.last().copied().unwrap_or(0) as usize != nnz
+    {
+        return Err(SpmmError::MalformedFormat {
+            detail: "TCF arrays are inconsistent".into(),
+        });
+    }
+    if !window_nnz_offset.windows(2).all(|w| w[0] <= w[1]) {
+        return Err(SpmmError::MalformedFormat {
+            detail: "TCF window offsets not monotone".into(),
+        });
+    }
+    if edge_to_row.iter().any(|&e| e as usize >= nrows)
+        || edge_list.iter().any(|&c| c as usize >= ncols)
+    {
+        return Err(SpmmError::MalformedFormat {
+            detail: "TCF edge index out of bounds".into(),
+        });
+    }
+    for w in 0..num_windows {
+        let span = window_nnz_offset[w] as usize..window_nnz_offset[w + 1] as usize;
+        let cap = blocks_per_window[w] as usize * TILE;
+        if edge_to_column[span].iter().any(|&c| c as usize >= cap) {
+            return Err(SpmmError::MalformedFormat {
+                detail: format!("TCF window {w}: squeezed column beyond its blocks"),
+            });
+        }
+    }
+
+    Ok(Tcf::from_raw_parts(
+        nrows,
+        ncols,
+        window_nnz_offset,
+        edge_list,
+        edge_to_column,
+        edge_to_row,
+        values,
+        blocks_per_window,
+    ))
+}
+
+/// Serialize an ME-TCF matrix.
+pub fn write_metcf<W: Write>(w: W, t: &MeTcf) -> Result<()> {
+    let mut w = BufWriter::new(w);
+    w.write_all(&METCF_MAGIC)?;
+    put_u32(&mut w, METCF_VERSION)?;
+    put_u64(&mut w, t.nrows() as u64)?;
+    put_u64(&mut w, t.ncols() as u64)?;
+    put_u32_slice(&mut w, &t.row_window_offset)?;
+    put_u32_slice(&mut w, &t.tc_offset)?;
+    put_u32_slice(&mut w, &t.sparse_a_to_b)?;
+    put_u8_slice(&mut w, &t.tc_local_id)?;
+    put_f32_slice(&mut w, &t.values)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Deserialize an ME-TCF matrix, validating structural invariants.
+pub fn read_metcf<R: Read>(r: R) -> Result<MeTcf> {
+    let mut r = BufReader::new(r);
+    check_magic(&mut r, METCF_MAGIC, "ME-TCF")?;
+    check_version(&mut r, METCF_VERSION, "ME-TCF")?;
+    let nrows = get_u64(&mut r)? as usize;
+    let ncols = get_u64(&mut r)? as usize;
+    let row_window_offset = get_u32_vec(&mut r, CAP)?;
+    let tc_offset = get_u32_vec(&mut r, CAP)?;
+    let sparse_a_to_b = get_u32_vec(&mut r, CAP)?;
+    let tc_local_id = get_u8_vec(&mut r, CAP)?;
+    let values = get_f32_vec(&mut r, CAP)?;
+
+    // Structural validation before constructing.
+    let blocks = tc_offset.len().saturating_sub(1);
+    if tc_offset.is_empty()
+        || sparse_a_to_b.len() != blocks * TILE
+        || row_window_offset.len() != nrows.div_ceil(TILE) + 1
+        || row_window_offset.last().copied().unwrap_or(0) as usize != blocks
+        || tc_offset.last().copied().unwrap_or(0) as usize != values.len()
+        || tc_local_id.len() != values.len()
+    {
+        return Err(SpmmError::MalformedFormat {
+            detail: "ME-TCF arrays are inconsistent".into(),
+        });
+    }
+    if !row_window_offset.windows(2).all(|w| w[0] <= w[1])
+        || !tc_offset.windows(2).all(|w| w[0] <= w[1])
+    {
+        return Err(SpmmError::MalformedFormat {
+            detail: "ME-TCF offsets not monotone".into(),
+        });
+    }
+    if tc_local_id.iter().any(|&id| id as usize >= TILE * TILE) {
+        return Err(SpmmError::MalformedFormat {
+            detail: "ME-TCF local id beyond the 8x8 tile".into(),
+        });
+    }
+    for b in 0..blocks {
+        let span = tc_offset[b] as usize..tc_offset[b + 1] as usize;
+        // Local ids are unique and position-sorted within a block.
+        if !tc_local_id[span].windows(2).all(|w| w[0] < w[1]) {
+            return Err(SpmmError::MalformedFormat {
+                detail: format!("ME-TCF block {b}: local ids not strictly increasing"),
+            });
+        }
+    }
+
+    Ok(MeTcf::from_raw_parts(
+        nrows,
+        ncols,
+        row_window_offset,
+        tc_offset,
+        sparse_a_to_b,
+        tc_local_id,
+        values,
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -240,6 +473,74 @@ mod tests {
         buf[4] = 99; // version field
         assert!(matches!(
             read_bittcf(std::io::Cursor::new(buf)),
+            Err(SpmmError::MalformedFormat { .. })
+        ));
+    }
+
+    #[test]
+    fn tcf_roundtrip_through_memory() {
+        let m = uniform_random(200, 6.0, 11);
+        let t = Tcf::from_csr(&m);
+        let mut buf = Vec::new();
+        write_tcf(&mut buf, &t).unwrap();
+        let rt = read_tcf(std::io::Cursor::new(buf)).unwrap();
+        assert_eq!(t, rt);
+        assert_eq!(rt.to_csr(), m, "full fidelity");
+    }
+
+    #[test]
+    fn metcf_roundtrip_through_memory() {
+        let m = uniform_random(200, 6.0, 12);
+        let t = MeTcf::from_csr(&m);
+        let mut buf = Vec::new();
+        write_metcf(&mut buf, &t).unwrap();
+        let rt = read_metcf(std::io::Cursor::new(buf)).unwrap();
+        assert_eq!(t, rt);
+        assert_eq!(rt.to_csr(), m, "full fidelity");
+    }
+
+    #[test]
+    fn tcf_and_metcf_reject_truncation_and_cross_magic() {
+        let m = uniform_random(64, 4.0, 13);
+        let t = Tcf::from_csr(&m);
+        let me = MeTcf::from_csr(&m);
+        let mut tb = Vec::new();
+        write_tcf(&mut tb, &t).unwrap();
+        let mut mb = Vec::new();
+        write_metcf(&mut mb, &me).unwrap();
+        for cut in (5..tb.len() - 1).step_by(16) {
+            assert!(
+                read_tcf(std::io::Cursor::new(tb[..cut].to_vec())).is_err(),
+                "TCF truncation at {cut} must fail"
+            );
+        }
+        for cut in (5..mb.len() - 1).step_by(16) {
+            assert!(
+                read_metcf(std::io::Cursor::new(mb[..cut].to_vec())).is_err(),
+                "ME-TCF truncation at {cut} must fail"
+            );
+        }
+        // One codec's stream is not another's.
+        assert!(read_metcf(std::io::Cursor::new(tb.clone())).is_err());
+        assert!(read_tcf(std::io::Cursor::new(mb.clone())).is_err());
+        assert!(read_bittcf(std::io::Cursor::new(tb)).is_err());
+    }
+
+    #[test]
+    fn tcf_and_metcf_reject_wrong_version() {
+        let m = uniform_random(32, 3.0, 14);
+        let mut tb = Vec::new();
+        write_tcf(&mut tb, &Tcf::from_csr(&m)).unwrap();
+        tb[4] = 42;
+        assert!(matches!(
+            read_tcf(std::io::Cursor::new(tb)),
+            Err(SpmmError::MalformedFormat { .. })
+        ));
+        let mut mb = Vec::new();
+        write_metcf(&mut mb, &MeTcf::from_csr(&m)).unwrap();
+        mb[4] = 42;
+        assert!(matches!(
+            read_metcf(std::io::Cursor::new(mb)),
             Err(SpmmError::MalformedFormat { .. })
         ));
     }

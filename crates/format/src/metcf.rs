@@ -115,6 +115,29 @@ impl MeTcf {
         }
     }
 
+    /// Reassemble from raw arrays (used by the binary loader, which
+    /// validates the invariants before calling).
+    pub(crate) fn from_raw_parts(
+        nrows: usize,
+        ncols: usize,
+        row_window_offset: Vec<u32>,
+        tc_offset: Vec<u32>,
+        sparse_a_to_b: Vec<u32>,
+        tc_local_id: Vec<u8>,
+        values: Vec<f32>,
+    ) -> Self {
+        MeTcf {
+            nrows,
+            ncols,
+            row_window_offset,
+            tc_offset,
+            sparse_a_to_b,
+            tc_local_id,
+            values,
+            values_tf32: false,
+        }
+    }
+
     /// Round the stored values to TF32 in place (idempotent, so every
     /// multiply stays bit-identical; lossy for [`MeTcf::to_csr`] — see
     /// [`crate::BitTcf::preround_values`]).

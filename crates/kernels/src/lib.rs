@@ -27,12 +27,14 @@
 //! | Acc-SpMM | TC | BitTCF | data-affinity | Fig 5b least-bubble | adaptive |
 
 pub mod acc;
+pub mod ir;
 pub mod plan;
 pub mod scalar;
 pub mod tc;
 pub mod workspace;
 
 pub use acc::AccConfig;
+pub use ir::{acc_config_hash, PlanIr, PlanLoader, PLAN_IR_VERSION};
 pub use plan::{ExecutionPlan, FormatChoice, PlanContext, PlanStage, StageSpec, StageTiming};
 pub use workspace::{Workspace, WorkspacePool};
 

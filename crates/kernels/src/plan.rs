@@ -397,6 +397,13 @@ impl ExecutionPlan {
         Ok(ExecutionPlan { ctx })
     }
 
+    /// Wrap an already-populated context (the plan-IR loader's
+    /// rehydration path; see [`crate::ir`]). The caller is responsible
+    /// for the context's cross-artifact consistency.
+    pub(crate) fn from_context(ctx: PlanContext) -> Self {
+        ExecutionPlan { ctx }
+    }
+
     /// Kernel identity.
     pub fn kind(&self) -> KernelKind {
         self.ctx.kind

@@ -523,6 +523,50 @@ mod tests {
     }
 
     #[test]
+    fn content_fingerprint_matches_committed_goldens() {
+        // Golden values computed once from the FNV-1a definition and
+        // committed: the fingerprint is part of the persistent plan-IR
+        // schema (file names, header validation), so it must never
+        // drift across runs, platforms, or releases. If this test
+        // fails, the plan-IR schema version must be bumped.
+        let golden = CsrMatrix::new(
+            4,
+            4,
+            vec![0, 2, 3, 3, 5],
+            vec![0, 2, 1, 0, 3],
+            vec![1.0, -2.5, 0.75, 3.0, 0.125],
+        )
+        .unwrap();
+        assert_eq!(golden.content_fingerprint(), 0x72c73de9f4f02cf4);
+
+        // Perturbing one value bit-pattern changes it ...
+        let value_perturbed = CsrMatrix::new(
+            4,
+            4,
+            vec![0, 2, 3, 3, 5],
+            vec![0, 2, 1, 0, 3],
+            vec![1.0, -2.5, 0.75, 3.0, 0.250],
+        )
+        .unwrap();
+        assert_eq!(value_perturbed.content_fingerprint(), 0x71143de9f37e9874);
+
+        // ... and so does moving one nnz to another row (same columns,
+        // same value multiset, different structure).
+        let structure_perturbed = CsrMatrix::new(
+            4,
+            4,
+            vec![0, 2, 3, 4, 5],
+            vec![0, 2, 1, 0, 3],
+            vec![1.0, -2.5, 0.75, 3.0, 0.125],
+        )
+        .unwrap();
+        assert_eq!(
+            structure_perturbed.content_fingerprint(),
+            0xdecb8419d7e4957f
+        );
+    }
+
+    #[test]
     fn permuted_spmm_equals_scattered_reference() {
         // C_perm[perm[r]] == C[r] : row permutation only reorders output.
         let m = small();

@@ -1,0 +1,110 @@
+//! Persisted plans: build an `ExecutionPlan` once, save its versioned
+//! IR to disk, reload it in a "new process" through a fully-bound
+//! `PlanLoader`, and serve it through the engine — then let the engine
+//! do the same thing automatically via a persistent plan store.
+//!
+//! Run with: `cargo run --release --example persisted_plan`
+
+use acc_spmm::kernels::ir;
+use acc_spmm::matrix::gen;
+use acc_spmm::prelude::*;
+use acc_spmm::{PlanLoader, PreparedKernel as Prepared};
+use std::time::Instant;
+
+fn main() -> Result<()> {
+    let dir = std::env::temp_dir().join(format!("acc-spmm-example-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create example dir");
+    let path = dir.join("web-google.plan");
+
+    let a = gen::rmat(
+        gen::RmatConfig {
+            scale: 13,
+            avg_deg: 16.0,
+            ..Default::default()
+        },
+        42,
+    );
+    let (arch, dim) = (Arch::A800, 64);
+
+    // --- Process 1: compile and persist -----------------------------
+    let t0 = Instant::now();
+    let kernel = Prepared::builder(KernelKind::AccSpmm, &a)
+        .arch(arch)
+        .feature_dim(dim)
+        .config(AccConfig::full())
+        .build()?;
+    let build_s = t0.elapsed().as_secs_f64();
+    kernel.execution_plan().save(&path)?;
+    let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+    println!(
+        "compiled {:?}/{} in {build_s:.3}s -> {} ({bytes} bytes)",
+        KernelKind::AccSpmm,
+        ir::arch_slug(arch),
+        path.display()
+    );
+
+    // --- Process 2: reload, validate, serve -------------------------
+    // A restarted server knows what it expects; every binding is pinned
+    // so a stale or foreign artifact is a typed error, not a wrong
+    // answer.
+    let t1 = Instant::now();
+    let plan = PlanLoader::new()
+        .expect_kind(KernelKind::AccSpmm)
+        .expect_arch(arch)
+        .expect_feature_dim(dim)
+        .expect_fingerprint(a.content_fingerprint())
+        .expect_config(AccConfig::full())
+        .load(&path)?;
+    let load_s = t1.elapsed().as_secs_f64();
+    println!(
+        "reloaded in {load_s:.3}s ({:.1}x faster than building): \
+         {:?} on {:?}, N = {}, fingerprint {:016x}",
+        build_s / load_s,
+        plan.kind(),
+        plan.arch(),
+        plan.feature_dim(),
+        plan.input_fingerprint()
+    );
+
+    let engine = Engine::builder().workers(1).build()?;
+    let session = engine.install(Prepared::from_plan(plan));
+    let b = DenseMatrix::random(a.ncols(), dim, 7);
+    let served = session.multiply(&b)?;
+    let direct = kernel.execute(&b)?;
+    assert!(
+        served
+            .as_slice()
+            .iter()
+            .zip(direct.as_slice())
+            .all(|(x, y)| x.to_bits() == y.to_bits()),
+        "rehydrated plan must be bit-identical to the fresh build"
+    );
+    println!(
+        "served {} rows through the engine, bit-identical",
+        served.nrows()
+    );
+
+    // --- Or: let the engine manage the store ------------------------
+    // `plan_store(dir)` gives every plan the cache builds a persistent
+    // tier; a restarted engine warm-starts from disk (stats record
+    // store hits vs fresh builds).
+    let store = dir.join("store");
+    {
+        let engine = Engine::builder().workers(1).plan_store(&store).build()?;
+        engine.session(&a).arch(arch).feature_dim(dim).open()?; // cold: builds + persists
+    }
+    let engine = Engine::builder().workers(1).plan_store(&store).build()?;
+    let t2 = Instant::now();
+    let session = engine.session(&a).arch(arch).feature_dim(dim).open()?;
+    let warm_s = t2.elapsed().as_secs_f64();
+    session.multiply(&b)?;
+    let stats = engine.stats();
+    println!(
+        "warm restart opened its session in {warm_s:.3}s \
+         (store hits {}, plan builds {})",
+        stats.store_hits, stats.plan_builds
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(())
+}

@@ -16,7 +16,10 @@
 # or when its speedup falls below the conservative 1.2x floor. The
 # sharded (spmm-dist) scenario is gated the same way: it must be
 # present, bit-identical to single-node execution, and show >= 1.5x
-# critical-path speedup at 4 shards. Wall times are machine-dependent:
+# critical-path speedup at 4 shards. The warm-start scenario must show
+# a restarted engine opening its first session >= 3x faster from the
+# persisted-plan store than from a cold build, with bit-identical
+# outputs. Wall times are machine-dependent:
 # refresh the baseline with --update-baseline when moving to different
 # hardware.
 set -euo pipefail

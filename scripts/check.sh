@@ -33,6 +33,11 @@ if [[ "$QUICK" == "1" ]]; then
   exit 0
 fi
 
+echo "==> planc smoke (compile + reload + execute one persisted plan)"
+PLANC_DIR="$(mktemp -d)"
+trap 'rm -rf "$PLANC_DIR"' EXIT
+cargo run --release -q -p spmm-bench --bin planc -- --smoke "$PLANC_DIR"
+
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
