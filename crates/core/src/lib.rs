@@ -90,8 +90,8 @@ pub use spmm_common::{PlanLoadError, Result, SpmmError};
 pub use spmm_dist::{ChannelTransport, DistReport, DistSpmm, DistStats, ModeledTransport};
 pub use spmm_engine::{Engine, EngineBuilder, EngineStats, Session, Submit, Ticket};
 pub use spmm_kernels::{
-    AccConfig, ExecutionPlan, KernelKind, PlanIr, PlanLoader, PreparedKernel, StageSpec,
-    StageTiming, Workspace,
+    AccConfig, DispatchDecision, DispatchPolicy, ExecutionPlan, KernelKind, MatrixFeatures, PlanIr,
+    PlanLoader, PreparedKernel, StageSpec, StageTiming, Workspace,
 };
 pub use spmm_matrix::{CsrMatrix, DenseMatrix};
 pub use spmm_sim::{Arch, KernelReport, SimOptions};

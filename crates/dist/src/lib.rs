@@ -36,7 +36,10 @@ use std::time::Instant;
 use spmm_balance::{ModelParams, PerfModel};
 use spmm_common::{Result, SpmmError};
 use spmm_engine::{PlanCache, PlanKey, PlanStore};
-use spmm_kernels::{AccConfig, KernelKind, PreparedKernel};
+use spmm_kernels::{
+    AccConfig, DispatchDecision, DispatchPolicy, ExecutionPlan, KernelKind, MatrixFeatures,
+    PreparedKernel,
+};
 use spmm_matrix::{CsrMatrix, DenseMatrix};
 use spmm_sim::Arch;
 
@@ -58,6 +61,7 @@ pub struct DistBuilder<'a> {
     cache: Option<Arc<PlanCache>>,
     plan_store: Option<Arc<PlanStore>>,
     max_retries: usize,
+    decision: Option<DispatchDecision>,
 }
 
 impl<'a> DistBuilder<'a> {
@@ -119,6 +123,15 @@ impl<'a> DistBuilder<'a> {
         self
     }
 
+    /// Pin the hybrid dispatch decision instead of consulting the
+    /// builtin policy — the sharded mirror of
+    /// [`ExecutionPlan::build_auto_pinned`]. Only meaningful with
+    /// [`KernelKind::Auto`]; `build` rejects it for concrete kernels.
+    pub fn decision(mut self, decision: DispatchDecision) -> Self {
+        self.decision = Some(decision);
+        self
+    }
+
     /// Plan the shards, build every shard kernel, spawn the workers.
     pub fn build(self) -> Result<DistSpmm> {
         if self.shards == 0 {
@@ -134,6 +147,26 @@ impl<'a> DistBuilder<'a> {
             num_sms: spec.num_sms,
         });
         let plan = plan_shards(self.a, self.shards, &model);
+
+        // Hybrid dispatch under sharding: the coordinator decides ONCE
+        // on the full operand and pins that decision for every shard
+        // build, so a shard's local density can never flip a region's
+        // kernel — the property that keeps sharded hybrid output
+        // bit-identical to the single-node hybrid run. Pinned plans
+        // bypass the plan cache and store: the decision is not part of
+        // the `PlanKey`, and a cached entry built under a different
+        // policy would silently change kernels.
+        let pinned = if self.kind == KernelKind::Auto {
+            Some(self.decision.unwrap_or_else(|| {
+                DispatchPolicy::builtin().decide(&MatrixFeatures::of(self.a, self.feature_dim))
+            }))
+        } else if self.decision.is_some() {
+            return Err(SpmmError::InvalidConfig(
+                "a pinned dispatch decision requires KernelKind::Auto".into(),
+            ));
+        } else {
+            None
+        };
 
         let mut kernels: Vec<Option<Arc<PreparedKernel>>> = Vec::with_capacity(self.shards);
         let mut scatter_rows: Vec<u64> = Vec::with_capacity(self.shards);
@@ -198,9 +231,19 @@ impl<'a> DistBuilder<'a> {
                     }
                 }
             };
-            let kernel = match &self.cache {
-                Some(cache) => cache.get_or_build(key, acquire)?,
-                None => Arc::new(acquire()?),
+            let kernel = if let Some(decision) = pinned {
+                Arc::new(PreparedKernel::from_plan(ExecutionPlan::build_auto_pinned(
+                    &sub,
+                    self.arch,
+                    self.feature_dim,
+                    self.config,
+                    decision,
+                )?))
+            } else {
+                match &self.cache {
+                    Some(cache) => cache.get_or_build(key, acquire)?,
+                    None => Arc::new(acquire()?),
+                }
             };
             // Column coverage: how many B rows the shard references
             // (scatter payload), and which referenced rows live outside
@@ -368,6 +411,7 @@ impl DistSpmm {
             cache: None,
             plan_store: None,
             max_retries: 1,
+            decision: None,
         }
     }
 
@@ -870,7 +914,11 @@ mod tests {
             3,
         );
         let b = DenseMatrix::random(m.ncols(), 16, 7);
-        for kind in [KernelKind::AccSpmm, KernelKind::CusparseLike] {
+        for kind in [
+            KernelKind::AccSpmm,
+            KernelKind::CusparseLike,
+            KernelKind::Auto,
+        ] {
             let expect = reference(&m, kind, &b);
             for shards in [1, 3, 4] {
                 let dist = DistSpmm::builder(kind, &m)
@@ -893,6 +941,102 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// 64 dense rows (degree 32) over a 448-row degree-1 tail: high
+    /// row-length variance at low AvgL, which the committed policy maps
+    /// to a genuine hybrid split (TC head, scalar tail).
+    fn skewed_matrix() -> CsrMatrix {
+        let n = 512;
+        let mut row_ptr = vec![0usize];
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        for r in 0..n {
+            let mut cols: Vec<u32> = if r < 64 {
+                (0..32).map(|j| ((r + j * 7) % n) as u32).collect()
+            } else {
+                vec![r as u32]
+            };
+            cols.sort_unstable();
+            for c in cols {
+                col_idx.push(c);
+                values.push(1.0 + (r as f32) * 0.001 + (c as f32) * 0.0001);
+            }
+            row_ptr.push(col_idx.len());
+        }
+        CsrMatrix::new(n, n, row_ptr, col_idx, values).unwrap()
+    }
+
+    #[test]
+    fn hybrid_auto_sharding_is_bit_identical() {
+        // Pin a hybrid split (the learned policy legitimately prefers a
+        // single kernel on matrices like this one) so the test always
+        // exercises cross-kernel stitching under sharding.
+        let decision = DispatchDecision::Hybrid {
+            dense: KernelKind::AccSpmm,
+            sparse: KernelKind::CusparseLike,
+            threshold: 8.0,
+        };
+        let m = skewed_matrix();
+        let b = DenseMatrix::random(m.ncols(), 16, 11);
+        // The skew must actually trigger a hybrid split, otherwise this
+        // test silently degenerates to the single-kernel case.
+        let probe = spmm_kernels::ExecutionPlan::build_auto_pinned(
+            &m,
+            Arch::A800,
+            16,
+            AccConfig::full(),
+            decision,
+        )
+        .unwrap();
+        let kinds: std::collections::BTreeSet<_> = probe
+            .regions()
+            .expect("Auto plan has regions")
+            .iter()
+            .map(|r| format!("{:?}", r.kind))
+            .collect();
+        assert!(kinds.len() >= 2, "expected a hybrid split, got {kinds:?}");
+
+        let expect = {
+            let k = PreparedKernel::from_plan(probe);
+            let mut out = DenseMatrix::zeros(m.nrows(), b.ncols());
+            let mut ws = Workspace::for_plan(k.execution_plan());
+            k.execute_into(&b, &mut out, &mut ws).unwrap();
+            out
+        };
+        for shards in [1, 2, 4] {
+            let dist = DistSpmm::builder(KernelKind::Auto, &m)
+                .shards(shards)
+                .feature_dim(16)
+                .decision(decision)
+                .build()
+                .unwrap();
+            let got = dist.multiply(&b).unwrap();
+            assert_eq!(
+                got.as_slice()
+                    .iter()
+                    .map(|x| x.to_bits())
+                    .collect::<Vec<_>>(),
+                expect
+                    .as_slice()
+                    .iter()
+                    .map(|x| x.to_bits())
+                    .collect::<Vec<_>>(),
+                "Auto x{shards}"
+            );
+        }
+    }
+
+    #[test]
+    fn pinned_decision_requires_auto() {
+        let m = skewed_matrix();
+        let err = DistSpmm::builder(KernelKind::AccSpmm, &m)
+            .decision(DispatchDecision::Single(KernelKind::AccSpmm))
+            .build();
+        assert!(
+            err.is_err(),
+            "pinning a decision on a concrete kernel must fail"
+        );
     }
 
     #[test]

@@ -481,3 +481,67 @@ fn install_writes_through_to_the_store() {
     assert_eq!(stats.store_hits, 1);
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn auto_sessions_cache_and_persist_like_any_kernel() {
+    // `KernelKind::Auto` is a first-class cache/store key: hybrid plans
+    // single-flight through the cache, write through to the store, and
+    // a warm restart replays them bit-identically.
+    let dir = store_dir("auto");
+    let a = graph(256, 12);
+    let b = DenseMatrix::random(256, 32, 6);
+
+    let cold = {
+        let engine = Engine::builder()
+            .workers(1)
+            .plan_store(&dir)
+            .build()
+            .unwrap();
+        let s1 = engine
+            .session(&a)
+            .kind(KernelKind::Auto)
+            .feature_dim(32)
+            .open()
+            .unwrap();
+        // Second session, same key: cache hit, no rebuild.
+        engine
+            .session(&a)
+            .kind(KernelKind::Auto)
+            .feature_dim(32)
+            .open()
+            .unwrap();
+        let stats = engine.stats();
+        assert_eq!(stats.plan_builds, 1);
+        assert_eq!(stats.cache_hits, 1);
+        s1.multiply(&b).unwrap()
+    };
+
+    // Warm restart: the hybrid plan rehydrates from the store.
+    let engine = Engine::builder()
+        .workers(1)
+        .plan_store(&dir)
+        .build()
+        .unwrap();
+    let session = engine
+        .session(&a)
+        .kind(KernelKind::Auto)
+        .feature_dim(32)
+        .open()
+        .unwrap();
+    let warm = session.multiply(&b).unwrap();
+    let stats = engine.stats();
+    assert_eq!(stats.plan_builds, 0, "warm start must not rebuild");
+    assert_eq!(stats.store_hits, 1);
+    assert_eq!(
+        cold.as_slice()
+            .iter()
+            .map(|x| x.to_bits())
+            .collect::<Vec<_>>(),
+        warm.as_slice()
+            .iter()
+            .map(|x| x.to_bits())
+            .collect::<Vec<_>>(),
+        "rehydrated hybrid plan must be bit-identical"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

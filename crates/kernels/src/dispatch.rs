@@ -1,0 +1,615 @@
+//! Density-adaptive kernel dispatch: the policy behind
+//! [`KernelKind::Auto`].
+//!
+//! A matrix is summarized into [`MatrixFeatures`] (average row length,
+//! row-length coefficient of variation, feature dimension); the
+//! [`DispatchPolicy`] — a first-match rule table learned offline by the
+//! `autotune` binary and committed as `results/dispatch_policy.json` —
+//! maps those features to a [`DispatchDecision`]: either one concrete
+//! kernel for the whole matrix, or a hybrid split where each TILE-row
+//! window runs the tensor-core kernel when its local density clears a
+//! threshold and a scalar kernel otherwise.
+//!
+//! The window classifier uses *only window-local* data (the window's
+//! average nnz per row against an absolute threshold), so any TILE-
+//! aligned row slice of the matrix classifies its windows exactly as
+//! the full matrix does. That is what lets spmm-dist pin one decision
+//! at the coordinator and build per-shard hybrid plans that stay
+//! bit-identical to the unsharded run (row-partition invariance).
+
+use crate::ir::{kind_from_slug, kind_slug};
+use crate::KernelKind;
+use spmm_common::json::Json;
+use spmm_common::{Result, SpmmError};
+use spmm_format::TILE;
+use spmm_matrix::CsrMatrix;
+use std::collections::BTreeMap;
+use std::sync::OnceLock;
+
+/// Schema version of the committed policy table. Bump on any change to
+/// the rule or decision encoding; `DispatchPolicy::parse` rejects every
+/// other version.
+pub const POLICY_SCHEMA_VERSION: u32 = 1;
+
+/// The committed policy table, embedded at compile time so `Auto`
+/// plans build without any runtime file dependency. CI regenerates the
+/// file with `autotune --check` and fails on drift, so the embedded
+/// bytes and the committed artifact cannot silently diverge.
+const BUILTIN_POLICY: &str = include_str!(concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../results/dispatch_policy.json"
+));
+
+/// The dispatch-relevant summary of one (matrix, feature-dim) binding.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MatrixFeatures {
+    /// Rows of the sparse operand.
+    pub nrows: usize,
+    /// Stored non-zeros.
+    pub nnz: usize,
+    /// Average row length (`nnz / nrows`; 0 for an empty operand).
+    pub avg_l: f64,
+    /// Coefficient of variation of the row lengths (stddev / mean; 0
+    /// when the mean is 0) — the paper collection's type-1/type-2 axis.
+    pub row_cv: f64,
+    /// Dense-operand feature dimension the plan will serve.
+    pub feature_dim: usize,
+}
+
+impl MatrixFeatures {
+    /// Compute the features of `m` for a plan specialized to
+    /// `feature_dim`.
+    pub fn of(m: &CsrMatrix, feature_dim: usize) -> MatrixFeatures {
+        let nrows = m.nrows();
+        let nnz = m.nnz();
+        let avg_l = if nrows == 0 {
+            0.0
+        } else {
+            nnz as f64 / nrows as f64
+        };
+        let row_cv = if nrows == 0 || avg_l == 0.0 {
+            0.0
+        } else {
+            let var = (0..nrows)
+                .map(|r| {
+                    let d = m.row_len(r) as f64 - avg_l;
+                    d * d
+                })
+                .sum::<f64>()
+                / nrows as f64;
+            var.sqrt() / avg_l
+        };
+        MatrixFeatures {
+            nrows,
+            nnz,
+            avg_l,
+            row_cv,
+            feature_dim,
+        }
+    }
+}
+
+/// What the policy chose for a matrix.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DispatchDecision {
+    /// Run one concrete kernel over the whole matrix.
+    Single(KernelKind),
+    /// Split TILE-row windows by local density: windows whose average
+    /// nnz per row is `>= threshold` run `dense`, the rest run
+    /// `sparse`. Consecutive same-class windows coalesce into regions.
+    Hybrid {
+        /// Kernel for the dense windows (a tensor-core kind).
+        dense: KernelKind,
+        /// Kernel for the sparse windows (a CUDA-core kind).
+        sparse: KernelKind,
+        /// Window average-nnz-per-row cut between the two classes.
+        threshold: f64,
+    },
+}
+
+impl DispatchDecision {
+    /// Every kernel kind the decision can execute.
+    pub fn kinds(&self) -> Vec<KernelKind> {
+        match self {
+            DispatchDecision::Single(k) => vec![*k],
+            DispatchDecision::Hybrid { dense, sparse, .. } => vec![*dense, *sparse],
+        }
+    }
+
+    /// Reject decisions that reference [`KernelKind::Auto`] (a region
+    /// must resolve to a concrete kernel) or a non-finite threshold.
+    pub fn validate(&self) -> Result<()> {
+        if self.kinds().contains(&KernelKind::Auto) {
+            return Err(SpmmError::InvalidConfig(
+                "dispatch decision must name concrete kernels, not Auto".into(),
+            ));
+        }
+        if let DispatchDecision::Hybrid { threshold, .. } = self {
+            if !threshold.is_finite() || *threshold < 0.0 {
+                return Err(SpmmError::InvalidConfig(format!(
+                    "hybrid threshold {threshold} must be finite and non-negative"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// The decision's JSON encoding (the policy file and plan-IR header
+    /// schema).
+    pub fn to_json(&self) -> Json {
+        let mut o = BTreeMap::new();
+        match self {
+            DispatchDecision::Single(k) => {
+                o.insert("mode".into(), Json::Str("single".into()));
+                o.insert("kernel".into(), Json::Str(kind_slug(*k).into()));
+            }
+            DispatchDecision::Hybrid {
+                dense,
+                sparse,
+                threshold,
+            } => {
+                o.insert("mode".into(), Json::Str("hybrid".into()));
+                o.insert("dense".into(), Json::Str(kind_slug(*dense).into()));
+                o.insert("sparse".into(), Json::Str(kind_slug(*sparse).into()));
+                o.insert("threshold".into(), Json::Num(*threshold));
+            }
+        }
+        Json::Obj(o)
+    }
+
+    /// Parse the JSON encoding produced by [`DispatchDecision::to_json`].
+    pub fn from_json(j: &Json) -> Result<DispatchDecision> {
+        let mode = j
+            .get("mode")
+            .and_then(Json::as_str)
+            .ok_or_else(|| bad_policy("decision missing 'mode'"))?;
+        let kind_of = |key: &str| -> Result<KernelKind> {
+            let slug = j
+                .get(key)
+                .and_then(Json::as_str)
+                .ok_or_else(|| bad_policy(&format!("decision missing '{key}'")))?;
+            kind_from_slug(slug)
+                .ok_or_else(|| bad_policy(&format!("unknown kernel slug '{slug}' in decision")))
+        };
+        let decision = match mode {
+            "single" => DispatchDecision::Single(kind_of("kernel")?),
+            "hybrid" => DispatchDecision::Hybrid {
+                dense: kind_of("dense")?,
+                sparse: kind_of("sparse")?,
+                threshold: j
+                    .get("threshold")
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| bad_policy("hybrid decision missing 'threshold'"))?,
+            },
+            other => return Err(bad_policy(&format!("unknown decision mode '{other}'"))),
+        };
+        decision.validate()?;
+        Ok(decision)
+    }
+}
+
+fn bad_policy(detail: &str) -> SpmmError {
+    SpmmError::InvalidConfig(format!("dispatch policy: {detail}"))
+}
+
+/// Optional feature bounds one policy rule matches against (min
+/// inclusive, max exclusive; an absent bound always matches).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RuleBounds {
+    /// Lower bound on [`MatrixFeatures::avg_l`].
+    pub avgl_min: Option<f64>,
+    /// Upper bound on [`MatrixFeatures::avg_l`].
+    pub avgl_max: Option<f64>,
+    /// Lower bound on [`MatrixFeatures::row_cv`].
+    pub cv_min: Option<f64>,
+    /// Upper bound on [`MatrixFeatures::row_cv`].
+    pub cv_max: Option<f64>,
+    /// Lower bound on [`MatrixFeatures::feature_dim`].
+    pub dim_min: Option<f64>,
+    /// Upper bound on [`MatrixFeatures::feature_dim`].
+    pub dim_max: Option<f64>,
+}
+
+impl RuleBounds {
+    fn matches(&self, f: &MatrixFeatures) -> bool {
+        let within = |v: f64, min: Option<f64>, max: Option<f64>| {
+            min.is_none_or(|m| v >= m) && max.is_none_or(|m| v < m)
+        };
+        within(f.avg_l, self.avgl_min, self.avgl_max)
+            && within(f.row_cv, self.cv_min, self.cv_max)
+            && within(f.feature_dim as f64, self.dim_min, self.dim_max)
+    }
+
+    /// The bounds' JSON encoding (only present bounds are emitted, so
+    /// the table stays readable).
+    pub fn to_json(&self) -> Json {
+        let mut o = BTreeMap::new();
+        let mut put = |key: &str, v: Option<f64>| {
+            if let Some(v) = v {
+                o.insert(key.to_string(), Json::Num(v));
+            }
+        };
+        put("avgl_min", self.avgl_min);
+        put("avgl_max", self.avgl_max);
+        put("cv_min", self.cv_min);
+        put("cv_max", self.cv_max);
+        put("dim_min", self.dim_min);
+        put("dim_max", self.dim_max);
+        Json::Obj(o)
+    }
+
+    fn from_json(j: &Json) -> Result<RuleBounds> {
+        let obj = j
+            .as_object()
+            .ok_or_else(|| bad_policy("rule 'when' must be an object"))?;
+        let mut b = RuleBounds::default();
+        for (key, value) in obj {
+            let v = value
+                .as_f64()
+                .ok_or_else(|| bad_policy(&format!("bound '{key}' must be a number")))?;
+            match key.as_str() {
+                "avgl_min" => b.avgl_min = Some(v),
+                "avgl_max" => b.avgl_max = Some(v),
+                "cv_min" => b.cv_min = Some(v),
+                "cv_max" => b.cv_max = Some(v),
+                "dim_min" => b.dim_min = Some(v),
+                "dim_max" => b.dim_max = Some(v),
+                other => return Err(bad_policy(&format!("unknown bound '{other}'"))),
+            }
+        }
+        Ok(b)
+    }
+}
+
+/// One first-match-wins policy rule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PolicyRule {
+    /// Feature bounds the rule applies within.
+    pub when: RuleBounds,
+    /// The decision taken when the bounds match.
+    pub decision: DispatchDecision,
+}
+
+/// The learned feature → decision table `KernelKind::Auto` consults.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DispatchPolicy {
+    /// Rules in priority order; the first whose bounds match wins.
+    pub rules: Vec<PolicyRule>,
+    /// Decision when no rule matches.
+    pub fallback: DispatchDecision,
+}
+
+impl DispatchPolicy {
+    /// The compiled-in policy (the committed
+    /// `results/dispatch_policy.json`). Panics only if the committed
+    /// artifact is malformed, which the CI determinism job prevents.
+    pub fn builtin() -> &'static DispatchPolicy {
+        static POLICY: OnceLock<DispatchPolicy> = OnceLock::new();
+        POLICY.get_or_init(|| {
+            DispatchPolicy::parse(BUILTIN_POLICY)
+                .expect("embedded results/dispatch_policy.json is valid (CI-gated)")
+        })
+    }
+
+    /// Parse a policy table from its JSON text.
+    pub fn parse(text: &str) -> Result<DispatchPolicy> {
+        let j = Json::parse(text).map_err(|e| bad_policy(&format!("not JSON: {e}")))?;
+        let schema = j
+            .get("schema_version")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| bad_policy("missing 'schema_version'"))?;
+        if schema as u32 != POLICY_SCHEMA_VERSION {
+            return Err(bad_policy(&format!(
+                "schema_version {schema} unsupported (expected {POLICY_SCHEMA_VERSION})"
+            )));
+        }
+        let rules = j
+            .get("rules")
+            .and_then(Json::as_array)
+            .ok_or_else(|| bad_policy("missing 'rules' array"))?
+            .iter()
+            .map(|r| {
+                Ok(PolicyRule {
+                    when: RuleBounds::from_json(
+                        r.get("when")
+                            .ok_or_else(|| bad_policy("rule missing 'when'"))?,
+                    )?,
+                    decision: DispatchDecision::from_json(
+                        r.get("decision")
+                            .ok_or_else(|| bad_policy("rule missing 'decision'"))?,
+                    )?,
+                })
+            })
+            .collect::<Result<Vec<_>>>()?;
+        let fallback = DispatchDecision::from_json(
+            j.get("fallback")
+                .ok_or_else(|| bad_policy("missing 'fallback'"))?,
+        )?;
+        Ok(DispatchPolicy { rules, fallback })
+    }
+
+    /// Serialize the table back to its committed JSON form (sorted
+    /// keys; `extra` lets the autotuner record provenance fields).
+    pub fn to_json(&self, extra: BTreeMap<String, Json>) -> Json {
+        let mut o = extra;
+        o.insert(
+            "schema_version".into(),
+            Json::Num(POLICY_SCHEMA_VERSION as f64),
+        );
+        o.insert(
+            "rules".into(),
+            Json::Arr(
+                self.rules
+                    .iter()
+                    .map(|r| {
+                        let mut rule = BTreeMap::new();
+                        rule.insert("when".into(), r.when.to_json());
+                        rule.insert("decision".into(), r.decision.to_json());
+                        Json::Obj(rule)
+                    })
+                    .collect(),
+            ),
+        );
+        o.insert("fallback".into(), self.fallback.to_json());
+        Json::Obj(o)
+    }
+
+    /// Decide for one feature vector: first matching rule, else the
+    /// fallback.
+    pub fn decide(&self, f: &MatrixFeatures) -> DispatchDecision {
+        self.rules
+            .iter()
+            .find(|r| r.when.matches(f))
+            .map(|r| r.decision)
+            .unwrap_or(self.fallback)
+    }
+}
+
+/// One contiguous run of TILE-row windows assigned to a kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegionSpec {
+    /// First row (TILE-aligned).
+    pub row_lo: usize,
+    /// One past the last row.
+    pub row_hi: usize,
+    /// The concrete kernel for the region.
+    pub kind: KernelKind,
+}
+
+/// Partition `m`'s rows into kernel regions per `decision`. A
+/// `Single` decision yields one region spanning every row; a `Hybrid`
+/// decision classifies each TILE window by its local average nnz per
+/// row (window-local data only — see the module docs for why that
+/// keeps sharded builds bit-identical) and coalesces consecutive
+/// same-kernel windows. Empty operands yield no regions.
+pub fn region_partition(m: &CsrMatrix, decision: &DispatchDecision) -> Vec<RegionSpec> {
+    let nrows = m.nrows();
+    if nrows == 0 {
+        return Vec::new();
+    }
+    let (dense, sparse, threshold) = match decision {
+        DispatchDecision::Single(k) => {
+            return vec![RegionSpec {
+                row_lo: 0,
+                row_hi: nrows,
+                kind: *k,
+            }]
+        }
+        DispatchDecision::Hybrid {
+            dense,
+            sparse,
+            threshold,
+        } => (*dense, *sparse, *threshold),
+    };
+    let row_ptr = m.row_ptr();
+    let mut regions: Vec<RegionSpec> = Vec::new();
+    for w in 0..nrows.div_ceil(TILE) {
+        let lo = w * TILE;
+        let hi = ((w + 1) * TILE).min(nrows);
+        let nnz_w = row_ptr[hi] - row_ptr[lo];
+        let avg_w = nnz_w as f64 / (hi - lo) as f64;
+        let kind = if avg_w >= threshold { dense } else { sparse };
+        match regions.last_mut() {
+            Some(last) if last.kind == kind && last.row_hi == lo => last.row_hi = hi,
+            _ => regions.push(RegionSpec {
+                row_lo: lo,
+                row_hi: hi,
+                kind,
+            }),
+        }
+    }
+    regions
+}
+
+/// Extract rows `[lo, hi)` of `m` as a standalone CSR operand (same
+/// column space). The dist crate's shard cutter has the same shape;
+/// this local copy keeps `spmm-kernels` free of a dependency cycle.
+pub fn row_block(m: &CsrMatrix, lo: usize, hi: usize) -> CsrMatrix {
+    assert!(lo <= hi && hi <= m.nrows(), "row block out of range");
+    let row_ptr = m.row_ptr();
+    let base = row_ptr[lo];
+    let rebased: Vec<usize> = row_ptr[lo..=hi].iter().map(|&p| p - base).collect();
+    let col_idx = m.col_idx()[base..row_ptr[hi]].to_vec();
+    let values = m.values()[base..row_ptr[hi]].to_vec();
+    CsrMatrix::new(hi - lo, m.ncols(), rebased, col_idx, values)
+        .expect("row block of a valid CSR is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spmm_matrix::gen::uniform_random;
+
+    #[test]
+    fn builtin_policy_parses_and_decides() {
+        let policy = DispatchPolicy::builtin();
+        let m = uniform_random(128, 4.0, 3);
+        let d = policy.decide(&MatrixFeatures::of(&m, 32));
+        assert!(d.validate().is_ok());
+    }
+
+    #[test]
+    fn features_capture_density_and_spread() {
+        let m = uniform_random(256, 6.0, 1);
+        let f = MatrixFeatures::of(&m, 64);
+        assert_eq!(f.nrows, 256);
+        assert_eq!(f.nnz, m.nnz());
+        assert!((f.avg_l - m.nnz() as f64 / 256.0).abs() < 1e-12);
+        assert!(f.row_cv >= 0.0);
+        assert_eq!(f.feature_dim, 64);
+    }
+
+    #[test]
+    fn rule_bounds_are_half_open_and_first_match_wins() {
+        let policy = DispatchPolicy {
+            rules: vec![
+                PolicyRule {
+                    when: RuleBounds {
+                        avgl_max: Some(4.0),
+                        ..Default::default()
+                    },
+                    decision: DispatchDecision::Single(KernelKind::CusparseLike),
+                },
+                PolicyRule {
+                    when: RuleBounds::default(),
+                    decision: DispatchDecision::Single(KernelKind::AccSpmm),
+                },
+            ],
+            fallback: DispatchDecision::Single(KernelKind::SputnikLike),
+        };
+        let f = |avg_l: f64| MatrixFeatures {
+            nrows: 8,
+            nnz: 8,
+            avg_l,
+            row_cv: 0.0,
+            feature_dim: 32,
+        };
+        assert_eq!(
+            policy.decide(&f(3.9)),
+            DispatchDecision::Single(KernelKind::CusparseLike)
+        );
+        // Upper bounds are exclusive: 4.0 falls through to the
+        // catch-all second rule.
+        assert_eq!(
+            policy.decide(&f(4.0)),
+            DispatchDecision::Single(KernelKind::AccSpmm)
+        );
+    }
+
+    #[test]
+    fn decision_json_roundtrips() {
+        for d in [
+            DispatchDecision::Single(KernelKind::DtcSpmm),
+            DispatchDecision::Hybrid {
+                dense: KernelKind::AccSpmm,
+                sparse: KernelKind::SputnikLike,
+                threshold: 6.5,
+            },
+        ] {
+            assert_eq!(DispatchDecision::from_json(&d.to_json()).unwrap(), d);
+        }
+    }
+
+    #[test]
+    fn decisions_naming_auto_are_rejected() {
+        assert!(DispatchDecision::Single(KernelKind::Auto)
+            .validate()
+            .is_err());
+        assert!(DispatchDecision::Hybrid {
+            dense: KernelKind::Auto,
+            sparse: KernelKind::CusparseLike,
+            threshold: 4.0,
+        }
+        .validate()
+        .is_err());
+        assert!(DispatchDecision::Hybrid {
+            dense: KernelKind::AccSpmm,
+            sparse: KernelKind::CusparseLike,
+            threshold: f64::NAN,
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn policy_json_roundtrips() {
+        let policy = DispatchPolicy {
+            rules: vec![PolicyRule {
+                when: RuleBounds {
+                    avgl_min: Some(2.0),
+                    avgl_max: Some(32.0),
+                    dim_min: Some(64.0),
+                    ..Default::default()
+                },
+                decision: DispatchDecision::Hybrid {
+                    dense: KernelKind::AccSpmm,
+                    sparse: KernelKind::CusparseLike,
+                    threshold: 8.0,
+                },
+            }],
+            fallback: DispatchDecision::Single(KernelKind::AccSpmm),
+        };
+        let text = policy.to_json(BTreeMap::new()).to_string_pretty();
+        assert_eq!(DispatchPolicy::parse(&text).unwrap(), policy);
+    }
+
+    #[test]
+    fn single_decision_is_one_region() {
+        let m = uniform_random(100, 3.0, 7);
+        let regions = region_partition(&m, &DispatchDecision::Single(KernelKind::AccSpmm));
+        assert_eq!(
+            regions,
+            vec![RegionSpec {
+                row_lo: 0,
+                row_hi: 100,
+                kind: KernelKind::AccSpmm
+            }]
+        );
+    }
+
+    #[test]
+    fn hybrid_regions_tile_the_rows_and_respect_the_threshold() {
+        let m = uniform_random(96, 5.0, 11);
+        let d = DispatchDecision::Hybrid {
+            dense: KernelKind::AccSpmm,
+            sparse: KernelKind::CusparseLike,
+            threshold: 5.0,
+        };
+        let regions = region_partition(&m, &d);
+        assert!(!regions.is_empty());
+        assert_eq!(regions[0].row_lo, 0);
+        assert_eq!(regions.last().unwrap().row_hi, 96);
+        for pair in regions.windows(2) {
+            assert_eq!(pair[0].row_hi, pair[1].row_lo, "regions are contiguous");
+            assert_ne!(pair[0].kind, pair[1].kind, "adjacent regions coalesce");
+        }
+        for r in &regions {
+            assert_eq!(r.row_lo % TILE, 0, "regions start on window boundaries");
+            // Every window inside the region classifies to the region's
+            // kernel — the invariant sharded builds rely on.
+            for w in (r.row_lo / TILE)..r.row_hi.div_ceil(TILE) {
+                let lo = w * TILE;
+                let hi = ((w + 1) * TILE).min(96);
+                let nnz_w = m.row_ptr()[hi] - m.row_ptr()[lo];
+                let avg = nnz_w as f64 / (hi - lo) as f64;
+                let kind = if avg >= 5.0 {
+                    KernelKind::AccSpmm
+                } else {
+                    KernelKind::CusparseLike
+                };
+                assert_eq!(kind, r.kind);
+            }
+        }
+    }
+
+    #[test]
+    fn row_block_slices_are_consistent() {
+        let m = uniform_random(64, 4.0, 5);
+        let sub = row_block(&m, 16, 40);
+        assert_eq!(sub.nrows(), 24);
+        assert_eq!(sub.ncols(), m.ncols());
+        for r in 0..24 {
+            assert_eq!(sub.row(r), m.row(16 + r), "row {r} content preserved");
+        }
+    }
+}

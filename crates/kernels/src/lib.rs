@@ -27,6 +27,7 @@
 //! | Acc-SpMM | TC | BitTCF | data-affinity | Fig 5b least-bubble | adaptive |
 
 pub mod acc;
+pub mod dispatch;
 pub mod ir;
 pub mod plan;
 pub mod scalar;
@@ -34,8 +35,14 @@ pub mod tc;
 pub mod workspace;
 
 pub use acc::AccConfig;
+pub use dispatch::{
+    region_partition, DispatchDecision, DispatchPolicy, MatrixFeatures, PolicyRule, RegionSpec,
+    RuleBounds, POLICY_SCHEMA_VERSION,
+};
 pub use ir::{acc_config_hash, PlanIr, PlanLoader, PLAN_IR_VERSION};
-pub use plan::{ExecutionPlan, FormatChoice, PlanContext, PlanStage, StageSpec, StageTiming};
+pub use plan::{
+    ExecutionPlan, FormatChoice, PlanContext, PlanStage, RegionPlan, StageSpec, StageTiming,
+};
 pub use workspace::{Workspace, WorkspacePool};
 
 use crate::workspace::ensure_staging;
@@ -60,10 +67,17 @@ pub enum KernelKind {
     DtcSpmm,
     /// Acc-SpMM (this paper).
     AccSpmm,
+    /// Density-adaptive dispatch: the committed autotuner policy picks
+    /// a concrete kernel — or a per-row-region hybrid of one TC and
+    /// one scalar kernel — from the matrix's features (see
+    /// [`dispatch`]). Not a seventh hand-written kernel, so it is
+    /// deliberately absent from [`KernelKind::ALL`].
+    Auto,
 }
 
 impl KernelKind {
-    /// All kernels, baseline first.
+    /// All *concrete* kernels, baseline first ([`KernelKind::Auto`]
+    /// resolves to these and is not listed).
     pub const ALL: [KernelKind; 6] = [
         KernelKind::CusparseLike,
         KernelKind::SputnikLike,
@@ -82,14 +96,18 @@ impl KernelKind {
             KernelKind::TcGnn => "TCGNN",
             KernelKind::DtcSpmm => "DTC-SpMM",
             KernelKind::AccSpmm => "Acc-SpMM",
+            KernelKind::Auto => "Auto",
         }
     }
 
-    /// Does this kernel run on tensor cores?
+    /// Does this kernel run on tensor cores? `Auto` answers `true`: its
+    /// dense regions may compile TC formats, so consumers that gate
+    /// TC-only degradation paths (the engine's CSR fallback) must treat
+    /// it as TC-capable.
     pub fn uses_tensor_cores(&self) -> bool {
         matches!(
             self,
-            KernelKind::TcGnn | KernelKind::DtcSpmm | KernelKind::AccSpmm
+            KernelKind::TcGnn | KernelKind::DtcSpmm | KernelKind::AccSpmm | KernelKind::Auto
         )
     }
 
@@ -452,91 +470,210 @@ impl PreparedKernel {
         ws: &mut Workspace,
         parallel: bool,
     ) -> Result<()> {
-        let _span = spmm_trace::span("kernel.execute");
-        spmm_trace::counter_add("kernel.multiplies", 1);
-        let Workspace {
-            tiles,
-            staging_b,
-            staging_c,
-            ..
-        } = ws;
-        // Symmetric-reorder mode multiplies (P A Pᵀ)(P B) = P (A B): the
-        // dense operand is row-permuted on the way in, and the usual
-        // scatter below restores original row order on the way out.
-        let b_eff: &DenseMatrix = match (self.plan.perm(), self.plan.symmetric()) {
-            (Some(perm), true) => {
-                let staged = ensure_staging(staging_b, b.nrows(), b.ncols());
-                b.permute_rows_into(perm, staged)?;
-                staged
-            }
-            _ => b,
-        };
-        match self.plan.perm() {
-            None => self.spmm_dispatch(b_eff, out, tiles, parallel),
-            Some(perm) => {
-                if out.nrows() != self.csr().nrows() || out.ncols() != b.ncols() {
-                    return Err(SpmmError::Shape {
-                        context: format!(
-                            "output is {}x{}, expected {}x{}",
-                            out.nrows(),
-                            out.ncols(),
-                            self.csr().nrows(),
-                            b.ncols()
-                        ),
-                    });
-                }
-                let staged = ensure_staging(staging_c, self.csr().nrows(), b.ncols());
-                self.spmm_dispatch(b_eff, staged, tiles, parallel)?;
-                // Scatter back: C_orig[old] = C_perm[perm[old]].
-                for (old, &p) in perm.iter().enumerate() {
-                    out.row_mut(old).copy_from_slice(staged.row(p as usize));
-                }
-                Ok(())
-            }
-        }
-    }
-
-    /// Run the format's SpMM into `c`, choosing the window-parallel or
-    /// window-sequential (zero-allocation) inner loop.
-    fn spmm_dispatch(
-        &self,
-        b: &DenseMatrix,
-        c: &mut DenseMatrix,
-        tiles: &mut TileScratch,
-        parallel: bool,
-    ) -> Result<()> {
-        match (self.plan.format(), parallel) {
-            // TC formats consume a TF32 pre-rounded B stage owned by the
-            // workspace scratch, so repeated multiplies re-round B into
-            // the same buffer instead of allocating (and the rounding
-            // happens once per multiply, not once per gathered element).
-            (Some(TcFormat::Tcf(f)), _) => f.spmm_into_staged(tiles.stage_b(b), c),
-            (Some(TcFormat::MeTcf(f)), true) => f.spmm_into_staged(tiles.stage_b(b), c),
-            (Some(TcFormat::MeTcf(f)), false) => f.spmm_into_seq(b, c, tiles),
-            (Some(TcFormat::BitTcf(f)), true) => f.spmm_into_staged(tiles.stage_b(b), c),
-            (Some(TcFormat::BitTcf(f)), false) => f.spmm_into_seq(b, c, tiles),
-            // CUDA-core kernels are FP32 FMA — no operand rounding.
-            (None, true) => self.csr().spmm_dense_into(b, c),
-            (None, false) => self.csr().spmm_dense_into_seq(b, c),
-        }
+        plan_execute_into(&self.plan, b, out, ws, parallel)
     }
 
     /// The kernel's work compiled into a simulator trace (cached on the
-    /// plan at prepare time; this clones the cached description).
+    /// plan at prepare time; this clones the cached description). For
+    /// `Auto` plans this is the synthesized whole-matrix descriptor;
+    /// profiling sums the per-region simulations instead (regions run
+    /// different pipelines, so one combined trace cannot price them).
     pub fn trace(&self) -> KernelDesc {
         self.plan.compiled_trace().clone()
     }
 
-    /// Simulate on the given architecture.
+    /// Simulate on the given architecture. Hybrid (`Auto`) plans are
+    /// priced as the sum of their per-region simulations, each region
+    /// profiled exactly as a standalone kernel of its kind would be.
     pub fn profile(&self, arch: Arch, opts: &SimOptions) -> KernelReport {
-        let spec = arch.spec();
-        let cached = self.plan.compiled_trace();
-        if self.kind() == KernelKind::CusparseLike {
-            let mut desc = cached.clone();
-            desc.arch_boost = spec.cusparse_boost;
-            return spmm_sim::profile(arch, &desc, opts);
+        match self.plan.regions() {
+            Some(regions) => {
+                let reports: Vec<KernelReport> = regions
+                    .iter()
+                    .map(|r| profile_plan(&r.plan, arch, opts))
+                    .collect();
+                combine_reports(&reports)
+            }
+            None => profile_plan(&self.plan, arch, opts),
         }
-        spmm_sim::profile(arch, cached, opts)
+    }
+}
+
+/// Execute one plan (hybrid-aware). Region sub-plans of an `Auto` plan
+/// carry no regions themselves, so the recursion is exactly one level.
+fn plan_execute_into(
+    plan: &ExecutionPlan,
+    b: &DenseMatrix,
+    out: &mut DenseMatrix,
+    ws: &mut Workspace,
+    parallel: bool,
+) -> Result<()> {
+    if let Some(regions) = plan.regions() {
+        return execute_hybrid(plan, regions, b, out, ws, parallel);
+    }
+    let _span = spmm_trace::span("kernel.execute");
+    spmm_trace::counter_add("kernel.multiplies", 1);
+    let Workspace {
+        tiles,
+        staging_b,
+        staging_c,
+        ..
+    } = ws;
+    // Symmetric-reorder mode multiplies (P A Pᵀ)(P B) = P (A B): the
+    // dense operand is row-permuted on the way in, and the usual
+    // scatter below restores original row order on the way out.
+    let b_eff: &DenseMatrix = match (plan.perm(), plan.symmetric()) {
+        (Some(perm), true) => {
+            let staged = ensure_staging(staging_b, b.nrows(), b.ncols());
+            b.permute_rows_into(perm, staged)?;
+            staged
+        }
+        _ => b,
+    };
+    match plan.perm() {
+        None => spmm_dispatch(plan, b_eff, out, tiles, parallel),
+        Some(perm) => {
+            if out.nrows() != plan.csr().nrows() || out.ncols() != b.ncols() {
+                return Err(SpmmError::Shape {
+                    context: format!(
+                        "output is {}x{}, expected {}x{}",
+                        out.nrows(),
+                        out.ncols(),
+                        plan.csr().nrows(),
+                        b.ncols()
+                    ),
+                });
+            }
+            let staged = ensure_staging(staging_c, plan.csr().nrows(), b.ncols());
+            spmm_dispatch(plan, b_eff, staged, tiles, parallel)?;
+            // Scatter back: C_orig[old] = C_perm[perm[old]].
+            for (old, &p) in perm.iter().enumerate() {
+                out.row_mut(old).copy_from_slice(staged.row(p as usize));
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Run the plan's format SpMM into `c`, choosing the window-parallel or
+/// window-sequential (zero-allocation) inner loop.
+fn spmm_dispatch(
+    plan: &ExecutionPlan,
+    b: &DenseMatrix,
+    c: &mut DenseMatrix,
+    tiles: &mut TileScratch,
+    parallel: bool,
+) -> Result<()> {
+    match (plan.format(), parallel) {
+        // TC formats consume a TF32 pre-rounded B stage owned by the
+        // workspace scratch, so repeated multiplies re-round B into
+        // the same buffer instead of allocating (and the rounding
+        // happens once per multiply, not once per gathered element).
+        (Some(TcFormat::Tcf(f)), _) => f.spmm_into_staged(tiles.stage_b(b), c),
+        (Some(TcFormat::MeTcf(f)), true) => f.spmm_into_staged(tiles.stage_b(b), c),
+        (Some(TcFormat::MeTcf(f)), false) => f.spmm_into_seq(b, c, tiles),
+        (Some(TcFormat::BitTcf(f)), true) => f.spmm_into_staged(tiles.stage_b(b), c),
+        (Some(TcFormat::BitTcf(f)), false) => f.spmm_into_seq(b, c, tiles),
+        // CUDA-core kernels are FP32 FMA — no operand rounding.
+        (None, true) => plan.csr().spmm_dense_into(b, c),
+        (None, false) => plan.csr().spmm_dense_into_seq(b, c),
+    }
+}
+
+/// The hybrid stitch: execute every region's sub-plan over the shared
+/// B, then gather the region rows into the caller's output. Each
+/// sub-plan already returns its rows in the region's original order
+/// (row-partition invariance: a row accumulates exactly its own lanes
+/// in ascending column order regardless of the partition), so the
+/// stitch is a bit-exact row copy — no arithmetic crosses a region
+/// boundary.
+fn execute_hybrid(
+    plan: &ExecutionPlan,
+    regions: &[plan::RegionPlan],
+    b: &DenseMatrix,
+    out: &mut DenseMatrix,
+    ws: &mut Workspace,
+    parallel: bool,
+) -> Result<()> {
+    let _span = spmm_trace::span("kernel.execute_hybrid");
+    spmm_trace::counter_add("kernel.hybrid_multiplies", 1);
+    let (a_rows, a_cols) = (plan.csr().nrows(), plan.csr().ncols());
+    if b.nrows() != a_cols || out.nrows() != a_rows || out.ncols() != b.ncols() {
+        return Err(SpmmError::shape(format!(
+            "A is {a_rows}x{a_cols}, B is {}x{}, C is {}x{}",
+            b.nrows(),
+            b.ncols(),
+            out.nrows(),
+            out.ncols()
+        )));
+    }
+    let scratch = ws.region_scratch_mut(regions.len());
+    for (r, rs) in regions.iter().zip(scratch.iter_mut()) {
+        let rows = r.row_hi - r.row_lo;
+        let staged = ensure_staging(&mut rs.out, rows, b.ncols());
+        plan_execute_into(&r.plan, b, staged, &mut rs.ws, parallel)?;
+        for i in 0..rows {
+            out.row_mut(r.row_lo + i).copy_from_slice(staged.row(i));
+        }
+    }
+    Ok(())
+}
+
+/// Simulate one plan as a standalone kernel of its kind (the
+/// cuSPARSE-like kernel gets the architecture's CSR-library boost).
+fn profile_plan(plan: &ExecutionPlan, arch: Arch, opts: &SimOptions) -> KernelReport {
+    let spec = arch.spec();
+    let cached = plan.compiled_trace();
+    if plan.kind() == KernelKind::CusparseLike {
+        let mut desc = cached.clone();
+        desc.arch_boost = spec.cusparse_boost;
+        return spmm_sim::profile(arch, &desc, opts);
+    }
+    spmm_sim::profile(arch, cached, opts)
+}
+
+/// Aggregate per-region simulation reports into one whole-matrix
+/// report: times, bytes, and thread blocks add; rates recompute from
+/// the totals; ratio metrics average weighted by region time.
+fn combine_reports(reports: &[KernelReport]) -> KernelReport {
+    let time_s: f64 = reports.iter().map(|r| r.time_s).sum();
+    let dram_bytes: u64 = reports.iter().map(|r| r.dram_bytes).sum();
+    let l2_bytes: u64 = reports.iter().map(|r| r.l2_bytes).sum();
+    let l1_bytes: u64 = reports.iter().map(|r| r.l1_bytes).sum();
+    let bubble_s: f64 = reports.iter().map(|r| r.bubble_s).sum();
+    let busy_s: f64 = reports.iter().map(|r| r.busy_s).sum();
+    let num_tbs: usize = reports.iter().map(|r| r.num_tbs).sum();
+    let weighted = |f: fn(&KernelReport) -> f64| -> f64 {
+        if time_s > 0.0 {
+            reports.iter().map(|r| f(r) * r.time_s).sum::<f64>() / time_s
+        } else {
+            0.0
+        }
+    };
+    // gflops fields are rates: recover each region's work from
+    // rate × time, then divide the summed work by the summed time.
+    let rate_total = |f: fn(&KernelReport) -> f64| -> f64 {
+        if time_s > 0.0 {
+            reports.iter().map(|r| f(r) * r.time_s).sum::<f64>() / time_s
+        } else {
+            0.0
+        }
+    };
+    KernelReport {
+        time_s,
+        gflops: rate_total(|r| r.gflops),
+        dense_gflops: rate_total(|r| r.dense_gflops),
+        dram_bytes,
+        l2_bytes,
+        l1_bytes,
+        l1_hit_rate: weighted(|r| r.l1_hit_rate),
+        l2_hit_rate: weighted(|r| r.l2_hit_rate),
+        bubble_s,
+        busy_s,
+        mem_throughput_gbps: rate_total(|r| r.mem_throughput_gbps),
+        compute_throughput_gflops: rate_total(|r| r.compute_throughput_gflops),
+        num_tbs,
+        sm_utilization: weighted(|r| r.sm_utilization),
     }
 }
 

@@ -18,6 +18,18 @@ pub struct Workspace {
     pub(crate) batch_stages: Vec<BStage>,
     pub(crate) staging_b: Option<DenseMatrix>,
     pub(crate) staging_c: Option<DenseMatrix>,
+    pub(crate) region_scratch: Vec<RegionScratch>,
+}
+
+/// Per-region buffers of the hybrid (`KernelKind::Auto`) path: each
+/// region's sub-plan gets its own nested workspace plus a staging
+/// output sized to the region's row count. Like every other workspace
+/// buffer these grow on first use and are reused afterwards, so hybrid
+/// steady-state multiplies allocate nothing.
+#[derive(Debug, Clone, Default)]
+pub struct RegionScratch {
+    pub(crate) ws: Workspace,
+    pub(crate) out: Option<DenseMatrix>,
 }
 
 impl Workspace {
@@ -37,7 +49,16 @@ impl Workspace {
             batch_stages: Vec::new(),
             staging_b: None,
             staging_c: None,
+            region_scratch: Vec::new(),
         }
+    }
+
+    /// The per-region scratch list, grown to at least `n` entries.
+    pub(crate) fn region_scratch_mut(&mut self, n: usize) -> &mut [RegionScratch] {
+        if self.region_scratch.len() < n {
+            self.region_scratch.resize_with(n, RegionScratch::default);
+        }
+        &mut self.region_scratch[..n]
     }
 }
 

@@ -1,0 +1,246 @@
+//! Hybrid (`KernelKind::Auto`) dispatch: stitching edge cases and
+//! bit-identity guarantees.
+//!
+//! The load-bearing property is *row-partition invariance*: each output
+//! row accumulates exactly its own row's lanes in ascending column
+//! order, so a region's rows must come out bit-identical to a
+//! whole-matrix run of the same kernel — NaN payloads and Inf
+//! propagation included. Every test here compares raw `f32::to_bits`.
+
+use spmm_kernels::{
+    DispatchDecision, ExecutionPlan, KernelKind, PlanIr, PlanLoader, PreparedKernel, Workspace,
+};
+use spmm_matrix::{gen, CsrMatrix, DenseMatrix};
+use spmm_sim::Arch;
+
+const DIM: usize = 16;
+
+fn acc_config() -> spmm_kernels::AccConfig {
+    spmm_kernels::AccConfig::full()
+}
+
+fn execute(plan: ExecutionPlan, b: &DenseMatrix) -> DenseMatrix {
+    let kernel = PreparedKernel::from_plan(plan);
+    let mut out = DenseMatrix::zeros(kernel.execution_plan().csr().nrows(), b.ncols());
+    let mut ws = Workspace::new();
+    kernel.execute_into(b, &mut out, &mut ws).unwrap();
+    out
+}
+
+fn single(kind: KernelKind, m: &CsrMatrix, b: &DenseMatrix) -> DenseMatrix {
+    let plan = ExecutionPlan::build(kind, m, Arch::A800, DIM, acc_config()).unwrap();
+    execute(plan, b)
+}
+
+fn pinned(
+    m: &CsrMatrix,
+    decision: DispatchDecision,
+    b: &DenseMatrix,
+) -> (ExecutionPlan, DenseMatrix) {
+    let plan =
+        ExecutionPlan::build_auto_pinned(m, Arch::A800, DIM, acc_config(), decision).unwrap();
+    let out = execute(plan.clone(), b);
+    (plan, out)
+}
+
+fn bits(m: &DenseMatrix) -> Vec<u32> {
+    m.as_slice().iter().map(|x| x.to_bits()).collect()
+}
+
+/// Dense 64-row head (degree 32), degree-1 tail, with empty rows
+/// spliced in — the worst case for stitching: region boundaries, empty
+/// windows, and both kernel classes in one matrix.
+fn skewed(n: usize) -> CsrMatrix {
+    let mut row_ptr = vec![0usize];
+    let mut col_idx = Vec::new();
+    let mut values = Vec::new();
+    for r in 0..n {
+        let mut cols: Vec<u32> = if r < 64 {
+            (0..32).map(|j| ((r + j * 7) % n) as u32).collect()
+        } else if r % 5 == 0 {
+            Vec::new() // empty rows inside the sparse tail
+        } else {
+            vec![r as u32]
+        };
+        cols.sort_unstable();
+        for c in cols {
+            col_idx.push(c);
+            values.push(0.5 + (r as f32) * 0.01 + (c as f32) * 0.001);
+        }
+        row_ptr.push(col_idx.len());
+    }
+    CsrMatrix::new(n, n, row_ptr, col_idx, values).unwrap()
+}
+
+fn hybrid_decision(threshold: f64) -> DispatchDecision {
+    DispatchDecision::Hybrid {
+        dense: KernelKind::AccSpmm,
+        sparse: KernelKind::CusparseLike,
+        threshold,
+    }
+}
+
+#[test]
+fn all_dense_degenerates_to_pure_tc() {
+    // Threshold 0 classifies every window dense: the hybrid must
+    // collapse to ONE AccSpmm region and reproduce its bits exactly.
+    let m = gen::uniform_random(128, 12.0, 3);
+    let b = DenseMatrix::random(m.ncols(), DIM, 5);
+    let (plan, out) = pinned(&m, hybrid_decision(0.0), &b);
+    let regions = plan.regions().unwrap();
+    assert_eq!(regions.len(), 1);
+    assert_eq!(regions[0].kind, KernelKind::AccSpmm);
+    assert_eq!(regions[0].row_lo, 0);
+    assert_eq!(regions[0].row_hi, m.nrows());
+    assert_eq!(bits(&out), bits(&single(KernelKind::AccSpmm, &m, &b)));
+}
+
+#[test]
+fn all_sparse_degenerates_to_pure_scalar() {
+    // An unreachable threshold classifies every window sparse.
+    let m = gen::uniform_random(128, 12.0, 3);
+    let b = DenseMatrix::random(m.ncols(), DIM, 5);
+    let (plan, out) = pinned(&m, hybrid_decision(1e9), &b);
+    let regions = plan.regions().unwrap();
+    assert_eq!(regions.len(), 1);
+    assert_eq!(regions[0].kind, KernelKind::CusparseLike);
+    assert_eq!(bits(&out), bits(&single(KernelKind::CusparseLike, &m, &b)));
+}
+
+#[test]
+fn hybrid_regions_stitch_bit_identical_to_single_kernel_references() {
+    let m = skewed(512);
+    let b = DenseMatrix::random(m.ncols(), DIM, 9);
+    let (plan, out) = pinned(&m, hybrid_decision(8.0), &b);
+    let regions = plan.regions().unwrap();
+    assert!(regions.len() >= 2, "skewed matrix must split");
+    // Regions tile [0, nrows) contiguously.
+    let mut cursor = 0;
+    for r in regions {
+        assert_eq!(r.row_lo, cursor);
+        cursor = r.row_hi;
+    }
+    assert_eq!(cursor, m.nrows());
+    // Each region's rows are bit-identical to a WHOLE-matrix run of
+    // that region's kernel, restricted to those rows (row-partition
+    // invariance) — this is the "bit-identical to the single-kernel
+    // reference" acceptance criterion.
+    for kind in [KernelKind::AccSpmm, KernelKind::CusparseLike] {
+        let reference = single(kind, &m, &b);
+        for r in regions.iter().filter(|r| r.kind == kind) {
+            for row in r.row_lo..r.row_hi {
+                let got: Vec<u32> = out.row(row).iter().map(|x| x.to_bits()).collect();
+                let want: Vec<u32> = reference.row(row).iter().map(|x| x.to_bits()).collect();
+                assert_eq!(got, want, "row {row} ({kind:?})");
+            }
+        }
+    }
+}
+
+#[test]
+fn empty_row_regions_produce_zero_rows() {
+    // A fully empty matrix still plans and multiplies: every output
+    // row is exactly +0.0.
+    let n = 64;
+    let m = CsrMatrix::new(n, n, vec![0; n + 1], Vec::new(), Vec::new()).unwrap();
+    let b = DenseMatrix::random(n, DIM, 2);
+    let (plan, out) = pinned(&m, hybrid_decision(8.0), &b);
+    assert!(plan.regions().unwrap().len() <= 1);
+    assert!(out.as_slice().iter().all(|x| x.to_bits() == 0));
+}
+
+#[test]
+fn nan_inf_splices_are_bit_identical() {
+    // NaN payload bits and Inf signs must survive the stitch unchanged
+    // relative to each region's single-kernel reference.
+    let m = skewed(512);
+    let mut b = DenseMatrix::random(m.ncols(), DIM, 13);
+    b.set(0, 0, f32::NAN);
+    b.set(1, 1, f32::INFINITY);
+    b.set(2, 2, f32::NEG_INFINITY);
+    b.set(100, 3, f32::from_bits(0x7fc0_dead)); // NaN with payload
+    let (plan, out) = pinned(&m, hybrid_decision(8.0), &b);
+    let regions = plan.regions().unwrap();
+    assert!(regions.len() >= 2);
+    for kind in [KernelKind::AccSpmm, KernelKind::CusparseLike] {
+        let reference = single(kind, &m, &b);
+        for r in regions.iter().filter(|r| r.kind == kind) {
+            for row in r.row_lo..r.row_hi {
+                let got: Vec<u32> = out.row(row).iter().map(|x| x.to_bits()).collect();
+                let want: Vec<u32> = reference.row(row).iter().map(|x| x.to_bits()).collect();
+                assert_eq!(got, want, "row {row} ({kind:?}) with NaN/Inf operands");
+            }
+        }
+    }
+}
+
+#[test]
+fn auto_policy_build_executes_and_reports_decision() {
+    // The default-policy path (no pinning): plan must carry a decision
+    // and regions, and repeated multiplies through one workspace must
+    // be bit-stable.
+    let m = skewed(512);
+    let b = DenseMatrix::random(m.ncols(), DIM, 21);
+    let kernel = PreparedKernel::builder(KernelKind::Auto, &m)
+        .feature_dim(DIM)
+        .build()
+        .unwrap();
+    assert!(kernel.execution_plan().decision().is_some());
+    assert!(kernel.execution_plan().regions().is_some());
+    let mut ws = Workspace::new();
+    let mut out1 = DenseMatrix::zeros(m.nrows(), DIM);
+    let mut out2 = DenseMatrix::zeros(m.nrows(), DIM);
+    kernel.execute_into(&b, &mut out1, &mut ws).unwrap();
+    kernel.execute_into(&b, &mut out2, &mut ws).unwrap();
+    assert_eq!(bits(&out1), bits(&out2));
+}
+
+#[test]
+fn auto_plan_ir_roundtrip_is_bit_identical() {
+    let m = skewed(512);
+    let b = DenseMatrix::random(m.ncols(), DIM, 17);
+    let (plan, out) = pinned(&m, hybrid_decision(8.0), &b);
+    assert!(plan.regions().unwrap().len() >= 2);
+    let ir_bytes = plan.to_ir().to_bytes().unwrap();
+    let rt = PlanIr::read_from(std::io::Cursor::new(&ir_bytes)).unwrap();
+    assert_eq!(rt.kind, KernelKind::Auto);
+    assert_eq!(rt.regions.len(), plan.regions().unwrap().len());
+    let loaded = PlanLoader::new()
+        .expect_arch(Arch::A800)
+        .expect_kind(KernelKind::Auto)
+        .expect_fingerprint(plan.input_fingerprint())
+        .rehydrate(rt)
+        .unwrap();
+    assert_eq!(
+        loaded.decision(),
+        plan.decision(),
+        "pinned decision survives the roundtrip"
+    );
+    let replayed = execute(loaded, &b);
+    assert_eq!(bits(&replayed), bits(&out));
+}
+
+#[test]
+fn decisions_naming_auto_are_rejected() {
+    let m = gen::uniform_random(64, 4.0, 1);
+    let err = ExecutionPlan::build_auto_pinned(
+        &m,
+        Arch::A800,
+        DIM,
+        acc_config(),
+        DispatchDecision::Single(KernelKind::Auto),
+    );
+    assert!(err.is_err(), "Auto-in-Auto must be rejected");
+    let err = ExecutionPlan::build_auto_pinned(
+        &m,
+        Arch::A800,
+        DIM,
+        acc_config(),
+        DispatchDecision::Hybrid {
+            dense: KernelKind::Auto,
+            sparse: KernelKind::CusparseLike,
+            threshold: 4.0,
+        },
+    );
+    assert!(err.is_err());
+}

@@ -177,7 +177,7 @@ fn corrupted_header_is_a_typed_rejection() {
         PlanIr::read_from(std::io::Cursor::new(&bytes)).unwrap_err(),
         SpmmError::PlanLoad(PlanLoadError::VersionMismatch { found: 42, .. })
     ));
-    bytes[4] = 1;
+    bytes[4] = spmm_kernels::PLAN_IR_VERSION as u8;
 
     // JSON header body.
     let json_start = 4 + 4 + 8;

@@ -29,6 +29,19 @@ export CARGO_NET_OFFLINE=true
 
 BASELINE=results/bench_baseline.json
 THRESHOLD=${BENCH_GATE_THRESHOLD:-0.25}
+# Must match SCHEMA_VERSION in crates/bench/src/bin/perfsuite.rs.
+EXPECTED_SCHEMA=2
+
+# One clear line on a stale or foreign artifact instead of a parser
+# error from deep inside the gate.
+check_schema() {
+  local file=$1 found
+  found=$(grep -o '"schema_version": *[0-9]*' "$file" | head -1 | grep -o '[0-9]*$' || true)
+  if [[ "${found:-}" != "$EXPECTED_SCHEMA" ]]; then
+    echo "bench gate: $file has schema_version ${found:-<missing>}, expected $EXPECTED_SCHEMA (baseline stale? refresh with scripts/bench_gate.sh --update-baseline)" >&2
+    exit 2
+  fi
+}
 
 if [[ "${1:-}" == "--update-baseline" ]]; then
   cargo run --release -p spmm-bench --bin perfsuite -- --quick --out "$BASELINE"
@@ -41,6 +54,9 @@ if [[ ! -f "$CANDIDATE" ]]; then
   echo "==> no $CANDIDATE yet; running perfsuite --quick"
   cargo run --release -p spmm-bench --bin perfsuite -- --quick --out "$CANDIDATE"
 fi
+
+check_schema "$BASELINE"
+check_schema "$CANDIDATE"
 
 cargo run --release -p spmm-bench --bin perfsuite -- \
   --gate "$BASELINE" "$CANDIDATE" --threshold "$THRESHOLD"
