@@ -20,7 +20,8 @@
 use acc_spmm::matrix::{gen, CsrMatrix, Dataset, DenseMatrix, TABLE2};
 use acc_spmm::sim::Arch;
 use acc_spmm::{
-    AccSpmm, DistSpmm, Engine, KernelKind, ModeledTransport, PreparedKernel, Workspace,
+    AccSpmm, DistSpmm, Engine, KernelKind, ModeledTransport, PreparedKernel, Priority,
+    SubmitOptions, SubmitOutcome, Workspace,
 };
 use spmm_bench::{f2, print_table};
 use spmm_common::json::{Json, ToJson};
@@ -34,7 +35,11 @@ use std::time::{Duration, Instant};
 /// Bump on any incompatible change to the artifact layout.
 /// v2: added the hybrid-dispatch `auto_scenario` (gated on its modeled
 /// geomean vs the best single kernel and on stitched bit-identity).
-const SCHEMA_VERSION: u64 = 2;
+/// v3: added the QoS `storm_scenario` (mixed tenants/priorities under
+/// heavy-tailed arrivals; gated on interactive p99 latency, zero
+/// deadline-miss executions, the page budget holding, and
+/// bit-identity).
+const SCHEMA_VERSION: u64 = 3;
 
 /// One (dataset, kernel) measurement.
 struct Entry {
@@ -205,6 +210,21 @@ fn run_suite(cfg: &Config) -> ExitCode {
     }
     entries.extend(dist_entries);
 
+    // QoS storm scenario: interactive tenants trickling requests while
+    // batch tenants flood, under tenant quotas, deadlines, and a hard
+    // page budget — the serving tier's latency and admission story.
+    let (storm_entries, storm) = storm_scenario(cfg);
+    for e in &storm_entries {
+        rows.push(vec![
+            e.dataset.clone(),
+            e.kernel.clone(),
+            format!("{:.3}", e.median_s * 1e3),
+            format!("{:.3}", e.min_s * 1e3),
+            f2(e.gflops),
+        ]);
+    }
+    entries.extend(storm_entries);
+
     // Hybrid-dispatch scenario ("auto-table2"): KernelKind::Auto over
     // the suite collection vs the best single kernel, on the modeled
     // (simulator) clock, with region stitching verified bit-exact.
@@ -249,6 +269,15 @@ fn run_suite(cfg: &Config) -> ExitCode {
              (bit-identical: {bit})"
         );
     }
+    if let Some(p99) = storm["interactive_p99_ms"].as_f64() {
+        let late = storm["late_executions"].as_f64().unwrap_or(f64::NAN);
+        let peak = storm["pages_peak"].as_f64().unwrap_or(f64::NAN);
+        let budget = storm["page_budget"].as_f64().unwrap_or(f64::NAN);
+        eprintln!(
+            "storm scenario: interactive p99 {p99:.2} ms, late executions {late}, \
+             pages peak {peak}/{budget}"
+        );
+    }
     if let Some(geomean) = auto["geomean_vs_best_single"].as_f64() {
         let bit = matches!(auto["bit_identical"], Json::Bool(true));
         eprintln!(
@@ -258,7 +287,7 @@ fn run_suite(cfg: &Config) -> ExitCode {
     }
 
     let doc = suite_json(
-        cfg, mode, &entries, &scenario, &warm, &dist, &auto, &counters,
+        cfg, mode, &entries, &scenario, &warm, &dist, &storm, &auto, &counters,
     );
     let text = doc.to_string_pretty();
     match std::fs::File::create(&cfg.out).and_then(|mut f| f.write_all(text.as_bytes())) {
@@ -466,7 +495,12 @@ fn engine_scenario(cfg: &Config) -> (Vec<Entry>, Json) {
                     s.spawn(move || {
                         let tickets: Vec<_> = cb
                             .iter()
-                            .map(|b| session.submit(b.clone()).expect("submit"))
+                            .map(|b| {
+                                session
+                                    .submit(b.clone(), SubmitOptions::new())
+                                    .into_result()
+                                    .expect("submit")
+                            })
                             .collect();
                         tickets
                             .into_iter()
@@ -530,6 +564,292 @@ fn engine_scenario(cfg: &Config) -> (Vec<Entry>, Json) {
         Json::Num(stats.batched_requests as f64 / stats.batches.max(1) as f64),
     );
     sj.insert("plan_builds".into(), Json::Num(stats.plan_builds as f64));
+    (entries, Json::Obj(sj))
+}
+
+/// The QoS storm scenario ("rmat12-storm"): two interactive tenants
+/// trickle latency-sensitive requests while six batch tenants flood the
+/// queue with pipelined bulk work, all through one engine configured
+/// with per-tenant quotas and a hard page budget. Rejected submissions
+/// (quota or page-budget admission) back off by the engine's
+/// `retry_after` hint and resubmit, so every request eventually
+/// completes and can be verified bit-identical against the direct path.
+/// A handful of deliberately past-due requests prove deadline drops
+/// happen *before* execution (`late_executions` must stay 0).
+///
+/// Reports interactive-class p99 completion latency (the number the
+/// gate floors), overall p50/p99, admission-control counts, and the
+/// page pool's peak-vs-budget watermark read back through the
+/// `engine.pages.peak` trace counter.
+fn storm_scenario(cfg: &Config) -> (Vec<Entry>, Json) {
+    const CLIENTS: usize = 8;
+    const INTERACTIVE_CLIENTS: usize = 2;
+    /// Outstanding-request window each batch tenant keeps in flight.
+    const BATCH_WINDOW: usize = 4;
+    const PAGE_BUDGET: usize = 64;
+    const TENANT_QUOTA: usize = 2;
+    let _s = spmm_trace::span("perfsuite.storm_scenario");
+    let dim = 16;
+    let interactive_rounds = if cfg.quick { 8 } else { 16 };
+    let batch_rounds = if cfg.quick { 16 } else { 32 };
+    let m = gen::rmat(
+        gen::RmatConfig {
+            scale: 12,
+            avg_deg: 12.0,
+            ..Default::default()
+        },
+        0x570,
+    );
+
+    let handle = Arc::new(
+        AccSpmm::builder(&m)
+            .arch(cfg.arch)
+            .feature_dim(dim)
+            .build()
+            .expect("prepare storm handle"),
+    );
+
+    // Per-client request streams and (untimed) reference outputs.
+    let rounds_for = |client: usize| {
+        if client < INTERACTIVE_CLIENTS {
+            interactive_rounds
+        } else {
+            batch_rounds
+        }
+    };
+    let bs: Vec<Vec<DenseMatrix>> = (0..CLIENTS)
+        .map(|c| {
+            (0..rounds_for(c))
+                .map(|r| DenseMatrix::random(m.ncols(), dim, (c * 1000 + r) as u64 + 0x570))
+                .collect()
+        })
+        .collect();
+    let expected: Vec<Vec<DenseMatrix>> = bs
+        .iter()
+        .map(|cb| cb.iter().map(|b| handle.multiply(b).unwrap()).collect())
+        .collect();
+
+    let engine = Engine::builder()
+        .workers(1)
+        .max_batch(CLIENTS)
+        .batch_window(Duration::from_micros(200))
+        .queue_capacity(256)
+        .tenant_quota(TENANT_QUOTA)
+        .page_budget(PAGE_BUDGET)
+        .build()
+        .expect("storm engine");
+    let session = engine.install(handle.prepared().clone());
+    let peak_counter_before = spmm_trace::snapshot().counter("engine.pages.peak");
+
+    // Submit-with-backoff: resubmit on quota/page rejection after the
+    // hinted interval (clamped so a storm cannot stall the suite).
+    let submit_retrying = |b: &DenseMatrix, opts: &SubmitOptions| loop {
+        match session.submit(b.clone(), opts.clone()) {
+            SubmitOutcome::Accepted(t) => return t,
+            SubmitOutcome::Rejected { retry_after, .. } => {
+                let wait = retry_after
+                    .unwrap_or(Duration::from_micros(200))
+                    .min(Duration::from_millis(2));
+                std::thread::sleep(wait);
+            }
+            _ => unreachable!("non-exhaustive outcome"),
+        }
+    };
+
+    // Doomed requests: already past due at submission; they must be
+    // dropped before ever reaching the kernel.
+    const DOOMED: usize = 4;
+    let doomed_tickets: Vec<_> = (0..DOOMED)
+        .map(|i| {
+            let b = DenseMatrix::random(m.ncols(), dim, 0xD00 + i as u64);
+            submit_retrying(&b, &SubmitOptions::new().deadline(Duration::ZERO))
+        })
+        .collect();
+
+    let t0 = Instant::now();
+    // (per-request completion latencies, outputs) per client.
+    let per_client: Vec<(Vec<f64>, Vec<DenseMatrix>)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                let cb = &bs[c];
+                let session = session.clone();
+                s.spawn(move || {
+                    let interactive = c < INTERACTIVE_CLIENTS;
+                    let opts = SubmitOptions::new()
+                        .tenant(format!("storm-{c}"))
+                        .priority(if interactive {
+                            Priority::Interactive
+                        } else {
+                            Priority::Batch
+                        })
+                        .deadline(Duration::from_secs(30));
+                    let mut latencies = Vec::with_capacity(cb.len());
+                    let mut outputs = Vec::with_capacity(cb.len());
+                    if interactive {
+                        // Closed loop: one outstanding request, the
+                        // latency-sensitive access pattern.
+                        for b in cb {
+                            let t = Instant::now();
+                            let ticket = loop {
+                                match session.submit(b.clone(), opts.clone()) {
+                                    SubmitOutcome::Accepted(t) => break t,
+                                    SubmitOutcome::Rejected { retry_after, .. } => {
+                                        let wait = retry_after
+                                            .unwrap_or(Duration::from_micros(200))
+                                            .min(Duration::from_millis(2));
+                                        std::thread::sleep(wait);
+                                    }
+                                    _ => unreachable!("non-exhaustive outcome"),
+                                }
+                            };
+                            let out = ticket.wait().expect("interactive multiply");
+                            latencies.push(t.elapsed().as_secs_f64());
+                            outputs.push(out);
+                        }
+                    } else {
+                        // Pipelined: keep a window in flight to flood
+                        // the queue and the page budget. Completed
+                        // tickets hold their output pages until waited,
+                        // so a rejected client must drain its own
+                        // oldest ticket before backing off — otherwise
+                        // the whole budget can end up parked in
+                        // finished-but-unretrieved results.
+                        let mut inflight: Vec<(Instant, spmm_engine::Ticket)> = Vec::new();
+                        let drain_oldest =
+                            |inflight: &mut Vec<(Instant, spmm_engine::Ticket)>,
+                             outputs: &mut Vec<DenseMatrix>,
+                             latencies: &mut Vec<f64>| {
+                                let (t, ticket) = inflight.remove(0);
+                                outputs.push(ticket.wait().expect("batch multiply"));
+                                latencies.push(t.elapsed().as_secs_f64());
+                            };
+                        for b in cb {
+                            if inflight.len() == BATCH_WINDOW {
+                                drain_oldest(&mut inflight, &mut outputs, &mut latencies);
+                            }
+                            let t = Instant::now();
+                            let ticket = loop {
+                                match session.submit(b.clone(), opts.clone()) {
+                                    SubmitOutcome::Accepted(t) => break t,
+                                    SubmitOutcome::Rejected { retry_after, .. } => {
+                                        if inflight.is_empty() {
+                                            let wait = retry_after
+                                                .unwrap_or(Duration::from_micros(200))
+                                                .min(Duration::from_millis(2));
+                                            std::thread::sleep(wait);
+                                        } else {
+                                            drain_oldest(
+                                                &mut inflight,
+                                                &mut outputs,
+                                                &mut latencies,
+                                            );
+                                        }
+                                    }
+                                    _ => unreachable!("non-exhaustive outcome"),
+                                }
+                            };
+                            inflight.push((t, ticket));
+                        }
+                        for (t, ticket) in inflight {
+                            outputs.push(ticket.wait().expect("batch multiply"));
+                            latencies.push(t.elapsed().as_secs_f64());
+                        }
+                    }
+                    (latencies, outputs)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let storm_s = t0.elapsed().as_secs_f64();
+
+    let mut doomed_dropped = 0usize;
+    for t in doomed_tickets {
+        if matches!(
+            t.wait(),
+            Err(spmm_common::SpmmError::DeadlineExpired { .. })
+        ) {
+            doomed_dropped += 1;
+        }
+    }
+
+    let bit_identical = per_client.iter().zip(&expected).all(|((_, got), want)| {
+        got.iter()
+            .zip(want)
+            .all(|(g, w)| g.as_slice() == w.as_slice())
+    });
+
+    let quantile = |sorted: &[f64], q: f64| -> f64 {
+        if sorted.is_empty() {
+            return 0.0;
+        }
+        let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+        sorted[idx]
+    };
+    let mut interactive_lat: Vec<f64> = per_client[..INTERACTIVE_CLIENTS]
+        .iter()
+        .flat_map(|(l, _)| l.iter().copied())
+        .collect();
+    let mut all_lat: Vec<f64> = per_client
+        .iter()
+        .flat_map(|(l, _)| l.iter().copied())
+        .collect();
+    interactive_lat.sort_by(f64::total_cmp);
+    all_lat.sort_by(f64::total_cmp);
+    let interactive_p99 = quantile(&interactive_lat, 0.99);
+    let p50 = quantile(&all_lat, 0.5);
+    let p99 = quantile(&all_lat, 0.99);
+
+    let stats = engine.stats();
+    let pages_peak = spmm_trace::snapshot().counter("engine.pages.peak") - peak_counter_before;
+    let total = all_lat.len() as f64;
+    let entries = vec![Entry {
+        dataset: "rmat12-storm".into(),
+        kernel: "engine-storm".into(),
+        rows: m.nrows() as f64,
+        nnz: m.nnz() as f64,
+        feature_dim: dim as f64,
+        prep_s: 0.0,
+        median_s: p50,
+        min_s: interactive_p99,
+        gflops: 2.0 * m.nnz() as f64 * dim as f64 * total / storm_s / 1e9,
+    }];
+
+    let mut sj = BTreeMap::new();
+    sj.insert("clients".into(), Json::Num(CLIENTS as f64));
+    sj.insert(
+        "interactive_clients".into(),
+        Json::Num(INTERACTIVE_CLIENTS as f64),
+    );
+    sj.insert("requests".into(), Json::Num(total));
+    sj.insert("tenant_quota".into(), Json::Num(TENANT_QUOTA as f64));
+    sj.insert("page_budget".into(), Json::Num(PAGE_BUDGET as f64));
+    sj.insert("wall_s".into(), Json::Num(storm_s));
+    sj.insert(
+        "interactive_p99_ms".into(),
+        Json::Num(interactive_p99 * 1e3),
+    );
+    sj.insert("p50_ms".into(), Json::Num(p50 * 1e3));
+    sj.insert("p99_ms".into(), Json::Num(p99 * 1e3));
+    sj.insert("bit_identical".into(), Json::Bool(bit_identical));
+    sj.insert("rejected".into(), Json::Num(stats.rejected as f64));
+    sj.insert(
+        "quota_rejected".into(),
+        Json::Num(stats.quota_rejected as f64),
+    );
+    sj.insert("page_denials".into(), Json::Num(stats.page_denials as f64));
+    sj.insert("deadline_expired".into(), Json::Num(stats.timed_out as f64));
+    sj.insert("doomed_submitted".into(), Json::Num(DOOMED as f64));
+    sj.insert("doomed_dropped".into(), Json::Num(doomed_dropped as f64));
+    sj.insert(
+        "late_executions".into(),
+        Json::Num(stats.late_executions as f64),
+    );
+    sj.insert("pages_peak".into(), Json::Num(pages_peak as f64));
+    sj.insert(
+        "served_by_class".into(),
+        Json::Arr(stats.served.iter().map(|&n| Json::Num(n as f64)).collect()),
+    );
     (entries, Json::Obj(sj))
 }
 
@@ -932,6 +1252,7 @@ fn suite_json(
     scenario: &Json,
     warm: &Json,
     dist: &Json,
+    storm: &Json,
     auto: &Json,
     counters: &BTreeMap<String, u64>,
 ) -> Json {
@@ -947,6 +1268,7 @@ fn suite_json(
     doc.insert("engine_scenario".into(), scenario.clone());
     doc.insert("warmstart_scenario".into(), warm.clone());
     doc.insert("dist_scenario".into(), dist.clone());
+    doc.insert("storm_scenario".into(), storm.clone());
     doc.insert("auto_scenario".into(), auto.clone());
     doc.insert(
         "counters".into(),
@@ -1086,6 +1408,39 @@ fn gate(baseline: &str, candidate: &str, threshold: f64) -> ExitCode {
             && !matches!(cand["dist_scenario"]["bit_identical"], Json::Bool(true))
         {
             failures.push("dist_scenario: results not bit-identical".into());
+        }
+    }
+    // The QoS storm scenario must stay present and hold the serving
+    // tier's contracts: interactive p99 completion latency under a
+    // conservative absolute ceiling, zero deadline-miss executions
+    // (expired work is dropped *before* the kernel, never after), the
+    // page pool's peak never above its configured budget, and outputs
+    // bit-identical to the direct path.
+    if base["storm_scenario"].as_object().is_some() {
+        const P99_CEILING_MS: f64 = 250.0;
+        match cand["storm_scenario"]["interactive_p99_ms"].as_f64() {
+            None => failures.push("storm_scenario: missing from candidate".into()),
+            Some(p99) if p99 > P99_CEILING_MS => failures.push(format!(
+                "storm_scenario: interactive p99 {p99:.1} ms above the {P99_CEILING_MS} ms ceiling"
+            )),
+            Some(_) => {}
+        }
+        if cand["storm_scenario"].as_object().is_some() {
+            if cand["storm_scenario"]["late_executions"].as_f64() != Some(0.0) {
+                failures.push("storm_scenario: expired work reached the kernel".into());
+            }
+            match (
+                cand["storm_scenario"]["pages_peak"].as_f64(),
+                cand["storm_scenario"]["page_budget"].as_f64(),
+            ) {
+                (Some(peak), Some(budget)) if peak <= budget => {}
+                other => failures.push(format!(
+                    "storm_scenario: page budget violated or unreported ({other:?})"
+                )),
+            }
+            if !matches!(cand["storm_scenario"]["bit_identical"], Json::Bool(true)) {
+                failures.push("storm_scenario: results not bit-identical".into());
+            }
         }
     }
     // The hybrid-dispatch scenario must stay present, its stitched

@@ -1,6 +1,7 @@
 //! Workspace error type.
 
 use std::fmt;
+use std::time::Duration;
 
 /// Errors produced by the Acc-SpMM library and its substrates.
 ///
@@ -34,12 +35,38 @@ pub enum SpmmError {
         /// The resource's configured capacity.
         capacity: usize,
     },
-    /// A deadline elapsed before the request completed.
+    /// A *caller-side* wait gave up: the client stopped waiting on a
+    /// ticket or blocking call after its allowance elapsed. The work
+    /// itself may still complete later — contrast with
+    /// [`SpmmError::DeadlineExpired`], where the *server* dropped the
+    /// work before executing it, and [`SpmmError::QuotaExceeded`],
+    /// where admission control refused it up front.
     Timeout {
         /// What was being waited on.
         what: &'static str,
         /// How long was waited/allowed, in milliseconds.
         waited_ms: u64,
+    },
+    /// Admission control refused the request because the tenant is at
+    /// its quota. Unlike [`SpmmError::Capacity`] (a global bounded
+    /// resource is full) this is a *per-tenant* verdict, and unlike
+    /// [`SpmmError::Timeout`] no work was ever queued. `retry_after`
+    /// is the engine's estimate of when the tenant's backlog will have
+    /// drained enough for a resubmission to be admitted.
+    QuotaExceeded {
+        /// The tenant whose quota was exhausted.
+        tenant: String,
+        /// Estimated wait before a retry is likely to be admitted.
+        retry_after: Duration,
+    },
+    /// The *server* dropped queued work because its deadline passed
+    /// before execution started — the request never reached a kernel.
+    /// Contrast with [`SpmmError::Timeout`]: that is a client giving up
+    /// on a wait; this is the scheduler refusing to spend cycles on
+    /// work whose answer can no longer arrive in time.
+    DeadlineExpired {
+        /// How long the request sat queued before it was dropped.
+        waited: Duration,
     },
     /// An index (row, column, or offset) is out of bounds.
     IndexOutOfBounds {
@@ -216,6 +243,23 @@ impl fmt::Display for SpmmError {
             SpmmError::Timeout { what, waited_ms } => {
                 write!(f, "{what} timed out after {waited_ms} ms")
             }
+            SpmmError::QuotaExceeded {
+                tenant,
+                retry_after,
+            } => {
+                write!(
+                    f,
+                    "tenant {tenant} at quota; retry after {} ms",
+                    retry_after.as_millis()
+                )
+            }
+            SpmmError::DeadlineExpired { waited } => {
+                write!(
+                    f,
+                    "deadline expired after {} ms queued; dropped before execution",
+                    waited.as_millis()
+                )
+            }
             SpmmError::IndexOutOfBounds { what, index, bound } => {
                 write!(f, "{what} index {index} out of bounds (< {bound} required)")
             }
@@ -293,6 +337,34 @@ mod tests {
                 ..
             }
         ));
+    }
+
+    #[test]
+    fn qos_taxonomy_is_typed_and_distinct_from_timeout() {
+        let e = SpmmError::QuotaExceeded {
+            tenant: "acme".into(),
+            retry_after: Duration::from_millis(12),
+        };
+        match &e {
+            SpmmError::QuotaExceeded {
+                tenant,
+                retry_after,
+            } => {
+                assert_eq!(tenant, "acme");
+                assert_eq!(*retry_after, Duration::from_millis(12));
+            }
+            other => panic!("expected QuotaExceeded, got {other:?}"),
+        }
+        assert!(e.to_string().contains("acme"));
+        assert!(e.to_string().contains("12 ms"));
+
+        let e = SpmmError::DeadlineExpired {
+            waited: Duration::from_millis(7),
+        };
+        assert!(matches!(e, SpmmError::DeadlineExpired { .. }));
+        assert!(!matches!(e, SpmmError::Timeout { .. }));
+        assert!(e.to_string().contains("7 ms"));
+        assert!(e.to_string().contains("before execution"));
     }
 
     #[test]

@@ -56,17 +56,21 @@ pub mod solvers;
 /// The user-facing surface in one import: `use acc_spmm::prelude::*;`.
 ///
 /// Covers the amortized single-handle path ([`AccSpmm`] via
-/// [`SpmmBuilder`]), the concurrent serving path ([`Engine`],
-/// [`Session`], [`Ticket`], [`Submit`]), and the types every program
-/// touches ([`CsrMatrix`], [`DenseMatrix`], [`Arch`], [`KernelKind`],
-/// [`AccConfig`], [`Workspace`], [`Result`], [`SpmmError`]).
+/// [`SpmmBuilder`]), the QoS serving path ([`Engine`], [`Session`],
+/// [`Ticket`], [`SubmitOptions`], [`SubmitOutcome`], [`Priority`],
+/// [`Tenant`]), and the types every program touches ([`CsrMatrix`],
+/// [`DenseMatrix`], [`Arch`], [`KernelKind`], [`AccConfig`],
+/// [`Workspace`], [`Result`], [`SpmmError`]).
 pub mod prelude {
     pub use crate::handle::{AccSpmm, PreprocessStats, SpmmBuilder};
     pub use spmm_common::{Result, SpmmError};
     pub use spmm_dist::{
         ChannelTransport, DistBuilder, DistReport, DistSpmm, DistStats, ModeledTransport, Transport,
     };
-    pub use spmm_engine::{Engine, EngineBuilder, EngineStats, Session, Submit, Ticket};
+    pub use spmm_engine::{
+        Engine, EngineBuilder, EngineStats, Priority, Session, SubmitOptions, SubmitOutcome,
+        Tenant, Ticket,
+    };
     pub use spmm_kernels::{AccConfig, KernelKind, PreparedKernel, Workspace};
     pub use spmm_matrix::{CsrMatrix, DenseMatrix};
     pub use spmm_sim::Arch;
@@ -88,7 +92,10 @@ pub use spmm_sim as sim;
 
 pub use spmm_common::{PlanLoadError, Result, SpmmError};
 pub use spmm_dist::{ChannelTransport, DistReport, DistSpmm, DistStats, ModeledTransport};
-pub use spmm_engine::{Engine, EngineBuilder, EngineStats, Session, Submit, Ticket};
+pub use spmm_engine::{
+    Engine, EngineBuilder, EngineStats, Priority, Session, SubmitOptions, SubmitOutcome, Tenant,
+    Ticket,
+};
 pub use spmm_kernels::{
     AccConfig, DispatchDecision, DispatchPolicy, ExecutionPlan, KernelKind, MatrixFeatures, PlanIr,
     PlanLoader, PreparedKernel, StageSpec, StageTiming, Workspace,

@@ -35,7 +35,7 @@ use std::time::Instant;
 
 use spmm_balance::{ModelParams, PerfModel};
 use spmm_common::{Result, SpmmError};
-use spmm_engine::{PlanCache, PlanKey, PlanStore};
+use spmm_engine::{PlanCache, PlanKey, PlanStore, Priority};
 use spmm_kernels::{
     AccConfig, DispatchDecision, DispatchPolicy, ExecutionPlan, KernelKind, MatrixFeatures,
     PreparedKernel,
@@ -62,6 +62,7 @@ pub struct DistBuilder<'a> {
     plan_store: Option<Arc<PlanStore>>,
     max_retries: usize,
     decision: Option<DispatchDecision>,
+    priority: Priority,
 }
 
 impl<'a> DistBuilder<'a> {
@@ -129,6 +130,17 @@ impl<'a> DistBuilder<'a> {
     /// [`KernelKind::Auto`]; `build` rejects it for concrete kernels.
     pub fn decision(mut self, decision: DispatchDecision) -> Self {
         self.decision = Some(decision);
+        self
+    }
+
+    /// Serving-tier priority class every shard job of this coordinator
+    /// carries (default [`Priority::Standard`]). Shard workers account
+    /// executions under per-class `dist.jobs.<class>` trace counters,
+    /// so a fleet mixing interactive coordinators with bulk backfills
+    /// can see the split — and an engine-backed worker tier schedules
+    /// the jobs under the same class the coordinator admitted.
+    pub fn priority(mut self, p: Priority) -> Self {
+        self.priority = p;
         self
     }
 
@@ -279,6 +291,7 @@ impl<'a> DistBuilder<'a> {
             arch: self.arch,
             transport: self.transport,
             max_retries: self.max_retries,
+            priority: self.priority,
             plan,
             scatter_rows,
             halo_rows,
@@ -380,6 +393,7 @@ pub struct DistSpmm {
     arch: Arch,
     transport: Arc<dyn Transport>,
     max_retries: usize,
+    priority: Priority,
     plan: ShardPlan,
     /// Per shard: how many B rows it references (scatter payload rows).
     scatter_rows: Vec<u64>,
@@ -412,6 +426,7 @@ impl DistSpmm {
             plan_store: None,
             max_retries: 1,
             decision: None,
+            priority: Priority::Standard,
         }
     }
 
@@ -605,6 +620,7 @@ impl DistSpmm {
             Job {
                 epoch,
                 b: Operand::Shared(Arc::clone(b)),
+                priority: self.priority,
             },
         )
     }
@@ -642,7 +658,14 @@ impl DistSpmm {
                             Some(owned) => Operand::Owned(owned),
                             None => Operand::Shared(Arc::clone(shared)),
                         };
-                        self.pool.submit(o.shard, Job { epoch, b: operand })?;
+                        self.pool.submit(
+                            o.shard,
+                            Job {
+                                epoch,
+                                b: operand,
+                                priority: self.priority,
+                            },
+                        )?;
                     } else {
                         spmm_trace::counter_add("dist.shard_failures", 1);
                         if terminal.is_none() {
@@ -812,6 +835,7 @@ impl DistSpmm {
                 Job {
                     epoch,
                     b: Operand::Owned(buf),
+                    priority: self.priority,
                 },
             )?;
         }
@@ -1259,5 +1283,28 @@ mod tests {
             .unwrap();
         assert!(third.stats().plans_shipped >= 1);
         let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn shard_jobs_carry_the_coordinator_priority_class() {
+        let m = gen::uniform_random(128, 5.0, 31);
+        let b = DenseMatrix::random(128, 8, 5);
+        let dist = DistSpmm::builder(KernelKind::CusparseLike, &m)
+            .shards(3)
+            .feature_dim(8)
+            .priority(Priority::Interactive)
+            .build()
+            .unwrap();
+        // Trace counters are process-global (other tests add to them)
+        // and off by default, so enable recording and assert on the
+        // delta across this multiply only.
+        spmm_trace::enable();
+        let before = spmm_trace::snapshot().counter("dist.jobs.interactive");
+        dist.multiply(&b).unwrap();
+        let after = spmm_trace::snapshot().counter("dist.jobs.interactive");
+        assert!(
+            after >= before + 3,
+            "3 shard jobs labeled interactive (before {before}, after {after})"
+        );
     }
 }

@@ -13,6 +13,7 @@ use std::thread::JoinHandle;
 use std::time::Instant;
 
 use spmm_common::{Result, SpmmError};
+use spmm_engine::Priority;
 use spmm_kernels::{PreparedKernel, Workspace};
 use spmm_matrix::DenseMatrix;
 
@@ -43,6 +44,11 @@ pub(crate) struct Job {
     pub epoch: u64,
     /// The dense operand.
     pub b: Operand,
+    /// Serving-tier priority class the multiply was issued under —
+    /// carried with every shard job so downstream accounting
+    /// (`dist.jobs.<class>` counters, and an engine-backed worker tier)
+    /// sees the same class the coordinator admitted.
+    pub priority: Priority,
 }
 
 /// What a worker sends back.
@@ -183,9 +189,18 @@ fn worker_loop(
     let mut ws = Workspace::for_plan(kernel.execution_plan());
     // `for` over the receiver drains queued jobs after the senders drop.
     for job in rx.iter() {
+        let class = match job.priority {
+            Priority::Interactive => "dist.jobs.interactive",
+            Priority::Batch => "dist.jobs.batch",
+            // `Priority` is non-exhaustive; account future classes as
+            // standard rather than inventing counter names dynamically
+            // (counter names must be 'static).
+            _ => "dist.jobs.standard",
+        };
         let outcome = run_job(shard, kernel, &mut ws, fail_next, job);
         processed.fetch_add(1, Ordering::Relaxed);
         spmm_trace::counter_add("dist.jobs", 1);
+        spmm_trace::counter_add(class, 1);
         if results.send(outcome).is_err() {
             // Coordinator gone; keep draining so submitted work is
             // accounted, but nobody hears the results.
@@ -263,6 +278,7 @@ mod tests {
                 Job {
                     epoch,
                     b: Operand::Shared(Arc::clone(&b)),
+                    priority: Priority::Standard,
                 },
             )
             .unwrap();
@@ -285,6 +301,7 @@ mod tests {
                 Job {
                     epoch,
                     b: Operand::Shared(Arc::clone(&b)),
+                    priority: Priority::Batch,
                 },
             )
             .unwrap();
@@ -307,6 +324,7 @@ mod tests {
                 Job {
                     epoch: 0,
                     b: Operand::Shared(Arc::new(DenseMatrix::zeros(16, 8))),
+                    priority: Priority::Standard,
                 }
             )
             .is_err());

@@ -1,41 +1,56 @@
-//! # spmm-engine — a concurrent serving layer for Acc-SpMM
+//! # spmm-engine — a QoS serving tier for Acc-SpMM
 //!
 //! The paper's deployment regime (§5) preprocesses a sparse matrix once
 //! and multiplies it against thousands of dense operands. This crate
-//! turns that pattern into a *service*: many concurrent clients, a
-//! shared stock of preprocessing artifacts, and explicit robustness
-//! semantics under load.
+//! turns that pattern into a *service*: many concurrent clients and
+//! tenants, a shared stock of preprocessing artifacts, and explicit
+//! admission-control, fairness, and memory-bound semantics under load.
 //!
-//! Three cooperating pieces:
+//! Five cooperating pieces:
 //!
 //! * **Plan cache** ([`cache::PlanCache`]) — bounded LRU keyed by
 //!   matrix content fingerprint + kernel + [`Arch`] + feature dim +
 //!   [`AccConfig`]. Concurrent sessions for the same operand share one
 //!   [`PreparedKernel`] behind an `Arc`; a per-key in-flight guard makes
 //!   N simultaneous first-lookups run exactly one build.
-//! * **Micro-batching worker pool** — submitted multiplies land in a
-//!   bounded queue; workers coalesce same-key requests (up to
-//!   `max_batch`, waiting at most `batch_window` for stragglers) into a
-//!   single [`PreparedKernel::execute_batch_into`] call, which decodes
-//!   each compressed block once for the whole batch and reuses a
-//!   per-worker [`Workspace`] for a zero-alloc steady state.
-//! * **Robustness semantics** — a full queue *rejects* immediately
-//!   ([`Submit::Rejected`], typed as [`SpmmError::Capacity`]);
-//!   per-request deadlines expire queued work ([`SpmmError::Timeout`]);
-//!   and when a tensor-core plan fails to build, the session degrades
-//!   gracefully to the scalar CSR path (cuSPARSE-like kernel) instead
-//!   of failing the client.
+//! * **QoS queue** — submitted multiplies land in one bounded deque per
+//!   [`Priority`] class; workers dequeue by a weighted fair (stride)
+//!   schedule ([`qos::WeightedSchedule`]), so interactive traffic is
+//!   not inverted behind bulk work and bulk work is never starved.
+//! * **Admission control** — a full queue, a [`Tenant`] at its quota,
+//!   or a request that would blow the page budget is refused *at
+//!   submit* ([`SubmitOutcome::Rejected`]) with a `retry_after` hint
+//!   derived from the measured service rate — never a blanket error
+//!   with no guidance, never a block.
+//! * **Deadline-aware scheduling** — a request whose deadline passes
+//!   while it queues is dropped *before execution* (typed
+//!   [`SpmmError::DeadlineExpired`], with the actual queued duration),
+//!   so expired work never burns a kernel invocation.
+//! * **Paged workspaces** ([`pages::PagePool`]) — operand copies,
+//!   output buffers, and worker workspaces are charged in fixed-size
+//!   pages against a hard budget with LRU eviction of idle workspaces,
+//!   so peak staging memory is bounded and observable under hundreds of
+//!   concurrent sessions.
+//!
+//! Robustness semantics carry over: micro-batching coalesces same-key
+//! requests into one [`PreparedKernel::execute_batch_into`] call, and
+//! when a tensor-core plan fails to build the session degrades
+//! gracefully to the scalar CSR path instead of failing the client.
 //!
 //! Everything is observable through `spmm-trace` counters
-//! (`engine.enqueued` / `engine.dequeued` for queue depth,
-//! `engine.batches` / `engine.batched_requests` for occupancy,
-//! `engine.cache_hits` / `engine.cache_misses`, `engine.rejected`,
-//! `engine.timed_out`, `engine.degraded_builds`) and the in-process
-//! [`EngineStats`] snapshot, which works even with tracing disabled.
+//! (`engine.enqueued` / `engine.dequeued`, `engine.batches` /
+//! `engine.batched_requests`, `engine.cache_hits` /
+//! `engine.cache_misses`, `engine.rejected`, `engine.degraded_builds`,
+//! the QoS taxonomy `engine.qos.served.<class>` /
+//! `engine.qos.quota_rejected` / `engine.qos.expired` /
+//! `engine.qos.late_executions`, and the paging taxonomy
+//! `engine.pages.leased` / `engine.pages.released` /
+//! `engine.pages.denied` / `engine.pages.evictions` /
+//! `engine.pages.peak`) and the in-process [`EngineStats`] snapshot,
+//! which works even with tracing disabled.
 //!
 //! ```
-//! use spmm_engine::Engine;
-//! use spmm_kernels::KernelKind;
+//! use spmm_engine::{Engine, Priority, SubmitOptions, SubmitOutcome};
 //! use spmm_matrix::{gen, DenseMatrix};
 //!
 //! let engine = Engine::builder().workers(2).build().unwrap();
@@ -47,17 +62,25 @@
 //! let c = session.multiply(&b).unwrap();
 //! assert_eq!(c.nrows(), 256);
 //!
-//! // ...or pipelined: submit now, redeem later.
-//! let ticket = session.submit(b.clone()).unwrap();
-//! assert_eq!(ticket.wait().unwrap(), c);
+//! // ...or pipelined with QoS options: submit now, redeem later.
+//! let opts = SubmitOptions::new().priority(Priority::Interactive).tenant("demo");
+//! match session.submit(b.clone(), opts) {
+//!     SubmitOutcome::Accepted(ticket) => assert_eq!(ticket.wait().unwrap(), c),
+//!     SubmitOutcome::Rejected { retry_after, .. } => panic!("retry in {retry_after:?}"),
+//!     _ => unreachable!("non-exhaustive outcome"),
+//! }
 //! assert_eq!(engine.stats().cache_misses, 1);
 //! ```
 
 pub mod cache;
+pub mod pages;
+pub mod qos;
 pub mod queue;
 pub mod store;
 
 pub use cache::{CacheStats, PlanCache, PlanKey};
+pub use pages::{PageLease, PagePool, PageStats, WorkspaceLease, DEFAULT_PAGE_BYTES};
+pub use qos::{Priority, SubmitOptions, Tenant, WeightedSchedule};
 pub use queue::Ticket;
 pub use store::PlanStore;
 
@@ -67,18 +90,29 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use spmm_common::{Result, SpmmError};
-use spmm_kernels::{AccConfig, KernelKind, PreparedKernel, Workspace, WorkspacePool};
+use spmm_kernels::{AccConfig, KernelKind, PreparedKernel, Workspace};
 use spmm_matrix::{CsrMatrix, DenseMatrix};
 use spmm_sim::Arch;
 
 use queue::{Push, Request, RequestQueue, TicketShared};
+
+/// Assumed per-request service time before any sample has been
+/// measured; keeps `retry_after` hints well-defined from the first
+/// rejection (and their formula exactly testable).
+const DEFAULT_SERVICE_NS: u64 = 1_000_000;
+
+/// `retry_after` hints are clamped to `[100 µs, 10 s]`.
+const RETRY_AFTER_MIN: Duration = Duration::from_micros(100);
+/// See [`RETRY_AFTER_MIN`].
+const RETRY_AFTER_MAX: Duration = Duration::from_secs(10);
 
 /// Tunables for [`Engine`]; construct via [`Engine::builder`].
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
     /// Worker threads executing queued multiplies. `0` is allowed: no
     /// background threads; drive the engine inline with
-    /// [`Engine::poll`] (single-threaded embeddings and tests).
+    /// [`Engine::run_until_idle`] (single-threaded embeddings and
+    /// tests).
     pub workers: usize,
     /// Bounded queue length; submissions beyond it are rejected.
     pub queue_capacity: usize,
@@ -95,6 +129,18 @@ pub struct EngineConfig {
     pub plan_store: Option<std::path::PathBuf>,
     /// Deadline applied to every request that doesn't carry its own.
     pub default_deadline: Option<Duration>,
+    /// Weighted-fair dequeue weights per [`Priority`] class
+    /// (Interactive : Standard : Batch, default 4 : 2 : 1).
+    pub priority_weights: [u64; Priority::COUNT],
+    /// Maximum queued requests per tenant; beyond it submissions are
+    /// refused with [`SpmmError::QuotaExceeded`]. `None` = no quota.
+    pub tenant_quota: Option<usize>,
+    /// Page size of the paged workspace allocator.
+    pub page_bytes: usize,
+    /// Hard page budget for all staged memory (operand copies, output
+    /// buffers, idle worker workspaces). `None` = unbounded (metering
+    /// still runs, admission never refuses on pages).
+    pub page_budget: Option<usize>,
 }
 
 impl Default for EngineConfig {
@@ -107,6 +153,10 @@ impl Default for EngineConfig {
             plan_cache_capacity: 32,
             plan_store: None,
             default_deadline: None,
+            priority_weights: Priority::DEFAULT_WEIGHTS,
+            tenant_quota: None,
+            page_bytes: DEFAULT_PAGE_BYTES,
+            page_budget: None,
         }
     }
 }
@@ -118,7 +168,8 @@ pub struct EngineBuilder {
 }
 
 impl EngineBuilder {
-    /// Number of worker threads (0 = inline [`Engine::poll`] mode).
+    /// Number of worker threads (0 = inline [`Engine::run_until_idle`]
+    /// mode).
     pub fn workers(mut self, n: usize) -> Self {
         self.config.workers = n;
         self
@@ -162,6 +213,33 @@ impl EngineBuilder {
         self
     }
 
+    /// Weighted-fair dequeue weights (Interactive : Standard : Batch);
+    /// each is clamped to ≥ 1.
+    pub fn priority_weights(mut self, weights: [u64; Priority::COUNT]) -> Self {
+        self.config.priority_weights = weights;
+        self
+    }
+
+    /// Per-tenant queued-request quota (must be ≥ 1).
+    pub fn tenant_quota(mut self, n: usize) -> Self {
+        self.config.tenant_quota = Some(n);
+        self
+    }
+
+    /// Page size of the paged workspace allocator (must be ≥ 1).
+    pub fn page_bytes(mut self, n: usize) -> Self {
+        self.config.page_bytes = n;
+        self
+    }
+
+    /// Hard page budget for staged memory (must be ≥ 1). Submissions
+    /// whose operand + output staging cannot fit are refused with a
+    /// `retry_after` hint.
+    pub fn page_budget(mut self, pages: usize) -> Self {
+        self.config.page_budget = Some(pages);
+        self
+    }
+
     /// Validate the configuration and start the worker pool.
     pub fn build(self) -> Result<Engine> {
         let c = &self.config;
@@ -170,22 +248,22 @@ impl EngineBuilder {
                 "engine queue_capacity, max_batch and plan_cache_capacity must be >= 1".into(),
             ));
         }
+        if c.page_bytes == 0 || c.page_budget == Some(0) || c.tenant_quota == Some(0) {
+            return Err(SpmmError::InvalidConfig(
+                "engine page_bytes, page_budget and tenant_quota must be >= 1".into(),
+            ));
+        }
         let cache = match &c.plan_store {
             Some(dir) => PlanCache::with_store(c.plan_cache_capacity, dir)?,
             None => PlanCache::new(c.plan_cache_capacity),
         };
         let shared = Arc::new(EngineShared {
-            config: self.config.clone(),
             cache,
-            queue: RequestQueue::new(c.queue_capacity),
-            // Workspaces now retain a TF32-rounded B stage (an extra
-            // operand-sized buffer each), so the idle pool is bounded at
-            // one spare per worker plus one for `poll()` callers instead
-            // of the former 2×(workers+1): concurrency never needs more
-            // than one workspace per executing thread, and each retained
-            // workspace is heavier than before.
-            pool: WorkspacePool::new(c.workers + 1),
+            queue: RequestQueue::new(c.queue_capacity, c.priority_weights, c.tenant_quota),
+            pages: PagePool::new(c.page_bytes, c.page_budget.unwrap_or(usize::MAX)),
             metrics: Metrics::default(),
+            avg_service_ns: AtomicU64::new(0),
+            config: self.config.clone(),
         });
         let workers = (0..c.workers)
             .map(|i| {
@@ -207,12 +285,15 @@ struct Metrics {
     enqueued: AtomicU64,
     dequeued: AtomicU64,
     rejected: AtomicU64,
-    timed_out: AtomicU64,
+    quota_rejected: AtomicU64,
+    expired: AtomicU64,
+    late_executions: AtomicU64,
     batches: AtomicU64,
     batched_requests: AtomicU64,
     degraded_builds: AtomicU64,
+    served: [AtomicU64; Priority::COUNT],
     /// Gauge (not monotonic): requests currently executing inside a
-    /// batch on some worker (or `poll()` caller).
+    /// batch on some worker (or `run_until_idle` caller).
     in_flight: AtomicU64,
 }
 
@@ -220,6 +301,16 @@ impl Metrics {
     fn bump(&self, which: &AtomicU64, trace_name: &'static str, delta: u64) {
         which.fetch_add(delta, Ordering::Relaxed);
         spmm_trace::counter_add(trace_name, delta);
+    }
+
+    fn bump_served(&self, class: Priority, delta: u64) {
+        self.served[class.index()].fetch_add(delta, Ordering::Relaxed);
+        let name = match class {
+            Priority::Interactive => "engine.qos.served.interactive",
+            Priority::Standard => "engine.qos.served.standard",
+            Priority::Batch => "engine.qos.served.batch",
+        };
+        spmm_trace::counter_add(name, delta);
     }
 }
 
@@ -231,10 +322,17 @@ pub struct EngineStats {
     pub enqueued: u64,
     /// Requests taken off the queue (executed or expired).
     pub dequeued: u64,
-    /// Submissions rejected by backpressure.
+    /// Submissions rejected by backpressure (full queue or page
+    /// budget).
     pub rejected: u64,
-    /// Requests dropped because their deadline passed while queued.
+    /// Submissions refused because their tenant was at quota.
+    pub quota_rejected: u64,
+    /// Requests dropped before execution because their deadline passed
+    /// while queued ([`SpmmError::DeadlineExpired`]).
     pub timed_out: u64,
+    /// Executions that *started* past their request's deadline — the
+    /// deadline-scheduling invariant is that this stays 0.
+    pub late_executions: u64,
     /// Micro-batches executed.
     pub batches: u64,
     /// Requests carried inside those batches (occupancy =
@@ -243,6 +341,9 @@ pub struct EngineStats {
     /// Sessions that fell back to the scalar CSR path after a
     /// tensor-core plan build failed.
     pub degraded_builds: u64,
+    /// Requests executed to completion, per priority class (indexed by
+    /// [`Priority::index`]).
+    pub served: [u64; Priority::COUNT],
     /// Plan-cache lookups served from a ready entry.
     pub cache_hits: u64,
     /// Plan-cache lookups that required (or waited on) a build.
@@ -263,17 +364,59 @@ pub struct EngineStats {
     /// Requests currently executing (dequeued, inside a batch, not yet
     /// completed).
     pub in_flight: u64,
+    /// Pages currently charged against the page budget.
+    pub pages_in_use: u64,
+    /// High-water mark of `pages_in_use`.
+    pub pages_peak: u64,
+    /// Idle workspaces evicted to make room under the page budget.
+    pub page_evictions: u64,
+    /// Submissions refused for want of pages.
+    pub page_denials: u64,
 }
 
 struct EngineShared {
     config: EngineConfig,
     cache: PlanCache,
     queue: RequestQueue,
-    pool: WorkspacePool,
+    pages: Arc<PagePool>,
     metrics: Metrics,
+    /// EWMA of per-request service time (ns); feeds `retry_after`
+    /// estimation. 0 = no sample yet ([`DEFAULT_SERVICE_NS`] assumed).
+    avg_service_ns: AtomicU64,
 }
 
-/// The serving engine: a plan cache plus a micro-batching worker pool.
+impl EngineShared {
+    /// Estimate how long a rejected caller should wait before retrying:
+    /// the backlog ahead of them divided across the workers, at the
+    /// measured (EWMA) per-request service time, clamped to
+    /// `[100 µs, 10 s]`.
+    fn estimate_retry_after(&self, backlog: u64) -> Duration {
+        let avg = match self.avg_service_ns.load(Ordering::Relaxed) {
+            0 => DEFAULT_SERVICE_NS,
+            ns => ns,
+        };
+        let workers = self.config.workers.max(1) as u64;
+        let est = Duration::from_nanos(backlog.max(1).saturating_mul(avg) / workers);
+        est.clamp(RETRY_AFTER_MIN, RETRY_AFTER_MAX)
+    }
+
+    /// Fold one per-request service-time sample into the EWMA
+    /// (α = 1/4, integer arithmetic).
+    fn record_service_time(&self, per_request: Duration) {
+        let sample = per_request.as_nanos().min(u128::from(u64::MAX)) as i64;
+        let old = self.avg_service_ns.load(Ordering::Relaxed) as i64;
+        let new = if old == 0 {
+            sample
+        } else {
+            old + (sample - old) / 4
+        };
+        self.avg_service_ns
+            .store(new.max(1) as u64, Ordering::Relaxed);
+    }
+}
+
+/// The serving engine: a plan cache plus a QoS queue, paged workspace
+/// allocator, and micro-batching worker pool.
 ///
 /// Thread-safe by construction — share it behind an `Arc` (or just
 /// open [`Session`]s, which are `Clone + Send + Sync` and keep the
@@ -327,14 +470,22 @@ impl Engine {
     pub fn stats(&self) -> EngineStats {
         let m = &self.shared.metrics;
         let c = self.shared.cache.stats();
+        let p = self.shared.pages.stats();
         EngineStats {
             enqueued: m.enqueued.load(Ordering::Relaxed),
             dequeued: m.dequeued.load(Ordering::Relaxed),
             rejected: m.rejected.load(Ordering::Relaxed),
-            timed_out: m.timed_out.load(Ordering::Relaxed),
+            quota_rejected: m.quota_rejected.load(Ordering::Relaxed),
+            timed_out: m.expired.load(Ordering::Relaxed),
+            late_executions: m.late_executions.load(Ordering::Relaxed),
             batches: m.batches.load(Ordering::Relaxed),
             batched_requests: m.batched_requests.load(Ordering::Relaxed),
             degraded_builds: m.degraded_builds.load(Ordering::Relaxed),
+            served: [
+                m.served[0].load(Ordering::Relaxed),
+                m.served[1].load(Ordering::Relaxed),
+                m.served[2].load(Ordering::Relaxed),
+            ],
             cache_hits: c.hits,
             cache_misses: c.misses,
             plan_builds: c.builds,
@@ -344,6 +495,10 @@ impl Engine {
             load_fallbacks: c.load_fallbacks,
             queue_depth: self.shared.queue.len() as u64,
             in_flight: m.in_flight.load(Ordering::Relaxed),
+            pages_in_use: p.in_use as u64,
+            pages_peak: p.peak as u64,
+            page_evictions: p.evictions,
+            page_denials: p.denials,
         }
     }
 
@@ -352,18 +507,50 @@ impl Engine {
         &self.shared.config
     }
 
-    /// Inline worker step for zero-worker engines (and deterministic
-    /// tests): pop one request, coalesce its micro-batch, execute or
-    /// expire it on the calling thread. Returns the number of requests
-    /// resolved (0 when the queue was empty).
+    /// The paged workspace allocator's accounting snapshot.
+    pub fn page_stats(&self) -> PageStats {
+        self.shared.pages.stats()
+    }
+
+    /// Drive a zero-worker engine inline until its queue is empty:
+    /// repeatedly pop (by the same weighted fair schedule the workers
+    /// use), coalesce a micro-batch, execute or expire it on the
+    /// calling thread. Returns the number of requests resolved.
+    ///
+    /// **Determinism:** with `workers = 0`, every effect happens on the
+    /// calling thread in schedule order — no background threads, no
+    /// racing clocks — so tests and single-threaded embeddings get
+    /// reproducible interleavings. Calls from a worker-ful engine are
+    /// allowed and simply steal work inline.
+    pub fn run_until_idle(&self) -> usize {
+        let mut total = 0;
+        loop {
+            let n = self.step();
+            if n == 0 {
+                return total;
+            }
+            total += n;
+        }
+    }
+
+    /// Inline worker step: pop one request, coalesce its micro-batch,
+    /// execute or expire it on the calling thread. Returns the number
+    /// of requests resolved (0 when the queue was empty).
+    #[deprecated(
+        since = "0.8.0",
+        note = "renamed: use `run_until_idle` (which drains the queue) or keep \
+                single-stepping with this alias until it is removed"
+    )]
     pub fn poll(&self) -> usize {
+        self.step()
+    }
+
+    fn step(&self) -> usize {
         let Some(first) = self.shared.queue.try_pop() else {
             return 0;
         };
-        let mut ws = self.shared.pool.checkout();
-        let n = run_batch(&self.shared, first, &mut ws);
-        self.shared.pool.restore(ws);
-        n
+        let mut ws = self.shared.pages.checkout();
+        run_batch(&self.shared, first, &mut ws)
     }
 }
 
@@ -374,15 +561,19 @@ impl Drop for Engine {
             let _ = w.join();
         }
         // Zero-worker engines may still hold queued requests: fail them
-        // so no ticket waits forever.
+        // so no ticket waits forever. Dropping each request's lease
+        // releases its pages.
         while let Some(req) = self.shared.queue.try_pop() {
             self.shared
                 .metrics
                 .bump(&self.shared.metrics.dequeued, "engine.dequeued", 1);
-            req.ticket.complete(Err(SpmmError::Capacity {
-                what: "engine (shut down)",
-                capacity: 0,
-            }));
+            req.ticket.complete(
+                Err(SpmmError::Capacity {
+                    what: "engine (shut down)",
+                    capacity: 0,
+                }),
+                None,
+            );
         }
     }
 }
@@ -482,19 +673,43 @@ impl SessionBuilder<'_, '_> {
     }
 }
 
-/// The outcome of a non-blocking submission ([`Session::try_submit`]).
+/// The outcome of a submission ([`Session::submit`]).
 #[must_use]
-pub enum Submit {
+#[non_exhaustive]
+pub enum SubmitOutcome {
     /// Queued; redeem the ticket for the result.
     Accepted(Ticket),
-    /// Backpressure: the bounded queue (or a shut-down engine) refused
-    /// the request. The operand comes back so the caller can retry.
+    /// Admission control refused the request: backpressure (full queue
+    /// or page budget), a tenant at quota, or a shut-down engine. The
+    /// operand comes back so the caller can retry.
     Rejected {
         /// The dense operand, returned unchanged.
-        b: DenseMatrix,
-        /// Why ([`SpmmError::Capacity`]).
+        operand: DenseMatrix,
+        /// When a retry is expected to succeed, estimated from the
+        /// backlog and the measured service rate. `None` when retrying
+        /// cannot help (shape mismatch, shut-down engine).
+        retry_after: Option<Duration>,
+        /// The typed refusal ([`SpmmError::Capacity`],
+        /// [`SpmmError::QuotaExceeded`], or a shape error).
         reason: SpmmError,
     },
+}
+
+/// Renamed — the submission outcome is now [`SubmitOutcome`] (its
+/// `Rejected` variant gained `retry_after` and renamed `b` to
+/// `operand`).
+#[deprecated(since = "0.8.0", note = "renamed to `SubmitOutcome`")]
+pub type Submit = SubmitOutcome;
+
+impl SubmitOutcome {
+    /// Collapse into a `Result`, discarding the returned operand and
+    /// `retry_after` hint — convenient when rejection is just an error.
+    pub fn into_result(self) -> Result<Ticket> {
+        match self {
+            SubmitOutcome::Accepted(t) => Ok(t),
+            SubmitOutcome::Rejected { reason, .. } => Err(reason),
+        }
+    }
 }
 
 /// A client's binding to one cached plan — cheap to clone, safe to
@@ -524,39 +739,65 @@ impl Session {
         self.degraded
     }
 
-    /// Submit with explicit backpressure: a full queue returns
-    /// [`Submit::Rejected`] immediately (no blocking, no panics).
-    pub fn try_submit(&self, b: DenseMatrix) -> Submit {
-        self.submit_inner(b, self.engine.config.default_deadline)
+    /// Submit a multiply with explicit QoS options — the single
+    /// submission surface (priority class, tenant, deadline all ride in
+    /// [`SubmitOptions`]; `SubmitOptions::new()` gives the defaults).
+    ///
+    /// Admission control runs entirely on the calling thread: shape
+    /// validation, page-budget leasing for the operand + output
+    /// staging, the tenant quota, and queue backpressure. A refusal
+    /// comes back as [`SubmitOutcome::Rejected`] with the operand and a
+    /// `retry_after` hint — no blocking, no panics.
+    pub fn submit(&self, b: DenseMatrix, opts: SubmitOptions) -> SubmitOutcome {
+        let (priority, tenant, deadline) = opts.into_parts();
+        self.submit_inner(
+            b,
+            priority,
+            tenant,
+            deadline.or(self.engine.config.default_deadline),
+        )
+    }
+
+    /// Submit with default QoS options.
+    #[deprecated(
+        since = "0.8.0",
+        note = "use `submit(b, SubmitOptions::new())` (and `.into_result()` if \
+                you only want a `Result`)"
+    )]
+    pub fn try_submit(&self, b: DenseMatrix) -> SubmitOutcome {
+        self.submit(b, SubmitOptions::new())
     }
 
     /// Submit with a per-request deadline overriding the engine default.
-    pub fn try_submit_with_deadline(&self, b: DenseMatrix, deadline: Duration) -> Submit {
-        self.submit_inner(b, Some(deadline))
+    #[deprecated(
+        since = "0.8.0",
+        note = "use `submit(b, SubmitOptions::new().deadline(d))`"
+    )]
+    pub fn try_submit_with_deadline(&self, b: DenseMatrix, deadline: Duration) -> SubmitOutcome {
+        self.submit(b, SubmitOptions::new().deadline(deadline))
     }
 
-    /// Submit, converting backpressure into an error
-    /// ([`SpmmError::Capacity`]).
-    pub fn submit(&self, b: DenseMatrix) -> Result<Ticket> {
-        match self.try_submit(b) {
-            Submit::Accepted(t) => Ok(t),
-            Submit::Rejected { reason, .. } => Err(reason),
-        }
-    }
-
-    /// Synchronous convenience: submit and wait. Mirrors
-    /// [`PreparedKernel::execute`] semantics (same bit-exact results),
-    /// routed through the shared queue and micro-batcher.
+    /// Synchronous convenience: submit with default options and wait.
+    /// Mirrors [`PreparedKernel::execute`] semantics (same bit-exact
+    /// results), routed through the shared queue and micro-batcher.
     pub fn multiply(&self, b: &DenseMatrix) -> Result<DenseMatrix> {
-        self.submit(b.clone())?.wait()
+        self.submit(b.clone(), SubmitOptions::new())
+            .into_result()?
+            .wait()
     }
 
-    fn submit_inner(&self, b: DenseMatrix, deadline: Option<Duration>) -> Submit {
+    fn submit_inner(
+        &self,
+        b: DenseMatrix,
+        priority: Priority,
+        tenant: Tenant,
+        deadline: Option<Duration>,
+    ) -> SubmitOutcome {
         // Validate the shape *before* queueing so malformed requests
         // fail fast on the client thread.
         let a_cols = self.plan.csr().ncols();
         if b.nrows() != a_cols {
-            return Submit::Rejected {
+            return SubmitOutcome::Rejected {
                 reason: SpmmError::shape(format!(
                     "A is {}x{}, B is {}x{}",
                     self.plan.csr().nrows(),
@@ -564,38 +805,83 @@ impl Session {
                     b.nrows(),
                     b.ncols()
                 )),
-                b,
+                retry_after: None,
+                operand: b,
             };
         }
+        // Lease pages for the staging this request will pin: the
+        // operand copy (alive until executed) plus the output buffer
+        // (alive until the result is taken). Both sizes are exact at
+        // submit time, so over-budget work is refused here, never
+        // blocked mid-execution.
+        let f32s = std::mem::size_of::<f32>();
+        let operand_bytes = b.nrows() * b.ncols() * f32s;
+        let output_bytes = self.plan.csr().nrows() * b.ncols() * f32s;
+        let lease = match self.engine.pages.try_lease(operand_bytes + output_bytes) {
+            Some(lease) => lease,
+            None => {
+                let m = &self.engine.metrics;
+                m.bump(&m.rejected, "engine.rejected", 1);
+                return SubmitOutcome::Rejected {
+                    operand: b,
+                    retry_after: Some(
+                        self.engine
+                            .estimate_retry_after(self.engine.queue.len() as u64),
+                    ),
+                    reason: SpmmError::Capacity {
+                        what: "engine page budget",
+                        capacity: self.engine.pages.budget(),
+                    },
+                };
+            }
+        };
         let ticket = TicketShared::new();
         let req = Request {
             key: self.key,
             plan: Arc::clone(&self.plan),
             b,
             ticket: Arc::clone(&ticket),
+            priority,
+            tenant,
+            enqueued_at: Instant::now(),
             deadline: deadline.map(|d| Instant::now() + d),
+            lease: Some(lease),
         };
+        let m = &self.engine.metrics;
         match self.engine.queue.try_push(req) {
             Push::Ok => {
-                self.engine
-                    .metrics
-                    .bump(&self.engine.metrics.enqueued, "engine.enqueued", 1);
-                Submit::Accepted(Ticket { shared: ticket })
+                m.bump(&m.enqueued, "engine.enqueued", 1);
+                SubmitOutcome::Accepted(Ticket { shared: ticket })
+            }
+            Push::Quota { req, queued } => {
+                m.bump(&m.quota_rejected, "engine.qos.quota_rejected", 1);
+                let retry_after = self.engine.estimate_retry_after(queued as u64);
+                SubmitOutcome::Rejected {
+                    reason: SpmmError::QuotaExceeded {
+                        tenant: req.tenant.name().to_string(),
+                        retry_after,
+                    },
+                    retry_after: Some(retry_after),
+                    operand: req.b,
+                }
             }
             Push::Full(req) => {
-                self.engine
-                    .metrics
-                    .bump(&self.engine.metrics.rejected, "engine.rejected", 1);
-                Submit::Rejected {
-                    b: req.b,
+                m.bump(&m.rejected, "engine.rejected", 1);
+                SubmitOutcome::Rejected {
+                    retry_after: Some(
+                        self.engine
+                            .estimate_retry_after(self.engine.queue.capacity() as u64),
+                    ),
+                    operand: req.b,
                     reason: SpmmError::Capacity {
                         what: "engine queue",
                         capacity: self.engine.queue.capacity(),
                     },
                 }
             }
-            Push::ShutDown(req) => Submit::Rejected {
-                b: req.b,
+            Push::ShutDown(req) => SubmitOutcome::Rejected {
+                operand: req.b,
+                retry_after: None,
                 reason: SpmmError::Capacity {
                     what: "engine (shut down)",
                     capacity: 0,
@@ -605,10 +891,13 @@ impl Session {
     }
 }
 
-/// Worker thread body: pop → coalesce → execute, until shutdown.
+/// Worker thread body: pop → coalesce → execute, until shutdown. The
+/// workspace is checked out per batch so idle workspaces live in the
+/// page pool's LRU cache (evictable under budget pressure) rather than
+/// pinned to a parked thread.
 fn worker_loop(shared: &Arc<EngineShared>) {
-    let mut ws = Workspace::new();
     while let Some(first) = shared.queue.pop_blocking() {
+        let mut ws = shared.pages.checkout();
         run_batch(shared, first, &mut ws);
     }
 }
@@ -631,24 +920,39 @@ fn run_batch(shared: &Arc<EngineShared>, first: Request, ws: &mut Workspace) -> 
     }
     m.bump(&m.dequeued, "engine.dequeued", batch.len() as u64);
 
-    // Expire requests whose deadline passed while they queued.
+    // Deadline-aware scheduling: requests whose deadline passed while
+    // they queued are dropped here, *before* any kernel work, with the
+    // actual queued duration in the error.
     let now = Instant::now();
     let (expired, live): (Vec<Request>, Vec<Request>) = batch
         .into_iter()
         .partition(|r| r.deadline.is_some_and(|d| now > d));
     let resolved = expired.len() + live.len();
     for req in expired {
-        m.bump(&m.timed_out, "engine.timed_out", 1);
-        req.ticket.complete(Err(SpmmError::Timeout {
-            what: "queued multiply request",
-            waited_ms: shared
-                .config
-                .default_deadline
-                .map_or(0, |d| d.as_millis() as u64),
-        }));
+        m.bump(&m.expired, "engine.qos.expired", 1);
+        // Dropping the request's lease releases both the operand and
+        // output pages — nothing of an expired request stays charged.
+        req.ticket.complete(
+            Err(SpmmError::DeadlineExpired {
+                waited: now.duration_since(req.enqueued_at),
+            }),
+            None,
+        );
     }
     if live.is_empty() {
         return resolved;
+    }
+
+    // Invariant check: nothing past its deadline may reach a kernel.
+    // The partition above just ran, so this counter staying 0 is the
+    // observable form of "expired work never executes".
+    let exec_start = Instant::now();
+    let late = live
+        .iter()
+        .filter(|r| r.deadline.is_some_and(|d| exec_start > d))
+        .count() as u64;
+    if late > 0 {
+        m.bump(&m.late_executions, "engine.qos.late_executions", late);
     }
 
     m.bump(&m.batches, "engine.batches", 1);
@@ -663,24 +967,44 @@ fn run_batch(shared: &Arc<EngineShared>, first: Request, ws: &mut Workspace) -> 
     let nrows = plan.csr().nrows();
     let live_count = live.len() as u64;
     m.in_flight.fetch_add(live_count, Ordering::Relaxed);
-    let (bs, tickets): (Vec<DenseMatrix>, Vec<Arc<TicketShared>>) =
-        live.into_iter().map(|r| (r.b, r.ticket)).unzip();
+    let mut bs = Vec::with_capacity(live.len());
+    let mut tickets = Vec::with_capacity(live.len());
+    let mut leases: Vec<(Option<PageLease>, usize, Priority)> = Vec::with_capacity(live.len());
+    for mut r in live {
+        let operand_pages = shared
+            .pages
+            .pages_for(r.b.nrows() * r.b.ncols() * std::mem::size_of::<f32>());
+        leases.push((r.lease.take(), operand_pages, r.priority));
+        tickets.push(r.ticket);
+        bs.push(r.b);
+    }
     let mut outs: Vec<DenseMatrix> = bs
         .iter()
         .map(|b| DenseMatrix::zeros(nrows, b.ncols()))
         .collect();
-    match plan.execute_batch_into(&bs, &mut outs, ws) {
+    let result = plan.execute_batch_into(&bs, &mut outs, ws);
+    drop(bs); // operand copies freed; their page charge is split off below
+    match result {
         Ok(()) => {
-            for (ticket, out) in tickets.into_iter().zip(outs) {
-                ticket.complete(Ok(out));
+            for ((ticket, out), (lease, operand_pages, priority)) in
+                tickets.into_iter().zip(outs).zip(leases)
+            {
+                // Split the admission lease: the operand half is
+                // released now, the output half rides with the ticket
+                // until the caller takes the result.
+                let output_lease = lease.map(|l| l.split(operand_pages).1);
+                m.bump_served(priority, 1);
+                ticket.complete(Ok(out), output_lease);
             }
         }
         Err(e) => {
-            for ticket in tickets {
-                ticket.complete(Err(e.clone()));
+            for (ticket, (lease, _, _)) in tickets.into_iter().zip(leases) {
+                drop(lease); // no output retained on failure
+                ticket.complete(Err(e.clone()), None);
             }
         }
     }
     m.in_flight.fetch_sub(live_count, Ordering::Relaxed);
+    shared.record_service_time(exec_start.elapsed() / live_count.max(1) as u32);
     resolved
 }

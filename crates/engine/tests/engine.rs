@@ -5,10 +5,18 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use spmm_engine::{Engine, Submit};
+use spmm_engine::{Engine, SubmitOptions, SubmitOutcome};
 use spmm_kernels::{KernelKind, PreparedKernel};
 use spmm_matrix::{gen, CsrMatrix, DenseMatrix};
 use spmm_sim::Arch;
+
+/// Submit with default QoS options, treating rejection as a test error.
+fn submit_ok(session: &spmm_engine::Session, b: DenseMatrix) -> spmm_engine::Ticket {
+    session
+        .submit(b, SubmitOptions::new())
+        .into_result()
+        .unwrap()
+}
 
 fn graph(n: usize, seed: u64) -> CsrMatrix {
     gen::uniform_random(n, 6.0, seed)
@@ -99,11 +107,8 @@ fn batched_results_bit_identical_to_sequential_multiply() {
         .map(|i| DenseMatrix::random(a.ncols(), 24, 100 + i))
         .collect();
     // Queue all six, then pump once: they coalesce into one micro-batch.
-    let tickets: Vec<_> = bs
-        .iter()
-        .map(|b| session.submit(b.clone()).unwrap())
-        .collect();
-    while engine.poll() > 0 {}
+    let tickets: Vec<_> = bs.iter().map(|b| submit_ok(&session, b.clone())).collect();
+    engine.run_until_idle();
     let stats = engine.stats();
     assert_eq!(stats.batches, 1, "six same-key requests should coalesce");
     assert_eq!(stats.batched_requests, 6);
@@ -170,11 +175,12 @@ fn full_queue_rejects_with_capacity_error() {
     let session = engine.session(&a).feature_dim(16).open().unwrap();
     let b = DenseMatrix::random(a.ncols(), 16, 1);
 
-    let _t1 = session.submit(b.clone()).unwrap();
-    let _t2 = session.submit(b.clone()).unwrap();
-    match session.try_submit(b.clone()) {
-        Submit::Rejected {
-            b: returned,
+    let _t1 = submit_ok(&session, b.clone());
+    let _t2 = submit_ok(&session, b.clone());
+    match session.submit(b.clone(), SubmitOptions::new()) {
+        SubmitOutcome::Rejected {
+            operand: returned,
+            retry_after,
             reason,
         } => {
             assert_eq!(returned.as_slice(), b.as_slice(), "operand handed back");
@@ -182,35 +188,52 @@ fn full_queue_rejects_with_capacity_error() {
                 matches!(reason, spmm_common::SpmmError::Capacity { capacity: 2, .. }),
                 "got {reason:?}"
             );
+            assert!(retry_after.is_some(), "backpressure must hint a retry");
         }
-        Submit::Accepted(_) => panic!("queue should be full"),
+        SubmitOutcome::Accepted(_) => panic!("queue should be full"),
+        _ => unreachable!("non-exhaustive outcome"),
     }
     assert_eq!(engine.stats().rejected, 1);
 
     // Draining the queue makes room again.
-    engine.poll();
-    assert!(matches!(session.try_submit(b), Submit::Accepted(_)));
+    engine.run_until_idle();
+    assert!(matches!(
+        session.submit(b, SubmitOptions::new()),
+        SubmitOutcome::Accepted(_)
+    ));
 }
 
 #[test]
-fn expired_deadline_times_out_queued_request() {
+fn expired_deadline_drops_queued_request_with_typed_error() {
     let engine = Engine::builder().workers(0).build().unwrap();
     let a = graph(128, 8);
     let session = engine.session(&a).feature_dim(16).open().unwrap();
     let b = DenseMatrix::random(a.ncols(), 16, 2);
 
-    let ticket = match session.try_submit_with_deadline(b, Duration::from_millis(1)) {
-        Submit::Accepted(t) => t,
-        Submit::Rejected { reason, .. } => panic!("rejected: {reason}"),
+    let opts = SubmitOptions::new().deadline(Duration::from_millis(1));
+    let ticket = match session.submit(b, opts) {
+        SubmitOutcome::Accepted(t) => t,
+        SubmitOutcome::Rejected { reason, .. } => panic!("rejected: {reason}"),
+        _ => unreachable!("non-exhaustive outcome"),
     };
     std::thread::sleep(Duration::from_millis(10));
-    engine.poll();
+    engine.run_until_idle();
 
     match ticket.wait() {
-        Err(spmm_common::SpmmError::Timeout { .. }) => {}
-        other => panic!("expected Timeout, got {other:?}"),
+        Err(spmm_common::SpmmError::DeadlineExpired { waited }) => {
+            assert!(
+                waited >= Duration::from_millis(1),
+                "waited {waited:?} must cover at least the deadline"
+            );
+        }
+        other => panic!("expected DeadlineExpired, got {other:?}"),
     }
-    assert_eq!(engine.stats().timed_out, 1);
+    let stats = engine.stats();
+    assert_eq!(stats.timed_out, 1);
+    assert_eq!(
+        stats.late_executions, 0,
+        "expired work must never reach a kernel"
+    );
 }
 
 #[test]
@@ -218,9 +241,7 @@ fn ticket_wait_timeout_gives_up_without_a_worker() {
     let engine = Engine::builder().workers(0).build().unwrap();
     let a = graph(128, 9);
     let session = engine.session(&a).feature_dim(16).open().unwrap();
-    let ticket = session
-        .submit(DenseMatrix::random(a.ncols(), 16, 3))
-        .unwrap();
+    let ticket = submit_ok(&session, DenseMatrix::random(a.ncols(), 16, 3));
     assert!(!ticket.is_ready());
     match ticket.wait_timeout(Duration::from_millis(5)) {
         Err(spmm_common::SpmmError::Timeout { .. }) => {}
@@ -234,11 +255,17 @@ fn shape_mismatch_rejected_before_queueing() {
     let a = graph(128, 11);
     let session = engine.session(&a).feature_dim(16).open().unwrap();
     let wrong = DenseMatrix::random(a.ncols() + 1, 16, 4);
-    match session.try_submit(wrong) {
-        Submit::Rejected { reason, .. } => {
-            assert!(matches!(reason, spmm_common::SpmmError::Shape { .. }))
+    match session.submit(wrong, SubmitOptions::new()) {
+        SubmitOutcome::Rejected {
+            reason,
+            retry_after,
+            ..
+        } => {
+            assert!(matches!(reason, spmm_common::SpmmError::Shape { .. }));
+            assert!(retry_after.is_none(), "retrying a bad shape cannot help");
         }
-        Submit::Accepted(_) => panic!("shape mismatch must not enqueue"),
+        SubmitOutcome::Accepted(_) => panic!("shape mismatch must not enqueue"),
+        _ => unreachable!("non-exhaustive outcome"),
     }
     assert_eq!(engine.stats().enqueued, 0);
 }
@@ -275,9 +302,9 @@ fn counters_visible_through_spmm_trace() {
         let a = graph(128, 13);
         let session = engine.session(&a).feature_dim(16).open().unwrap();
         let b = DenseMatrix::random(a.ncols(), 16, 5);
-        let _t = session.submit(b.clone()).unwrap();
-        let _ = session.try_submit(b); // rejected
-        engine.poll();
+        let _t = submit_ok(&session, b.clone());
+        let _ = session.submit(b, SubmitOptions::new()); // rejected
+        engine.run_until_idle();
     }
     let snap = spmm_trace::snapshot();
     spmm_trace::disable();
@@ -293,6 +320,32 @@ fn builder_rejects_zero_capacities() {
     assert!(Engine::builder().queue_capacity(0).build().is_err());
     assert!(Engine::builder().max_batch(0).build().is_err());
     assert!(Engine::builder().plan_cache_capacity(0).build().is_err());
+    assert!(Engine::builder().page_bytes(0).build().is_err());
+    assert!(Engine::builder().page_budget(0).build().is_err());
+    assert!(Engine::builder().tenant_quota(0).build().is_err());
+}
+
+#[test]
+#[allow(deprecated)]
+fn deprecated_shims_still_serve_for_one_release() {
+    // `try_submit`, `try_submit_with_deadline`, the `Submit` alias, and
+    // single-step `poll()` keep working until the deprecation window
+    // closes.
+    let engine = Engine::builder().workers(0).max_batch(1).build().unwrap();
+    let a = graph(128, 15);
+    let session = engine.session(&a).feature_dim(16).open().unwrap();
+    let b = DenseMatrix::random(a.ncols(), 16, 7);
+
+    let t1 = match session.try_submit(b.clone()) {
+        spmm_engine::Submit::Accepted(t) => t,
+        spmm_engine::Submit::Rejected { reason, .. } => panic!("rejected: {reason}"),
+        _ => unreachable!("non-exhaustive outcome"),
+    };
+    let _t2 = session.try_submit_with_deadline(b, Duration::from_secs(60));
+    assert_eq!(engine.poll(), 1, "poll() still single-steps");
+    assert_eq!(engine.poll(), 1);
+    assert_eq!(engine.poll(), 0);
+    t1.wait().unwrap();
 }
 
 #[test]
@@ -301,9 +354,7 @@ fn drop_fails_leftover_tickets_instead_of_hanging() {
     let ticket = {
         let engine = Engine::builder().workers(0).build().unwrap();
         let session = engine.session(&a).feature_dim(16).open().unwrap();
-        session
-            .submit(DenseMatrix::random(a.ncols(), 16, 6))
-            .unwrap()
+        submit_ok(&session, DenseMatrix::random(a.ncols(), 16, 6))
         // engine dropped here with the request still queued
     };
     match ticket.wait() {
@@ -313,14 +364,15 @@ fn drop_fails_leftover_tickets_instead_of_hanging() {
 }
 
 #[test]
+#[allow(deprecated)] // single-stepping via `poll()` is the point here
 fn stats_expose_queue_depth_and_in_flight() {
     let engine = Arc::new(Engine::builder().workers(0).max_batch(1).build().unwrap());
     let a = graph(768, 14);
     let session = engine.session(&a).feature_dim(64).open().unwrap();
     let b = DenseMatrix::random(a.ncols(), 64, 40);
 
-    // Zero workers: submitted requests sit in the queue until poll().
-    let mut tickets: Vec<_> = (0..3).map(|_| session.submit(b.clone()).unwrap()).collect();
+    // Zero workers: submitted requests sit in the queue until stepped.
+    let mut tickets: Vec<_> = (0..3).map(|_| submit_ok(&session, b.clone())).collect();
     assert_eq!(engine.stats().queue_depth, 3);
     assert_eq!(engine.stats().in_flight, 0);
     assert_eq!(engine.poll(), 1);
@@ -342,14 +394,14 @@ fn stats_expose_queue_depth_and_in_flight() {
         })
     };
     while !observer.is_finished() {
-        tickets.push(session.submit(b.clone()).unwrap());
+        tickets.push(submit_ok(&session, b.clone()));
         engine.poll();
     }
     assert!(
         observer.join().unwrap(),
         "observer never saw in_flight >= 1"
     );
-    while engine.poll() > 0 {}
+    engine.run_until_idle();
     for t in tickets {
         t.wait().unwrap();
     }

@@ -73,6 +73,12 @@ impl BStage {
     pub fn row(&self, r: usize) -> &[f32] {
         &self.data[r * self.ncols..(r + 1) * self.ncols]
     }
+
+    /// Bytes of backing storage currently retained by the stage (the
+    /// quantity a paged workspace allocator meters).
+    pub fn footprint_bytes(&self) -> usize {
+        self.data.capacity() * std::mem::size_of::<f32>()
+    }
 }
 
 /// Caller-owned tile buffers for the sequential SpMM paths.
@@ -137,6 +143,13 @@ impl TileScratch {
     /// Current tile capacity in floats.
     pub fn capacity(&self) -> usize {
         self.ctile.len()
+    }
+
+    /// Bytes of backing storage currently retained by the tiles and the
+    /// owned [`BStage`].
+    pub fn footprint_bytes(&self) -> usize {
+        (self.btile.capacity() + self.ctile.capacity()) * std::mem::size_of::<f32>()
+            + self.bstage.footprint_bytes()
     }
 }
 

@@ -60,6 +60,39 @@ impl Workspace {
         }
         &mut self.region_scratch[..n]
     }
+
+    /// Pre-size the TF32 B stage for an `nrows × ncols` operand
+    /// (avoids the first-call growth for callers that know the operand
+    /// shape up front, and gives paged-allocator tests a deterministic
+    /// way to grow a workspace's footprint).
+    pub fn reserve_staging(&mut self, nrows: usize, ncols: usize) {
+        self.tiles.reserve_stage(nrows, ncols);
+    }
+
+    /// Bytes of staging storage this workspace currently retains: tile
+    /// scratch (including the TF32 B stage), batched per-RHS stages,
+    /// permutation staging matrices, and the hybrid path's per-region
+    /// scratch, recursively. This is the quantity the serving engine's
+    /// paged allocator charges against its page budget.
+    pub fn footprint_bytes(&self) -> usize {
+        let dense = |m: &Option<DenseMatrix>| {
+            m.as_ref()
+                .map_or(0, |m| m.nrows() * m.ncols() * std::mem::size_of::<f32>())
+        };
+        self.tiles.footprint_bytes()
+            + self
+                .batch_stages
+                .iter()
+                .map(|s| s.footprint_bytes())
+                .sum::<usize>()
+            + dense(&self.staging_b)
+            + dense(&self.staging_c)
+            + self
+                .region_scratch
+                .iter()
+                .map(|r| r.ws.footprint_bytes() + dense(&r.out))
+                .sum::<usize>()
+    }
 }
 
 /// A thread-safe pool of [`Workspace`]s for callers that multiplex many

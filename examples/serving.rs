@@ -1,5 +1,6 @@
-//! Concurrent serving: many clients share one preprocessed operand
-//! through the engine's plan cache and micro-batching worker pool.
+//! QoS serving: many tenants with different priorities share one
+//! preprocessed operand through the engine's plan cache, weighted fair
+//! queue, and paged workspace allocator.
 //!
 //! Run with: `cargo run --release --example serving`
 
@@ -15,6 +16,8 @@ fn main() {
             .max_batch(8)
             .batch_window(Duration::from_micros(200))
             .queue_capacity(64)
+            .tenant_quota(16)
+            .page_budget(4096) // 4096 × 64 KiB = 256 MiB staging cap
             .build()
             .unwrap(),
     );
@@ -38,19 +41,32 @@ fn main() {
             let a = Arc::clone(&a);
             s.spawn(move || {
                 // All eight clients race to open a session; the plan
-                // cache builds the kernel exactly once.
+                // cache builds the kernel exactly once. Two of them are
+                // latency-sensitive, the rest run as bulk traffic.
                 let session = engine.session(&a).feature_dim(dim).open().unwrap();
+                let opts = SubmitOptions::new()
+                    .tenant(format!("client-{client}"))
+                    .priority(if client < 2 {
+                        Priority::Interactive
+                    } else {
+                        Priority::Batch
+                    })
+                    .deadline(Duration::from_secs(5));
                 for r in 0..rounds {
                     let b = DenseMatrix::random(a.ncols(), dim, client * 1000 + r);
-                    match session.try_submit(b) {
-                        Submit::Accepted(ticket) => {
+                    match session.submit(b, opts.clone()) {
+                        SubmitOutcome::Accepted(ticket) => {
                             let c = ticket.wait().unwrap();
                             assert_eq!(c.nrows(), a.nrows());
                         }
-                        Submit::Rejected { .. } => {
-                            // Backpressure: a real server would retry
-                            // with jitter or shed the request.
+                        SubmitOutcome::Rejected { retry_after, .. } => {
+                            // Admission control said no — back off for
+                            // the hinted interval instead of hammering.
+                            if let Some(wait) = retry_after {
+                                std::thread::sleep(wait.min(Duration::from_millis(5)));
+                            }
                         }
+                        _ => unreachable!("non-exhaustive outcome"),
                     }
                 }
             });
@@ -71,7 +87,18 @@ fn main() {
         stats.batched_requests as f64 / stats.batches.max(1) as f64
     );
     println!(
-        "rejected: {}, timed out: {}",
-        stats.rejected, stats.timed_out
+        "served interactive/standard/batch: {}/{}/{}",
+        stats.served[0], stats.served[1], stats.served[2]
+    );
+    println!(
+        "rejected: {} (quota {}), expired: {}, late executions: {}",
+        stats.rejected, stats.quota_rejected, stats.timed_out, stats.late_executions
+    );
+    println!(
+        "pages: peak {} of {} budget ({} evictions, {} denials)",
+        stats.pages_peak,
+        engine.config().page_budget.unwrap_or(usize::MAX),
+        stats.page_evictions,
+        stats.page_denials
     );
 }

@@ -19,7 +19,10 @@
 # critical-path speedup at 4 shards. The warm-start scenario must show
 # a restarted engine opening its first session >= 3x faster from the
 # persisted-plan store than from a cold build, with bit-identical
-# outputs. Wall times are machine-dependent:
+# outputs. The QoS storm scenario must keep interactive p99 completion
+# latency under its ceiling, execute zero expired requests, never
+# exceed the engine's page budget, and stay bit-identical to the
+# direct path. Wall times are machine-dependent:
 # refresh the baseline with --update-baseline when moving to different
 # hardware.
 set -euo pipefail
@@ -30,7 +33,7 @@ export CARGO_NET_OFFLINE=true
 BASELINE=results/bench_baseline.json
 THRESHOLD=${BENCH_GATE_THRESHOLD:-0.25}
 # Must match SCHEMA_VERSION in crates/bench/src/bin/perfsuite.rs.
-EXPECTED_SCHEMA=2
+EXPECTED_SCHEMA=3
 
 # One clear line on a stale or foreign artifact instead of a parser
 # error from deep inside the gate.

@@ -342,7 +342,7 @@ proptest! {
         seeds in proptest::collection::vec(0u64..1000, 1..4),
         specials in proptest::collection::vec((0usize..4096, 0usize..6), 0..4),
     ) {
-        use acc_spmm::{AccSpmm, Engine};
+        use acc_spmm::{AccSpmm, Engine, SubmitOptions};
         let n = 8;
         let handle = AccSpmm::builder(&m).feature_dim(n).build().unwrap();
         let mut bs: Vec<DenseMatrix> = seeds
@@ -362,7 +362,7 @@ proptest! {
         let session = engine.install(handle.prepared().clone());
         let tickets: Vec<_> = bs
             .iter()
-            .map(|b| session.submit(b.clone()).unwrap())
+            .map(|b| session.submit(b.clone(), SubmitOptions::new()).into_result().unwrap())
             .collect();
         for (t, e) in tickets.into_iter().zip(&expected) {
             let got = t.wait().unwrap();
