@@ -8,10 +8,17 @@
 //! perfsuite uses — so the vectorization win is visible across the
 //! regimes where the inner loop is short (gather-bound) and long
 //! (compute-bound).
+//!
+//! A third axis benches the explicit-SIMD dispatch
+//! ([`spmm_common::simd::mma_8x8_prerounded_tier`]) on every ISA tier
+//! the host offers, so the per-tier win over the auto-vectorized scalar
+//! core is measured directly (`tier-scalar` vs `tier-avx2` etc.).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use spmm_common::scalar::{tf32_mma_8x8, tf32_mma_8x8_prerounded, to_tf32_slice};
+use spmm_common::simd::mma_8x8_prerounded_tier;
 use spmm_common::util::splitmix64;
+use spmm_common::IsaTier;
 use std::hint::black_box;
 use std::time::Duration;
 
@@ -57,6 +64,25 @@ fn mma_core(c: &mut Criterion) {
                 black_box(c_tile[0])
             })
         });
+        for tier in IsaTier::ALL.into_iter().filter(|t| t.is_available()) {
+            g.bench_with_input(
+                BenchmarkId::new(&format!("tier-{tier}"), n),
+                &n,
+                |bench, &n| {
+                    bench.iter(|| {
+                        c_tile.fill(0.0);
+                        mma_8x8_prerounded_tier(
+                            black_box(&a_r),
+                            black_box(&b_r),
+                            &mut c_tile,
+                            n,
+                            tier,
+                        );
+                        black_box(c_tile[0])
+                    })
+                },
+            );
+        }
     }
     g.finish();
 }

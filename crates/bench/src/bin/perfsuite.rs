@@ -345,10 +345,15 @@ fn measure(dataset: &str, kind: KernelKind, m: &CsrMatrix, cfg: &Config) -> Entr
 /// the legacy round-at-every-use kernel and through the pre-rounded
 /// mul-add core, at the suite's feature dimension. Feeds the gate the
 /// kernel the TC paths actually spend their FLOPs in, independent of
-/// gather/decompress overheads.
+/// gather/decompress overheads. One extra `mma-core-<tier>` entry per
+/// ISA tier the host offers benches the explicit-SIMD dispatch, so the
+/// gate tracks every tier's compute core — not just whichever one the
+/// probe would pick.
 fn mma_core_entries(cfg: &Config) -> Vec<Entry> {
     use spmm_common::scalar::{tf32_mma_8x8, tf32_mma_8x8_prerounded, to_tf32_slice};
+    use spmm_common::simd::mma_8x8_prerounded_tier;
     use spmm_common::util::splitmix64;
+    use spmm_common::IsaTier;
     const TILE: usize = 8;
     let _s = spmm_trace::span("perfsuite.mma_core");
     let n = cfg.dim;
@@ -407,7 +412,23 @@ fn mma_core_entries(cfg: &Config) -> Vec<Entry> {
         }
         std::hint::black_box(c[0]);
     });
-    vec![e_old, e_new]
+    let mut entries = vec![e_old, e_new];
+    for tier in IsaTier::ALL.into_iter().filter(|t| t.is_available()) {
+        entries.push(run(&format!("mma-core-{tier}"), &mut |c| {
+            for _ in 0..tiles {
+                c.fill(0.0);
+                mma_8x8_prerounded_tier(
+                    std::hint::black_box(&a_r),
+                    std::hint::black_box(&b_r),
+                    c,
+                    n,
+                    tier,
+                );
+            }
+            std::hint::black_box(c[0]);
+        }));
+    }
+    entries
 }
 
 /// The multi-client serving scenario: `SCENARIO_CLIENTS` threads share

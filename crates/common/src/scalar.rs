@@ -57,6 +57,12 @@ pub fn to_tf32_slice_into(src: &[f32], dst: &mut [f32]) {
 
 /// Dot product with TF32 operand rounding and FP32 accumulation, mirroring
 /// a chain of tensor-core MMAs along the K dimension.
+///
+/// **Test-only.** This re-rounds both operands per element — the slow
+/// path the pre-rounded kernels exist to avoid — so it is kept solely as
+/// a readable oracle for tests and is not re-exported from the crate
+/// root; kernels cannot reach it by accident.
+#[cfg(test)]
 #[inline]
 pub fn tf32_dot(a: &[f32], b: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len());

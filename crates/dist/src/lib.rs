@@ -34,7 +34,7 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use spmm_balance::{ModelParams, PerfModel};
-use spmm_common::{Result, SpmmError};
+use spmm_common::{IsaTier, Result, SpmmError};
 use spmm_engine::{PlanCache, PlanKey, PlanStore, Priority};
 use spmm_kernels::{
     AccConfig, DispatchDecision, DispatchPolicy, ExecutionPlan, KernelKind, MatrixFeatures,
@@ -282,6 +282,10 @@ impl<'a> DistBuilder<'a> {
         if plan_fallbacks > 0 {
             spmm_trace::counter_add("dist.plan_fallbacks", plan_fallbacks);
         }
+        let shard_isa_tiers: Vec<Option<IsaTier>> = kernels
+            .iter()
+            .map(|k| k.as_ref().map(|k| k.execution_plan().isa_tier()))
+            .collect();
         let pool = WorkerPool::spawn(&kernels);
         Ok(DistSpmm {
             nrows: self.a.nrows(),
@@ -304,6 +308,7 @@ impl<'a> DistBuilder<'a> {
             plan_bytes,
             plan_ship_seconds,
             plan_fallbacks,
+            shard_isa_tiers,
         })
     }
 }
@@ -366,6 +371,11 @@ pub struct DistStats {
     pub plan_ship_seconds: f64,
     /// Broken store artifacts that degraded to a local shard build.
     pub plan_fallbacks: u64,
+    /// Per shard: the SIMD tier its kernel bound at build or load
+    /// (`None` = empty shard, no kernel). Shipped plans re-bind to the
+    /// executing host's tier at load, so these reflect where the shards
+    /// *run*, not where their plans were built.
+    pub shard_isa_tiers: Vec<Option<IsaTier>>,
 }
 
 /// A sharded SpMM coordinator bound to one operand.
@@ -409,6 +419,8 @@ pub struct DistSpmm {
     plan_bytes: u64,
     plan_ship_seconds: f64,
     plan_fallbacks: u64,
+    /// Per shard: the SIMD tier its kernel bound (`None` = empty shard).
+    shard_isa_tiers: Vec<Option<IsaTier>>,
 }
 
 impl DistSpmm {
@@ -476,6 +488,7 @@ impl DistSpmm {
             plan_bytes: self.plan_bytes,
             plan_ship_seconds: self.plan_ship_seconds,
             plan_fallbacks: self.plan_fallbacks,
+            shard_isa_tiers: self.shard_isa_tiers.clone(),
         }
     }
 

@@ -372,6 +372,10 @@ pub struct EngineStats {
     pub page_evictions: u64,
     /// Submissions refused for want of pages.
     pub page_denials: u64,
+    /// The host SIMD tier unpinned plan builds resolve to in this
+    /// process (probe result; sessions pinned via [`AccConfig::isa`]
+    /// may bind a different tier — see [`Session::isa_tier`]).
+    pub isa_tier: spmm_common::IsaTier,
 }
 
 struct EngineShared {
@@ -499,6 +503,7 @@ impl Engine {
             pages_peak: p.peak as u64,
             page_evictions: p.evictions,
             page_denials: p.denials,
+            isa_tier: spmm_common::IsaTier::probe(),
         }
     }
 
@@ -727,6 +732,11 @@ impl Session {
     /// The cache key this session's requests coalesce under.
     pub fn key(&self) -> PlanKey {
         self.key
+    }
+
+    /// The SIMD tier this session's plan bound at compile time.
+    pub fn isa_tier(&self) -> spmm_common::IsaTier {
+        self.plan.execution_plan().isa_tier()
     }
 
     /// The shared prepared kernel (for inspection/profiling).

@@ -15,7 +15,7 @@
 
 use crate::scratch::{BStage, TileScratch};
 use crate::window::{WindowPartition, PAD_COL, TILE};
-use spmm_common::scalar::{tf32_mma_8x8_prerounded, tf32_mma_8x8_rows, to_tf32_slice};
+use spmm_common::simd::{mma_8x8_prerounded_tier, mma_8x8_rows_tier, to_tf32_slice_tier, IsaTier};
 use spmm_common::{Result, SpmmError};
 use spmm_matrix::{CooMatrix, CsrMatrix, DenseMatrix};
 
@@ -171,8 +171,14 @@ impl BitTcf {
     /// the rounded values), so it is meant for execution-plan-owned
     /// formats, not archival ones.
     pub fn preround_values(&mut self) {
+        self.preround_values_tier(IsaTier::probe());
+    }
+
+    /// [`BitTcf::preround_values`] at an explicit ISA tier (every tier
+    /// rounds bit-identically; the plan passes its resolved tier here).
+    pub fn preround_values_tier(&mut self, tier: IsaTier) {
         if !self.values_tf32 {
-            to_tf32_slice(&mut self.values);
+            to_tf32_slice_tier(&mut self.values, tier);
             self.values_tf32 = true;
         }
     }
@@ -307,6 +313,18 @@ impl BitTcf {
     /// hot path allocates nothing proportional to the matrix and the MMA
     /// inner loop is a pure mul-add.
     pub fn spmm_into_staged(&self, stage: &BStage, c: &mut DenseMatrix) -> Result<()> {
+        self.spmm_into_staged_tier(stage, c, IsaTier::probe())
+    }
+
+    /// [`BitTcf::spmm_into_staged`] with an explicit ISA tier for the
+    /// MMA core (bit-identical across tiers; plans pass their resolved
+    /// tier so the choice is made once at compile time).
+    pub fn spmm_into_staged_tier(
+        &self,
+        stage: &BStage,
+        c: &mut DenseMatrix,
+        tier: IsaTier,
+    ) -> Result<()> {
         use rayon::prelude::*;
         self.check_shapes(stage.nrows(), stage.ncols(), c)?;
         let n = stage.ncols();
@@ -318,7 +336,7 @@ impl BitTcf {
                 |scratch, (w, cslab)| {
                     let (_btile, ctile) = scratch.ensure(n);
                     ctile.iter_mut().for_each(|x| *x = 0.0);
-                    self.window_product(w, stage, ctile);
+                    self.window_product(w, stage, ctile, tier);
                     // Write the window's C rows back (last slab may be
                     // ragged).
                     cslab.copy_from_slice(&ctile[..cslab.len()]);
@@ -333,12 +351,12 @@ impl BitTcf {
     /// core never rounds, and it reads B rows in place from the stage
     /// (no gather copy; padded columns carry structurally zero A values
     /// and are skipped, so their empty slices are never read).
-    fn window_product(&self, w: usize, stage: &BStage, ctile: &mut [f32]) {
+    fn window_product(&self, w: usize, stage: &BStage, ctile: &mut [f32], tier: IsaTier) {
         let n = stage.ncols();
         for blk in self.window_blocks(w) {
             let mut a = self.decompress_block(blk);
             if !self.values_tf32 {
-                to_tf32_slice(&mut a);
+                to_tf32_slice_tier(&mut a, tier);
             }
             let cols = self.block_cols(blk);
             let rows: [&[f32]; TILE] = std::array::from_fn(|i| {
@@ -348,7 +366,7 @@ impl BitTcf {
                     stage.row(cols[i] as usize)
                 }
             });
-            tf32_mma_8x8_rows(&a, &rows, ctile, n);
+            mma_8x8_rows_tier(&a, &rows, ctile, n, tier);
         }
     }
 
@@ -371,11 +389,23 @@ impl BitTcf {
         btile: &mut [f32],
         ctiles: &mut [f32],
     ) {
+        self.window_product_batch_tier(w, stages, btile, ctiles, IsaTier::probe())
+    }
+
+    /// [`BitTcf::window_product_batch`] with an explicit ISA tier.
+    pub fn window_product_batch_tier(
+        &self,
+        w: usize,
+        stages: &[&BStage],
+        btile: &mut [f32],
+        ctiles: &mut [f32],
+        tier: IsaTier,
+    ) {
         let total_n: usize = stages.iter().map(|s| s.ncols()).sum();
         for blk in self.window_blocks(w) {
             let mut a = self.decompress_block(blk);
             if !self.values_tf32 {
-                to_tf32_slice(&mut a);
+                to_tf32_slice_tier(&mut a, tier);
             }
             for (i, &col) in self.block_cols(blk).iter().enumerate() {
                 let dst = &mut btile[i * total_n..(i + 1) * total_n];
@@ -390,11 +420,12 @@ impl BitTcf {
                     }
                 }
             }
-            tf32_mma_8x8_prerounded(
+            mma_8x8_prerounded_tier(
                 &a,
                 &btile[..TILE * total_n],
                 &mut ctiles[..TILE * total_n],
                 total_n,
+                tier,
             );
         }
     }
@@ -411,13 +442,24 @@ impl BitTcf {
         c: &mut DenseMatrix,
         scratch: &mut TileScratch,
     ) -> Result<()> {
+        self.spmm_into_seq_tier(b, c, scratch, IsaTier::probe())
+    }
+
+    /// [`BitTcf::spmm_into_seq`] with an explicit ISA tier.
+    pub fn spmm_into_seq_tier(
+        &self,
+        b: &DenseMatrix,
+        c: &mut DenseMatrix,
+        scratch: &mut TileScratch,
+        tier: IsaTier,
+    ) -> Result<()> {
         self.check_shapes(b.nrows(), b.ncols(), c)?;
         let n = b.ncols();
-        scratch.stage_b(b);
+        scratch.stage_b_tier(b, tier);
         let (stage, ctile) = scratch.staged_parts(n);
         for w in 0..self.num_windows() {
             ctile.iter_mut().for_each(|x| *x = 0.0);
-            self.window_product(w, stage, ctile);
+            self.window_product(w, stage, ctile, tier);
             let lo = w * TILE;
             let hi = ((w + 1) * TILE).min(self.nrows);
             for r in lo..hi {

@@ -9,7 +9,7 @@
 
 use crate::scratch::{BStage, TileScratch};
 use crate::window::{WindowPartition, PAD_COL, TILE};
-use spmm_common::scalar::{tf32_mma_8x8_prerounded, tf32_mma_8x8_rows, to_tf32_slice};
+use spmm_common::simd::{mma_8x8_prerounded_tier, mma_8x8_rows_tier, to_tf32_slice_tier, IsaTier};
 use spmm_common::{Result, SpmmError};
 use spmm_matrix::{CooMatrix, CsrMatrix, DenseMatrix};
 
@@ -142,8 +142,13 @@ impl MeTcf {
     /// multiply stays bit-identical; lossy for [`MeTcf::to_csr`] — see
     /// [`crate::BitTcf::preround_values`]).
     pub fn preround_values(&mut self) {
+        self.preround_values_tier(IsaTier::probe());
+    }
+
+    /// [`MeTcf::preround_values`] at an explicit ISA tier.
+    pub fn preround_values_tier(&mut self, tier: IsaTier) {
         if !self.values_tf32 {
-            to_tf32_slice(&mut self.values);
+            to_tf32_slice_tier(&mut self.values, tier);
             self.values_tf32 = true;
         }
     }
@@ -230,6 +235,17 @@ impl MeTcf {
     /// The window-parallel SpMM over a pre-rounded B stage (see
     /// [`crate::BitTcf::spmm_into_staged`]).
     pub fn spmm_into_staged(&self, stage: &BStage, c: &mut DenseMatrix) -> Result<()> {
+        self.spmm_into_staged_tier(stage, c, IsaTier::probe())
+    }
+
+    /// [`MeTcf::spmm_into_staged`] with an explicit ISA tier (see
+    /// [`crate::BitTcf::spmm_into_staged_tier`]).
+    pub fn spmm_into_staged_tier(
+        &self,
+        stage: &BStage,
+        c: &mut DenseMatrix,
+        tier: IsaTier,
+    ) -> Result<()> {
         use rayon::prelude::*;
         self.check_shapes(stage.nrows(), stage.ncols(), c)?;
         let n = stage.ncols();
@@ -241,7 +257,7 @@ impl MeTcf {
                 |scratch, (w, cslab)| {
                     let (_btile, ctile) = scratch.ensure(n);
                     ctile.iter_mut().for_each(|x| *x = 0.0);
-                    self.window_product(w, stage, ctile);
+                    self.window_product(w, stage, ctile, tier);
                     cslab.copy_from_slice(&ctile[..cslab.len()]);
                 },
             );
@@ -255,13 +271,24 @@ impl MeTcf {
         c: &mut DenseMatrix,
         scratch: &mut TileScratch,
     ) -> Result<()> {
+        self.spmm_into_seq_tier(b, c, scratch, IsaTier::probe())
+    }
+
+    /// [`MeTcf::spmm_into_seq`] with an explicit ISA tier.
+    pub fn spmm_into_seq_tier(
+        &self,
+        b: &DenseMatrix,
+        c: &mut DenseMatrix,
+        scratch: &mut TileScratch,
+        tier: IsaTier,
+    ) -> Result<()> {
         self.check_shapes(b.nrows(), b.ncols(), c)?;
         let n = b.ncols();
-        scratch.stage_b(b);
+        scratch.stage_b_tier(b, tier);
         let (stage, ctile) = scratch.staged_parts(n);
         for w in 0..self.num_windows() {
             ctile.iter_mut().for_each(|x| *x = 0.0);
-            self.window_product(w, stage, ctile);
+            self.window_product(w, stage, ctile, tier);
             let lo = w * TILE;
             let hi = ((w + 1) * TILE).min(self.nrows);
             for r in lo..hi {
@@ -276,12 +303,12 @@ impl MeTcf {
     /// operands, gather-free pure mul-add MMA — see
     /// [`crate::BitTcf::window_product`] for the rounding and padding
     /// contracts).
-    fn window_product(&self, w: usize, stage: &BStage, ctile: &mut [f32]) {
+    fn window_product(&self, w: usize, stage: &BStage, ctile: &mut [f32], tier: IsaTier) {
         let n = stage.ncols();
         for blk in self.window_blocks(w) {
             let mut a = self.decompress_block(blk);
             if !self.values_tf32 {
-                to_tf32_slice(&mut a);
+                to_tf32_slice_tier(&mut a, tier);
             }
             let base = blk * TILE;
             let rows: [&[f32]; TILE] = std::array::from_fn(|i| {
@@ -292,7 +319,7 @@ impl MeTcf {
                     stage.row(col as usize)
                 }
             });
-            tf32_mma_8x8_rows(&a, &rows, ctile, n);
+            mma_8x8_rows_tier(&a, &rows, ctile, n, tier);
         }
     }
 
@@ -309,11 +336,23 @@ impl MeTcf {
         btile: &mut [f32],
         ctiles: &mut [f32],
     ) {
+        self.window_product_batch_tier(w, stages, btile, ctiles, IsaTier::probe())
+    }
+
+    /// [`MeTcf::window_product_batch`] with an explicit ISA tier.
+    pub fn window_product_batch_tier(
+        &self,
+        w: usize,
+        stages: &[&BStage],
+        btile: &mut [f32],
+        ctiles: &mut [f32],
+        tier: IsaTier,
+    ) {
         let total_n: usize = stages.iter().map(|s| s.ncols()).sum();
         for blk in self.window_blocks(w) {
             let mut a = self.decompress_block(blk);
             if !self.values_tf32 {
-                to_tf32_slice(&mut a);
+                to_tf32_slice_tier(&mut a, tier);
             }
             for i in 0..TILE {
                 let col = self.sparse_a_to_b[blk * TILE + i];
@@ -329,11 +368,12 @@ impl MeTcf {
                     }
                 }
             }
-            tf32_mma_8x8_prerounded(
+            mma_8x8_prerounded_tier(
                 &a,
                 &btile[..TILE * total_n],
                 &mut ctiles[..TILE * total_n],
                 total_n,
+                tier,
             );
         }
     }

@@ -17,7 +17,7 @@
 //! concatenated RHS columns measures faster than per-RHS row cycling.
 
 use crate::window::TILE;
-use spmm_common::scalar::to_tf32_slice_into;
+use spmm_common::simd::{to_tf32_slice_into_tier, IsaTier};
 use spmm_matrix::DenseMatrix;
 
 /// A TF32-rounded staging copy of a dense operand.
@@ -47,11 +47,18 @@ impl BStage {
         }
     }
 
-    /// Round `b` into the stage (growing the buffer if needed).
+    /// Round `b` into the stage (growing the buffer if needed) at the
+    /// process-default ISA tier.
     pub fn stage(&mut self, b: &DenseMatrix) {
+        self.stage_tier(b, IsaTier::probe());
+    }
+
+    /// [`BStage::stage`] at an explicit ISA tier (plan-resolved; every
+    /// tier rounds bit-identically, so the choice is pure speed).
+    pub fn stage_tier(&mut self, b: &DenseMatrix, tier: IsaTier) {
         let want = b.nrows() * b.ncols();
         self.data.resize(want.max(self.data.len()), 0.0);
-        to_tf32_slice_into(b.as_slice(), &mut self.data[..want]);
+        to_tf32_slice_into_tier(b.as_slice(), &mut self.data[..want], tier);
         self.nrows = b.nrows();
         self.ncols = b.ncols();
     }
@@ -118,6 +125,12 @@ impl TileScratch {
     /// Round `b` into this scratch's owned [`BStage`] and hand it back.
     pub fn stage_b(&mut self, b: &DenseMatrix) -> &BStage {
         self.bstage.stage(b);
+        &self.bstage
+    }
+
+    /// [`TileScratch::stage_b`] at an explicit ISA tier.
+    pub fn stage_b_tier(&mut self, b: &DenseMatrix, tier: IsaTier) -> &BStage {
+        self.bstage.stage_tier(b, tier);
         &self.bstage
     }
 

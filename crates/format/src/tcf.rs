@@ -8,7 +8,7 @@
 
 use crate::scratch::BStage;
 use crate::window::{WindowPartition, TILE};
-use spmm_common::scalar::to_tf32_slice;
+use spmm_common::simd::{axpy_tier, to_tf32_slice_tier, IsaTier};
 use spmm_common::{Result, SpmmError};
 use spmm_matrix::{CooMatrix, CsrMatrix, DenseMatrix};
 
@@ -141,8 +141,13 @@ impl Tcf {
     /// multiply stays bit-identical; lossy for [`Tcf::to_csr`] — see
     /// [`crate::BitTcf::preround_values`]).
     pub fn preround_values(&mut self) {
+        self.preround_values_tier(IsaTier::probe());
+    }
+
+    /// [`Tcf::preround_values`] at an explicit ISA tier.
+    pub fn preround_values_tier(&mut self, tier: IsaTier) {
         if !self.values_tf32 {
-            to_tf32_slice(&mut self.values);
+            to_tf32_slice_tier(&mut self.values, tier);
             self.values_tf32 = true;
         }
     }
@@ -223,6 +228,19 @@ impl Tcf {
     /// not at all when [`Tcf::preround_values`] ran — instead of once
     /// per output column).
     pub fn spmm_into_staged(&self, stage: &BStage, c: &mut DenseMatrix) -> Result<()> {
+        self.spmm_into_staged_tier(stage, c, IsaTier::probe())
+    }
+
+    /// [`Tcf::spmm_into_staged`] with an explicit ISA tier for the
+    /// per-edge row accumulation (bit-identical across tiers; note the
+    /// per-edge loop has no zero-value skip, and neither does
+    /// [`axpy_tier`]).
+    pub fn spmm_into_staged_tier(
+        &self,
+        stage: &BStage,
+        c: &mut DenseMatrix,
+        tier: IsaTier,
+    ) -> Result<()> {
         if self.ncols != stage.nrows() || c.nrows() != self.nrows || c.ncols() != stage.ncols() {
             return Err(SpmmError::Shape {
                 context: format!(
@@ -246,11 +264,7 @@ impl Tcf {
             } else {
                 to_tf32(self.values[k])
             };
-            let brow = stage.row(col);
-            let crow = c.row_mut(r);
-            for (cj, &bj) in crow.iter_mut().zip(brow.iter()) {
-                *cj += v * bj;
-            }
+            axpy_tier(v, stage.row(col), c.row_mut(r), tier);
         }
         Ok(())
     }

@@ -1,6 +1,7 @@
 //! Acc-SpMM configuration and ablation stages (Figure 15).
 
 use spmm_balance::BalanceStrategy;
+use spmm_common::IsaTier;
 use spmm_reorder::Algorithm;
 
 /// Toggles for the Acc-SpMM optimizations. `full()` enables everything
@@ -24,6 +25,12 @@ pub struct AccConfig {
     /// cache locality beyond the shipped rows-only reorder. Off in the
     /// paper's evaluated configuration.
     pub symmetric_reorder: bool,
+    /// Pin the host SIMD tier for the CPU compute core (`None` probes
+    /// the best available tier at plan build). Pinning a tier the host
+    /// lacks is an [`spmm_common::SpmmError::InvalidConfig`] build
+    /// error. Every tier is bit-identical, so this only affects speed —
+    /// and which tier gets recorded in the plan artifact.
+    pub isa: Option<IsaTier>,
 }
 
 impl AccConfig {
@@ -36,6 +43,7 @@ impl AccConfig {
             acc_pipeline: true,
             balance: BalanceStrategy::AccAdaptive,
             symmetric_reorder: false,
+            isa: None,
         }
     }
 
@@ -49,6 +57,7 @@ impl AccConfig {
             acc_pipeline: false,
             balance: BalanceStrategy::None,
             symmetric_reorder: false,
+            isa: None,
         }
     }
 

@@ -33,7 +33,7 @@ use crate::plan::{ExecutionPlan, FormatChoice, PlanContext, RegionPlan, StageSpe
 use crate::{KernelKind, TcFormat};
 use spmm_balance::{BalancePlan, BalanceStrategy, Segment, TbAssignment};
 use spmm_common::json::Json;
-use spmm_common::{PlanLoadError, Result, SpmmError};
+use spmm_common::{IsaTier, PlanLoadError, Result, SpmmError};
 use spmm_format::{io as format_io, WindowPartition};
 use spmm_matrix::CsrMatrix;
 use spmm_reorder::Algorithm;
@@ -48,7 +48,12 @@ const MAGIC: [u8; 4] = *b"SPIR";
 /// Schema version this build reads and writes. Bump on any layout or
 /// semantic change; loaders reject every other version (plans are cheap
 /// to rebuild, so no migration machinery).
-pub const PLAN_IR_VERSION: u32 = 2;
+///
+/// v3 added the SIMD-tier binding: an `isa` pin in the config block, an
+/// `isa_tier` header field, one tier byte in the trace section, and the
+/// pin in the config hash. The recorded tier is advisory — loaders
+/// re-resolve it against the loading host (see [`PlanLoader::rehydrate`]).
+pub const PLAN_IR_VERSION: u32 = 3;
 
 /// Sanity cap on section and array lengths.
 const CAP: u64 = 1 << 34;
@@ -259,6 +264,8 @@ pub fn acc_config_hash(c: &AccConfig) -> u64 {
         eat(b);
     }
     eat(c.symmetric_reorder as u8);
+    // 0xFF = no pin; pinned tiers hash their stable code.
+    eat(c.isa.map_or(0xFF, |t| t.code()));
     h
 }
 
@@ -371,6 +378,12 @@ impl PlanIr {
             "symmetric_reorder".into(),
             Json::Bool(self.config.symmetric_reorder),
         );
+        config.insert(
+            "isa".into(),
+            self.config
+                .isa
+                .map_or(Json::Null, |t| Json::Str(t.name().into())),
+        );
 
         let timings: Vec<Json> = self
             .timings
@@ -406,6 +419,10 @@ impl PlanIr {
         h.insert(
             "format".into(),
             Json::Str(format_slug(self.format_choice()).into()),
+        );
+        h.insert(
+            "isa_tier".into(),
+            Json::Str(self.trace.isa_tier.name().into()),
         );
         h.insert("has_perm".into(), Json::Bool(self.perm.is_some()));
         h.insert("has_balance".into(), Json::Bool(self.balance.is_some()));
@@ -654,6 +671,16 @@ impl PlanIr {
             }
             .into());
         }
+        if trace.isa_tier != hdr.isa_tier {
+            return Err(PlanLoadError::ArtifactInvalid {
+                section: "trace",
+                detail: format!(
+                    "trace recorded ISA tier {}, header says {}",
+                    trace.isa_tier, hdr.isa_tier
+                ),
+            }
+            .into());
+        }
 
         let regions = read_regions(&regions_bytes)?;
         if regions.len() != hdr.num_regions {
@@ -860,6 +887,7 @@ struct Header {
     input_fingerprint: u64,
     stored_fingerprint: u64,
     format: String,
+    isa_tier: IsaTier,
     has_perm: bool,
     has_balance: bool,
     nrows: usize,
@@ -925,6 +953,13 @@ impl Header {
             balance: balance_from_slug(hdr_str(c, "balance")?)
                 .ok_or_else(|| missing("config.balance"))?,
             symmetric_reorder: hdr_bool(c, "symmetric_reorder")?,
+            isa: match c.get("isa") {
+                None | Some(Json::Null) => None,
+                Some(Json::Str(s)) => {
+                    Some(IsaTier::from_name(s).ok_or_else(|| missing("config.isa"))?)
+                }
+                Some(_) => return Err(missing("config.isa")),
+            },
         };
         if hdr_hex(h, "config_hash")? != acc_config_hash(&config) {
             return Err(PlanLoadError::NotPlanIr {
@@ -961,6 +996,8 @@ impl Header {
             input_fingerprint: hdr_hex(h, "fingerprint")?,
             stored_fingerprint: hdr_hex(h, "stored_fingerprint")?,
             format: hdr_str(h, "format")?.to_string(),
+            isa_tier: IsaTier::from_name(hdr_str(h, "isa_tier")?)
+                .ok_or_else(|| missing("isa_tier"))?,
             has_perm: hdr_bool(h, "has_perm")?,
             has_balance: hdr_bool(h, "has_balance")?,
             nrows: hdr_usize(h, "nrows")?,
@@ -1096,6 +1133,7 @@ fn write_desc(w: &mut impl Write, d: &KernelDesc) -> Result<()> {
     put_u64(w, d.feature_dim as u64)?;
     put_u64(w, d.effective_flops)?;
     put_f64(w, d.arch_boost)?;
+    w.write_all(&[d.isa_tier.code()])?;
     Ok(())
 }
 
@@ -1152,6 +1190,11 @@ fn read_desc(r: &mut impl Read) -> Result<KernelDesc> {
             detail: format!("arch boost {arch_boost} not a positive finite factor"),
         });
     }
+    let mut tier_byte = [0u8; 1];
+    r.read_exact(&mut tier_byte)?;
+    let isa_tier = IsaTier::from_code(tier_byte[0]).ok_or_else(|| SpmmError::MalformedFormat {
+        detail: format!("unknown ISA tier code {}", tier_byte[0]),
+    })?;
     Ok(KernelDesc {
         tbs,
         pipeline,
@@ -1161,6 +1204,7 @@ fn read_desc(r: &mut impl Read) -> Result<KernelDesc> {
         feature_dim,
         effective_flops,
         arch_boost,
+        isa_tier,
     })
 }
 
@@ -1319,11 +1363,23 @@ impl PlanLoader {
                 .into());
             }
         }
+        // The recorded tier is advisory provenance: the artifact may
+        // have been compiled on a different host. Re-resolve against
+        // *this* host's capabilities (a config pin the host can't
+        // satisfy errors exactly as it would at build time) and re-bind
+        // the plan — every tier is bit-identical, so a re-bind changes
+        // speed and provenance, never results.
+        let isa_tier = IsaTier::resolve(ir.config.isa)?;
+        let mut trace = ir.trace;
+        if trace.isa_tier != isa_tier {
+            spmm_trace::counter_add("plan.isa_rebinds", 1);
+            trace.isa_tier = isa_tier;
+        }
         let mut format = ir.format;
         match &mut format {
-            Some(TcFormat::Tcf(f)) => f.preround_values(),
-            Some(TcFormat::MeTcf(f)) => f.preround_values(),
-            Some(TcFormat::BitTcf(f)) => f.preround_values(),
+            Some(TcFormat::Tcf(f)) => f.preround_values_tier(isa_tier),
+            Some(TcFormat::MeTcf(f)) => f.preround_values_tier(isa_tier),
+            Some(TcFormat::BitTcf(f)) => f.preround_values_tier(isa_tier),
             None => {}
         }
         let ctx = PlanContext {
@@ -1338,10 +1394,11 @@ impl PlanLoader {
             partition,
             format,
             balance: ir.balance,
-            trace: Some(ir.trace),
+            trace: Some(trace),
             timings: ir.timings,
             regions,
             decision: ir.decision,
+            isa_tier,
         };
         spmm_trace::counter_add("plan.loads", 1);
         Ok(ExecutionPlan::from_context(ctx))

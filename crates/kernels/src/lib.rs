@@ -420,7 +420,7 @@ impl PreparedKernel {
             batch_stages.resize_with(bs.len(), BStage::new);
         }
         for (stage, b) in batch_stages.iter_mut().zip(bs.iter()) {
-            stage.stage(b);
+            stage.stage_tier(b, self.plan.isa_tier());
         }
         let stage_refs: Vec<&BStage> = batch_stages[..bs.len()].iter().collect();
         let (btile, ctiles) = tiles.ensure(total_n);
@@ -439,8 +439,12 @@ impl PreparedKernel {
         for w in 0..num_windows {
             ctiles.iter_mut().for_each(|x| *x = 0.0);
             match self.plan.format() {
-                Some(TcFormat::BitTcf(f)) => f.window_product_batch(w, &stage_refs, btile, ctiles),
-                Some(TcFormat::MeTcf(f)) => f.window_product_batch(w, &stage_refs, btile, ctiles),
+                Some(TcFormat::BitTcf(f)) => {
+                    f.window_product_batch_tier(w, &stage_refs, btile, ctiles, self.plan.isa_tier())
+                }
+                Some(TcFormat::MeTcf(f)) => {
+                    f.window_product_batch_tier(w, &stage_refs, btile, ctiles, self.plan.isa_tier())
+                }
                 _ => unreachable!("batched path is TC-only"),
             }
             let lo = w * spmm_format::TILE;
@@ -569,11 +573,19 @@ fn spmm_dispatch(
         // workspace scratch, so repeated multiplies re-round B into
         // the same buffer instead of allocating (and the rounding
         // happens once per multiply, not once per gathered element).
-        (Some(TcFormat::Tcf(f)), _) => f.spmm_into_staged(tiles.stage_b(b), c),
-        (Some(TcFormat::MeTcf(f)), true) => f.spmm_into_staged(tiles.stage_b(b), c),
-        (Some(TcFormat::MeTcf(f)), false) => f.spmm_into_seq(b, c, tiles),
-        (Some(TcFormat::BitTcf(f)), true) => f.spmm_into_staged(tiles.stage_b(b), c),
-        (Some(TcFormat::BitTcf(f)), false) => f.spmm_into_seq(b, c, tiles),
+        // The plan's compile-time SIMD tier drives both the staging
+        // round and the MMA cores (bit-identical across tiers).
+        (Some(TcFormat::Tcf(f)), _) => {
+            f.spmm_into_staged_tier(tiles.stage_b_tier(b, plan.isa_tier()), c, plan.isa_tier())
+        }
+        (Some(TcFormat::MeTcf(f)), true) => {
+            f.spmm_into_staged_tier(tiles.stage_b_tier(b, plan.isa_tier()), c, plan.isa_tier())
+        }
+        (Some(TcFormat::MeTcf(f)), false) => f.spmm_into_seq_tier(b, c, tiles, plan.isa_tier()),
+        (Some(TcFormat::BitTcf(f)), true) => {
+            f.spmm_into_staged_tier(tiles.stage_b_tier(b, plan.isa_tier()), c, plan.isa_tier())
+        }
+        (Some(TcFormat::BitTcf(f)), false) => f.spmm_into_seq_tier(b, c, tiles, plan.isa_tier()),
         // CUDA-core kernels are FP32 FMA — no operand rounding.
         (None, true) => plan.csr().spmm_dense_into(b, c),
         (None, false) => plan.csr().spmm_dense_into_seq(b, c),

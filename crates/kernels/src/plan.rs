@@ -21,7 +21,7 @@ use crate::dispatch::{
 };
 use crate::{scalar, tc, KernelKind, TcFormat};
 use spmm_balance::{BalancePlan, BalanceStrategy, ModelParams, PerfModel};
-use spmm_common::{Result, SpmmError};
+use spmm_common::{IsaTier, Result, SpmmError};
 use spmm_format::{BitTcf, MeTcf, Tcf, WindowPartition};
 use spmm_matrix::CsrMatrix;
 use spmm_reorder::Algorithm;
@@ -169,6 +169,12 @@ pub struct PlanContext {
     /// The dispatch decision an `Auto` plan compiled under, pinned at
     /// build time so reloads and shards never re-consult the policy.
     pub decision: Option<DispatchDecision>,
+    /// The host SIMD tier the CPU compute core is bound to, resolved
+    /// once here at plan build (config pin → `SPMM_FORCE_ISA` →
+    /// capability probe) and threaded through format pre-rounding and
+    /// every execution path. Every tier is bit-identical, so this is
+    /// pure speed plus provenance.
+    pub isa_tier: IsaTier,
 }
 
 impl PlanContext {
@@ -197,6 +203,10 @@ impl PlanContext {
             timings: Vec::new(),
             regions: None,
             decision: None,
+            // An unavailable pin falls back to the probe here; the
+            // build entry points validate the pin first and surface it
+            // as an InvalidConfig error instead.
+            isa_tier: IsaTier::resolve(config.isa).unwrap_or_else(|_| IsaTier::probe()),
         }
     }
 }
@@ -281,9 +291,9 @@ impl PlanStage for FormatBuildStage {
         // multiply into a pure mul-add. Plan-owned formats are execution
         // artifacts, so the lossy in-place rounding is safe here.
         match &mut format {
-            TcFormat::Tcf(f) => f.preround_values(),
-            TcFormat::MeTcf(f) => f.preround_values(),
-            TcFormat::BitTcf(f) => f.preround_values(),
+            TcFormat::Tcf(f) => f.preround_values_tier(ctx.isa_tier),
+            TcFormat::MeTcf(f) => f.preround_values_tier(ctx.isa_tier),
+            TcFormat::BitTcf(f) => f.preround_values_tier(ctx.isa_tier),
         }
         ctx.format = Some(format);
         ctx.partition = Some(wp);
@@ -332,7 +342,7 @@ impl PlanStage for CompileStage {
     }
 
     fn run(&self, ctx: &mut PlanContext) -> Result<()> {
-        let desc =
+        let mut desc =
             match ctx.kind {
                 KernelKind::CusparseLike => scalar::cusparse_trace(&ctx.csr, ctx.feature_dim),
                 KernelKind::SputnikLike => scalar::sputnik_trace(&ctx.csr, ctx.feature_dim),
@@ -372,6 +382,9 @@ impl PlanStage for CompileStage {
                         .into(),
                 )),
             };
+        // The trace builders don't know the tier; the compile stage is
+        // where the plan-level binding gets stamped into the artifact.
+        desc.isa_tier = ctx.isa_tier;
         ctx.trace = Some(desc);
         Ok(())
     }
@@ -424,6 +437,9 @@ impl ExecutionPlan {
         if feature_dim == 0 {
             return Err(SpmmError::InvalidConfig("feature_dim must be > 0".into()));
         }
+        // Resolve the SIMD tier up front so a pinned-but-unavailable
+        // tier is a build error, not a silent scalar fallback.
+        IsaTier::resolve(config.isa)?;
         if kind == KernelKind::Auto {
             return Self::build_auto_with(m, arch, feature_dim, config, None);
         }
@@ -439,6 +455,7 @@ impl ExecutionPlan {
             });
         }
         spmm_trace::counter_add("plan.builds", 1);
+        record_isa_counters(ctx.isa_tier);
         Ok(ExecutionPlan { ctx })
     }
 
@@ -457,6 +474,7 @@ impl ExecutionPlan {
         if feature_dim == 0 {
             return Err(SpmmError::InvalidConfig("feature_dim must be > 0".into()));
         }
+        IsaTier::resolve(config.isa)?;
         Self::build_auto_with(m, arch, feature_dim, config, Some(decision))
     }
 
@@ -489,12 +507,13 @@ impl ExecutionPlan {
             });
         }
         let mut ctx = PlanContext::new(KernelKind::Auto, m.clone(), arch, feature_dim, config);
-        ctx.trace = Some(combined_trace(&regions, feature_dim));
+        ctx.trace = Some(combined_trace(&regions, feature_dim, ctx.isa_tier));
         ctx.timings = combined_timings(&regions);
         ctx.regions = Some(regions);
         ctx.decision = Some(decision);
         spmm_trace::counter_add("plan.builds", 1);
         spmm_trace::counter_add("plan.hybrid_builds", 1);
+        record_isa_counters(ctx.isa_tier);
         Ok(ExecutionPlan { ctx })
     }
 
@@ -584,6 +603,11 @@ impl ExecutionPlan {
         self.ctx.decision.as_ref()
     }
 
+    /// The host SIMD tier the plan's CPU compute core is bound to.
+    pub fn isa_tier(&self) -> IsaTier {
+        self.ctx.isa_tier
+    }
+
     /// Per-stage wall times in execution order.
     pub fn stage_timings(&self) -> &[StageTiming] {
         &self.ctx.timings
@@ -600,7 +624,7 @@ impl ExecutionPlan {
 /// stats). Profiling does NOT price this aggregate — regions run
 /// different pipelines, so `PreparedKernel::profile` sums per-region
 /// simulations instead.
-fn combined_trace(regions: &[RegionPlan], feature_dim: usize) -> KernelDesc {
+fn combined_trace(regions: &[RegionPlan], feature_dim: usize, isa_tier: IsaTier) -> KernelDesc {
     let mut tbs = Vec::new();
     let mut effective_flops = 0u64;
     let mut weighted_eff = 0.0f64;
@@ -639,7 +663,15 @@ fn combined_trace(regions: &[RegionPlan], feature_dim: usize) -> KernelDesc {
         feature_dim,
         effective_flops,
         arch_boost: 1.0,
+        isa_tier,
     }
+}
+
+/// Record the plan's tier binding as trace gauges: the tier's stable
+/// code and its vector width (f32 lanes).
+fn record_isa_counters(tier: IsaTier) {
+    spmm_trace::counter_set("plan.isa_tier", tier.code() as u64);
+    spmm_trace::counter_set("kernel.simd_lanes", tier.simd_lanes() as u64);
 }
 
 /// Sum region stage timings into the four canonical stage slots, so an

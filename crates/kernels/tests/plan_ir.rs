@@ -187,3 +187,67 @@ fn corrupted_header_is_a_typed_rejection() {
         SpmmError::PlanLoad(PlanLoadError::NotPlanIr { .. })
     ));
 }
+
+#[test]
+fn foreign_isa_tier_rebinds_to_the_host_probe_at_load() {
+    use spmm_common::IsaTier;
+    let m = gen::uniform_random(96, 5.0, 7);
+    let plan = build_plan(KernelKind::AccSpmm, &m, 16);
+    let host = IsaTier::probe();
+    assert_eq!(plan.isa_tier(), host);
+    assert_eq!(plan.compiled_trace().isa_tier, host);
+
+    // Forge an artifact recorded on a "different host": stamp a tier
+    // that is not this host's probe result into the IR (the header is
+    // derived from the trace at write time, so the container stays
+    // self-consistent and parses cleanly).
+    let mut ir = plan.to_ir();
+    let foreign = IsaTier::ALL
+        .into_iter()
+        .find(|t| *t != host)
+        .expect("more than one tier exists");
+    ir.trace.isa_tier = foreign;
+    let bytes = ir.to_bytes().unwrap();
+
+    let parsed = PlanIr::read_from(std::io::Cursor::new(&bytes)).unwrap();
+    assert_eq!(
+        parsed.trace.isa_tier, foreign,
+        "the recorded tier survives structural parsing untouched"
+    );
+
+    // Rehydration re-resolves against the loading host: the recorded
+    // tier is advisory provenance, not a binding.
+    let loaded = PlanLoader::new()
+        .read(std::io::Cursor::new(&bytes))
+        .unwrap();
+    assert_eq!(loaded.isa_tier(), host);
+    assert_eq!(loaded.compiled_trace().isa_tier, host);
+
+    // And the re-bound plan executes bit-identically to the original
+    // (every tier computes the same bits, so a re-bind is invisible).
+    let b = DenseMatrix::random(96, 16, 11);
+    let reference = PreparedKernel::from_plan(plan).execute(&b).unwrap();
+    let replayed = PreparedKernel::from_plan(loaded).execute(&b).unwrap();
+    assert_bits_identical(&reference, &replayed, KernelKind::AccSpmm);
+}
+
+#[test]
+fn pinned_unavailable_isa_tier_is_a_build_error() {
+    use spmm_common::IsaTier;
+    // NEON and the x86 tiers are mutually exclusive, so every host has
+    // at least one unavailable tier to pin.
+    let unavailable = IsaTier::ALL
+        .into_iter()
+        .find(|t| !t.is_available())
+        .expect("no host implements every ISA");
+    let m = gen::uniform_random(64, 4.0, 5);
+    let config = AccConfig {
+        isa: Some(unavailable),
+        ..AccConfig::full()
+    };
+    let err = ExecutionPlan::build(KernelKind::AccSpmm, &m, Arch::A800, 16, config).unwrap_err();
+    assert!(
+        matches!(err, SpmmError::InvalidConfig(_)),
+        "expected InvalidConfig, got {err:?}"
+    );
+}

@@ -378,6 +378,7 @@ mod tests {
             feature_dim: n,
             effective_flops: eff,
             arch_boost: 1.0,
+            isa_tier: spmm_common::IsaTier::Scalar,
         }
     }
 
@@ -470,6 +471,7 @@ mod tests {
             feature_dim: 128,
             effective_flops: 0,
             arch_boost: 1.0,
+            isa_tier: spmm_common::IsaTier::Scalar,
         };
         let r = simulate(&A800, &desc, &SimOptions::default());
         assert!((r.time_s - 3e-6).abs() < 1e-12);

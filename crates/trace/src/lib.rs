@@ -44,6 +44,6 @@ mod registry;
 
 pub use export::TraceSnapshot;
 pub use registry::{
-    counter, counter_add, disable, enable, is_enabled, reset, snapshot, span, Counter, SpanData,
-    SpanGuard,
+    counter, counter_add, counter_set, disable, enable, is_enabled, reset, snapshot, span, Counter,
+    SpanData, SpanGuard,
 };

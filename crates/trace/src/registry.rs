@@ -143,6 +143,15 @@ impl Counter {
     pub fn get(&self) -> u64 {
         self.cell.load(Ordering::Relaxed)
     }
+
+    /// Overwrite the value (gauge semantics — last write wins); a no-op
+    /// while tracing is disabled.
+    #[inline]
+    pub fn set(&self, value: u64) {
+        if is_enabled() {
+            self.cell.store(value, Ordering::Relaxed);
+        }
+    }
 }
 
 /// Resolve (registering on first use) the counter named `name`.
@@ -163,6 +172,18 @@ pub fn counter_add(name: &'static str, delta: u64) {
         return;
     }
     counter(name).cell.fetch_add(delta, Ordering::Relaxed);
+}
+
+/// Overwrite the counter named `name` (gauge semantics — last write
+/// wins; snapshots report the most recent value, not a running sum).
+/// Used for enumeration-valued facts like `plan.isa_tier`. A no-op
+/// while tracing is disabled.
+#[inline]
+pub fn counter_set(name: &'static str, value: u64) {
+    if !is_enabled() {
+        return;
+    }
+    counter(name).cell.store(value, Ordering::Relaxed);
 }
 
 /// Copy out everything recorded so far (spans in completion order plus
