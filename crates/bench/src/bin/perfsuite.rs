@@ -39,7 +39,11 @@ use std::time::{Duration, Instant};
 /// heavy-tailed arrivals; gated on interactive p99 latency, zero
 /// deadline-miss executions, the page budget holding, and
 /// bit-identity).
-const SCHEMA_VERSION: u64 = 3;
+/// v4: added the dynamic-graph `streaming_scenario` (a GCN operator
+/// under per-step edge churn; incremental plan repair vs full rebuild,
+/// gated on bit-identity — single-node and sharded — and on a repair
+/// speedup floor).
+const SCHEMA_VERSION: u64 = 4;
 
 /// One (dataset, kernel) measurement.
 struct Entry {
@@ -240,6 +244,21 @@ fn run_suite(cfg: &Config) -> ExitCode {
     }
     entries.extend(auto_entries);
 
+    // Dynamic-graph scenario: a GCN aggregation operator under edge
+    // churn — incremental plan repair vs full rebuild per step, with
+    // single-node and sharded bit-identity verified.
+    let (streaming_entries, streaming) = streaming_scenario(cfg);
+    for e in &streaming_entries {
+        rows.push(vec![
+            e.dataset.clone(),
+            e.kernel.clone(),
+            format!("{:.3}", e.median_s * 1e3),
+            format!("{:.3}", e.min_s * 1e3),
+            f2(e.gflops),
+        ]);
+    }
+    entries.extend(streaming_entries);
+
     spmm_trace::disable();
     let counters = spmm_trace::snapshot().counters;
 
@@ -285,9 +304,17 @@ fn run_suite(cfg: &Config) -> ExitCode {
              kernel (bit-identical: {bit})"
         );
     }
+    if let Some(speedup) = streaming["repair_speedup"].as_f64() {
+        let bit = matches!(streaming["bit_identical"], Json::Bool(true));
+        let dist_bit = matches!(streaming["dist_bit_identical"], Json::Bool(true));
+        eprintln!(
+            "streaming scenario: {speedup:.2}x plan repair vs full rebuild \
+             per churn step (bit-identical: {bit}, sharded: {dist_bit})"
+        );
+    }
 
     let doc = suite_json(
-        cfg, mode, &entries, &scenario, &warm, &dist, &storm, &auto, &counters,
+        cfg, mode, &entries, &scenario, &warm, &dist, &storm, &auto, &streaming, &counters,
     );
     let text = doc.to_string_pretty();
     match std::fs::File::create(&cfg.out).and_then(|mut f| f.write_all(text.as_bytes())) {
@@ -1265,6 +1292,163 @@ fn auto_scenario(cfg: &Config) -> (Vec<Entry>, Json) {
     (entries, Json::Obj(sj))
 }
 
+/// The dynamic-graph scenario ("streaming-gcn"): a normalized GCN
+/// aggregation operator (`gcn_normalize` over an RMAT graph) evolves by
+/// ~1% edge churn per step — upserted boundary edges, value updates,
+/// and deletions, batched in a [`DeltaCsr`] overlay. Each step the live
+/// plan is advanced two ways: a **full rebuild** (`ExecutionPlan::build`
+/// on the compacted operand — reorder, format, balance, compile from
+/// scratch) and an **incremental repair** (`ExecutionPlan::repair` —
+/// old permutation kept, only touched format windows re-squeezed). Both
+/// products must multiply bit-identically; a 4-shard coordinator
+/// follows the same delta stream via [`DistSpmm::apply_delta`] and its
+/// halo-exchanged output is checked against the repaired single-node
+/// kernel every step. The gate floors the per-step repair speedup and
+/// requires both bit-identity flags.
+///
+/// [`DeltaCsr`]: acc_spmm::DeltaCsr
+fn streaming_scenario(cfg: &Config) -> (Vec<Entry>, Json) {
+    use acc_spmm::{gcn_normalize, AccConfig, DeltaCsr, ExecutionPlan};
+    use spmm_common::util::splitmix64;
+    let _s = spmm_trace::span("perfsuite.streaming_scenario");
+    let dim = 16;
+    let steps = if cfg.quick { 4 } else { 8 };
+    let churn_frac = 0.01;
+    let a = gen::rmat(
+        gen::RmatConfig {
+            scale: 12,
+            avg_deg: 8.0,
+            ..Default::default()
+        },
+        0xD17A,
+    );
+    let m0 = gcn_normalize(&a).expect("normalize streaming operator");
+    let nnz0 = m0.nnz();
+    let n = m0.nrows();
+    let b = DenseMatrix::random(n, dim, 0x6C9);
+
+    let mut kernel = PreparedKernel::builder(KernelKind::AccSpmm, &m0)
+        .arch(cfg.arch)
+        .feature_dim(dim)
+        .build()
+        .expect("streaming base plan");
+    let mut dist = DistSpmm::builder(KernelKind::AccSpmm, &m0)
+        .shards(4)
+        .arch(cfg.arch)
+        .feature_dim(dim)
+        .build()
+        .expect("streaming coordinator");
+
+    let mut current = m0;
+    let mut rebuild_times = Vec::with_capacity(steps);
+    let mut repair_times = Vec::with_capacity(steps);
+    let mut bit_identical = true;
+    let mut dist_bit_identical = true;
+    let mut edges_total = 0usize;
+    let mut windows_total = 0usize;
+    let mut windows_rebuilt = 0usize;
+    let per_step = ((nnz0 as f64 * churn_frac).ceil() as usize).max(8);
+    for step in 0..steps {
+        // ~1% churn: 3/4 upserts (new edges + value updates), 1/4
+        // deletions of existing edges, all deterministic.
+        let mut delta = DeltaCsr::new(current.clone());
+        for i in 0..per_step {
+            let h = splitmix64((step * per_step + i) as u64 ^ 0x5EED_CAFE);
+            let r = (h >> 32) as usize % n;
+            if i % 4 == 3 {
+                let (cols, _) = current.row(r);
+                if let Some(&c) = cols.get(h as usize % cols.len().max(1)) {
+                    delta.delete(r as u32, c);
+                }
+            } else {
+                let c = (h as u32) % n as u32;
+                let v = 0.05 + (h >> 40) as f32 / (1u64 << 25) as f32;
+                delta.upsert(r as u32, c, v).expect("upsert");
+            }
+        }
+        edges_total += delta.num_pending();
+
+        let t = Instant::now();
+        let compacted = delta.compact();
+        let scratch = ExecutionPlan::build(
+            KernelKind::AccSpmm,
+            &compacted,
+            cfg.arch,
+            dim,
+            AccConfig::full(),
+        )
+        .expect("full rebuild");
+        rebuild_times.push(t.elapsed().as_secs_f64());
+
+        let t = Instant::now();
+        let (repaired, report) = kernel.execution_plan().repair(&delta).expect("plan repair");
+        repair_times.push(t.elapsed().as_secs_f64());
+        windows_total += report.windows_total;
+        windows_rebuilt += report.windows_rebuilt;
+
+        let repaired_kernel = PreparedKernel::from_plan(repaired);
+        let got = repaired_kernel.execute(&b).expect("repaired multiply");
+        let want = PreparedKernel::from_plan(scratch)
+            .execute(&b)
+            .expect("scratch multiply");
+        bit_identical &= got
+            .as_slice()
+            .iter()
+            .zip(want.as_slice())
+            .all(|(g, w)| g.to_bits() == w.to_bits());
+
+        dist.apply_delta(&delta).expect("sharded delta");
+        let sharded = dist.multiply(&b).expect("sharded multiply");
+        dist_bit_identical &= sharded
+            .as_slice()
+            .iter()
+            .zip(got.as_slice())
+            .all(|(g, w)| g.to_bits() == w.to_bits());
+
+        kernel = repaired_kernel;
+        current = compacted;
+    }
+
+    let rebuild_s = median(&rebuild_times);
+    let repair_s = median(&repair_times);
+    let entry = |kernel: &str, times: &[f64]| Entry {
+        dataset: "streaming-gcn".into(),
+        kernel: kernel.into(),
+        rows: n as f64,
+        nnz: nnz0 as f64,
+        feature_dim: dim as f64,
+        prep_s: 0.0,
+        median_s: median(times),
+        min_s: times.iter().copied().fold(f64::INFINITY, f64::min),
+        gflops: 0.0,
+    };
+    let entries = vec![
+        entry("full-rebuild", &rebuild_times),
+        entry("plan-repair", &repair_times),
+    ];
+
+    let mut sj = BTreeMap::new();
+    sj.insert("rows".into(), Json::Num(n as f64));
+    sj.insert("nnz".into(), Json::Num(nnz0 as f64));
+    sj.insert("feature_dim".into(), Json::Num(dim as f64));
+    sj.insert("steps".into(), Json::Num(steps as f64));
+    sj.insert("churn_frac".into(), Json::Num(churn_frac));
+    sj.insert(
+        "edges_per_step".into(),
+        Json::Num(edges_total as f64 / steps as f64),
+    );
+    sj.insert("rebuild_s".into(), Json::Num(rebuild_s));
+    sj.insert("repair_s".into(), Json::Num(repair_s));
+    sj.insert("repair_speedup".into(), Json::Num(rebuild_s / repair_s));
+    sj.insert(
+        "windows_rebuilt_frac".into(),
+        Json::Num(windows_rebuilt as f64 / windows_total.max(1) as f64),
+    );
+    sj.insert("bit_identical".into(), Json::Bool(bit_identical));
+    sj.insert("dist_bit_identical".into(), Json::Bool(dist_bit_identical));
+    (entries, Json::Obj(sj))
+}
+
 #[allow(clippy::too_many_arguments)]
 fn suite_json(
     cfg: &Config,
@@ -1275,6 +1459,7 @@ fn suite_json(
     dist: &Json,
     storm: &Json,
     auto: &Json,
+    streaming: &Json,
     counters: &BTreeMap<String, u64>,
 ) -> Json {
     let mut doc = BTreeMap::new();
@@ -1291,6 +1476,7 @@ fn suite_json(
     doc.insert("dist_scenario".into(), dist.clone());
     doc.insert("storm_scenario".into(), storm.clone());
     doc.insert("auto_scenario".into(), auto.clone());
+    doc.insert("streaming_scenario".into(), streaming.clone());
     doc.insert(
         "counters".into(),
         Json::Obj(
@@ -1481,6 +1667,36 @@ fn gate(baseline: &str, candidate: &str, threshold: f64) -> ExitCode {
             && !matches!(cand["auto_scenario"]["bit_identical"], Json::Bool(true))
         {
             failures.push("auto_scenario: stitched results not bit-identical".into());
+        }
+    }
+    // The dynamic-graph scenario must stay present, its repaired plans
+    // bit-identical to full rebuilds on the compacted operand (and the
+    // sharded coordinator bit-identical under the same churn), and
+    // incremental repair must actually pay: at ~1% churn per step the
+    // 1.5x floor is deeply conservative (repair skips reordering and
+    // rebuilds only touched windows; the committed artifact shows the
+    // full margin).
+    if base["streaming_scenario"].as_object().is_some() {
+        match cand["streaming_scenario"]["repair_speedup"].as_f64() {
+            None => failures.push("streaming_scenario: missing from candidate".into()),
+            Some(s) if s < 1.5 => failures.push(format!(
+                "streaming_scenario: repair speedup {s:.2}x below 1.5x floor"
+            )),
+            Some(_) => {}
+        }
+        if cand["streaming_scenario"].as_object().is_some() {
+            if !matches!(
+                cand["streaming_scenario"]["bit_identical"],
+                Json::Bool(true)
+            ) {
+                failures.push("streaming_scenario: repair diverged from full rebuild".into());
+            }
+            if !matches!(
+                cand["streaming_scenario"]["dist_bit_identical"],
+                Json::Bool(true)
+            ) {
+                failures.push("streaming_scenario: sharded churn results not bit-identical".into());
+            }
         }
     }
 

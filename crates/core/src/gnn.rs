@@ -409,6 +409,50 @@ mod tests {
     }
 
     #[test]
+    fn sharded_forward_stays_bit_identical_under_graph_churn() {
+        let a = graph();
+        let gcn = Gcn::new(&a, &[16, 8, 4], Arch::A800, 11).unwrap();
+        let mut dist = gcn.shard(4).unwrap();
+        // Churn the normalized operator shard-locally: new cross-shard
+        // boundary edges, plus a deleted base edge.
+        let normalized = gcn_normalize(&a).unwrap();
+        let mut delta = spmm_delta::DeltaCsr::new(normalized.clone());
+        delta.upsert(3, 200, 0.25).unwrap();
+        delta.upsert(210, 1, 0.125).unwrap();
+        let r = 17usize;
+        let c = normalized.col_idx()[normalized.row_ptr()[r]];
+        assert!(delta.delete(r as u32, c), "normalized rows are non-empty");
+        let report = dist.apply_delta(&delta).unwrap();
+        assert!(report.shards_repaired >= 1, "churn crossed shard ranges");
+
+        // Expected: the same model over a scratch coordinator built on
+        // the compacted operator.
+        let compacted = delta.compact();
+        let plan = gcn.spmm().prepared().execution_plan();
+        let scratch = DistSpmm::builder(KernelKind::AccSpmm, &compacted)
+            .shards(4)
+            .arch(plan.arch())
+            .feature_dim(plan.feature_dim())
+            .config(*plan.config())
+            .build()
+            .unwrap();
+        let x = DenseMatrix::random(a.nrows(), 16, 6);
+        let got = gcn.forward_sharded(&dist, &x).unwrap();
+        let expect = gcn.forward_sharded(&scratch, &x).unwrap();
+        assert_eq!(
+            got.as_slice()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>(),
+            expect
+                .as_slice()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
     fn forward_matches_reference_pipeline() {
         // spmm-path forward == dense-reference forward within TF32 tol.
         let a = graph();

@@ -81,6 +81,7 @@ pub use gnn::{gcn_normalize, Gcn, GcnLayer};
 pub use handle::{AccSpmm, PreprocessStats, SpmmBuilder};
 
 pub use spmm_balance as balance;
+pub use spmm_delta as delta;
 pub use spmm_dist as dist;
 pub use spmm_engine as engine;
 pub use spmm_format as format;
@@ -91,14 +92,18 @@ pub use spmm_reorder as reorder;
 pub use spmm_sim as sim;
 
 pub use spmm_common::{PlanLoadError, Result, SpmmError};
-pub use spmm_dist::{ChannelTransport, DistReport, DistSpmm, DistStats, ModeledTransport};
+pub use spmm_delta::DeltaCsr;
+pub use spmm_dist::{
+    ChannelTransport, DistDeltaReport, DistReport, DistSpmm, DistStats, ModeledTransport,
+};
 pub use spmm_engine::{
     Engine, EngineBuilder, EngineStats, Priority, Session, SubmitOptions, SubmitOutcome, Tenant,
     Ticket,
 };
 pub use spmm_kernels::{
-    AccConfig, DispatchDecision, DispatchPolicy, ExecutionPlan, KernelKind, MatrixFeatures, PlanIr,
-    PlanLoader, PreparedKernel, StageSpec, StageTiming, Workspace,
+    build_then_repair, AccConfig, DispatchDecision, DispatchPolicy, ExecutionPlan, KernelKind,
+    MatrixFeatures, PlanIr, PlanLoader, PreparedKernel, RepairReport, StageSpec, StageTiming,
+    Workspace,
 };
 pub use spmm_matrix::{CsrMatrix, DenseMatrix};
 pub use spmm_sim::{Arch, KernelReport, SimOptions};

@@ -35,10 +35,11 @@ use std::time::Instant;
 
 use spmm_balance::{ModelParams, PerfModel};
 use spmm_common::{IsaTier, Result, SpmmError};
+use spmm_delta::DeltaCsr;
 use spmm_engine::{PlanCache, PlanKey, PlanStore, Priority};
 use spmm_kernels::{
     AccConfig, DispatchDecision, DispatchPolicy, ExecutionPlan, KernelKind, MatrixFeatures,
-    PreparedKernel,
+    PreparedKernel, RepairReport,
 };
 use spmm_matrix::{CsrMatrix, DenseMatrix};
 use spmm_sim::Arch;
@@ -299,6 +300,7 @@ impl<'a> DistBuilder<'a> {
             plan,
             scatter_rows,
             halo_rows,
+            shard_kernels: kernels,
             pool,
             epoch: AtomicU64::new(0),
             last_report: Mutex::new(None),
@@ -349,6 +351,27 @@ impl DistReport {
     pub fn max_busy_seconds(&self) -> f64 {
         self.per_shard_busy.iter().cloned().fold(0.0, f64::max)
     }
+}
+
+/// Accounting of one [`DistSpmm::apply_delta`] round: which shards were
+/// touched and the summed per-shard repair work.
+#[derive(Debug, Clone, Default)]
+#[non_exhaustive]
+pub struct DistDeltaReport {
+    /// Shards whose kernel was repaired (clean shards are skipped).
+    pub shards_repaired: usize,
+    /// Rows the delta touched, summed over repaired shards.
+    pub rows_touched: usize,
+    /// Overlay edge operations folded in, summed over repaired shards.
+    pub edges_applied: usize,
+    /// RowWindows across all repaired shard plans.
+    pub windows_total: usize,
+    /// RowWindows actually re-squeezed and re-converted.
+    pub windows_rebuilt: usize,
+    /// Wall seconds of the shard repairs (excludes pool respawn).
+    pub repair_seconds: f64,
+    /// Per shard: the repair report (`None` = empty or untouched shard).
+    pub per_shard: Vec<Option<RepairReport>>,
 }
 
 /// Static description of a coordinator (for stats reporting).
@@ -409,6 +432,9 @@ pub struct DistSpmm {
     scatter_rows: Vec<u64>,
     /// Per shard: referenced rows *outside* its own range (halo rows).
     halo_rows: Vec<Vec<u32>>,
+    /// The shard kernels the pool's workers run (`None` = empty shard).
+    /// Retained so dynamic-graph deltas can repair a subset and respawn.
+    shard_kernels: Vec<Option<Arc<PreparedKernel>>>,
     pool: WorkerPool,
     epoch: AtomicU64,
     last_report: Mutex<Option<DistReport>>,
@@ -896,6 +922,82 @@ impl DistSpmm {
         (halo, regather)
     }
 
+    /// Apply a dynamic-graph edge delta **shard-locally**: the global
+    /// overlay (based on the operand this coordinator was built from,
+    /// or the compacted result of the previous delta) is sliced per
+    /// shard with [`DeltaCsr::sub_range`]; each touched shard's plan is
+    /// repaired in place via [`ExecutionPlan::repair`] — reusing its
+    /// reorder permutation and untouched format windows — while clean
+    /// shards keep their kernels untouched. Halo and scatter coverage
+    /// are recomputed from the repaired operands (churn can add or drop
+    /// boundary columns), and the worker pool is respawned on the new
+    /// kernel set. Subsequent multiplies are bit-identical to a
+    /// coordinator built from scratch on `delta.compact()`.
+    pub fn apply_delta(&mut self, delta: &DeltaCsr) -> Result<DistDeltaReport> {
+        let _span = spmm_trace::span("dist.apply_delta");
+        if delta.nrows() != self.nrows || delta.ncols() != self.ncols {
+            return Err(SpmmError::shape(format!(
+                "delta base is {}x{}, coordinator operand is {}x{}",
+                delta.nrows(),
+                delta.ncols(),
+                self.nrows,
+                self.ncols
+            )));
+        }
+        let mut report = DistDeltaReport {
+            per_shard: vec![None; self.num_shards()],
+            ..DistDeltaReport::default()
+        };
+        if delta.is_clean() {
+            return Ok(report);
+        }
+        for s in &self.plan.shards {
+            if s.is_empty() {
+                continue;
+            }
+            let sub = delta.sub_range(s.row_lo, s.row_hi);
+            if sub.is_clean() {
+                continue;
+            }
+            let old = self.shard_kernels[s.id]
+                .as_ref()
+                .expect("non-empty shard has a kernel");
+            let (repaired, rep) = old.execution_plan().repair(&sub)?;
+            // Column coverage can change under churn: recompute this
+            // shard's scatter payload and halo rows from the repaired
+            // operand (row permutation never changes the column set).
+            let mut seen = vec![false; self.ncols];
+            for &c in repaired.csr().col_idx() {
+                seen[c as usize] = true;
+            }
+            self.scatter_rows[s.id] = seen.iter().filter(|&&x| x).count() as u64;
+            self.halo_rows[s.id] = seen
+                .iter()
+                .enumerate()
+                .filter(|&(c, &x)| x && !(s.row_lo..s.row_hi).contains(&c))
+                .map(|(c, _)| c as u32)
+                .collect();
+            self.shard_kernels[s.id] = Some(Arc::new(PreparedKernel::from_plan(repaired)));
+            report.shards_repaired += 1;
+            report.rows_touched += rep.rows_touched;
+            report.edges_applied += rep.edges_applied;
+            report.windows_total += rep.windows_total;
+            report.windows_rebuilt += rep.windows_rebuilt;
+            report.repair_seconds += rep.repair_seconds;
+            report.per_shard[s.id] = Some(rep);
+        }
+        if report.shards_repaired > 0 {
+            // Workers pin their kernel at spawn: swap the pool for one
+            // over the repaired kernel set (dropping the old pool drains
+            // and joins its workers) and discard halo assembly buffers.
+            self.pool = WorkerPool::spawn(&self.shard_kernels);
+            self.halo_scratch.lock().unwrap().clear();
+            spmm_trace::counter_add("dist.deltas_applied", 1);
+            spmm_trace::counter_add("dist.delta_shards_repaired", report.shards_repaired as u64);
+        }
+        Ok(report)
+    }
+
     /// Test hook: make `shard` fail its next `times` executions with a
     /// synthetic error, exercising retry and failure surfacing.
     #[doc(hidden)]
@@ -1319,5 +1421,182 @@ mod tests {
             after >= before + 3,
             "3 shard jobs labeled interactive (before {before}, after {after})"
         );
+    }
+
+    fn bits(m: &DenseMatrix) -> Vec<u32> {
+        m.as_slice().iter().map(|x| x.to_bits()).collect()
+    }
+
+    /// Shard-local churn: upserts across several shards (including
+    /// special payloads), an insert-then-delete that nets out, and a
+    /// base-edge delete.
+    fn churn(m: &CsrMatrix, seed: usize) -> DeltaCsr {
+        let mut delta = DeltaCsr::new(m.clone());
+        let n = m.nrows();
+        let payloads = [1.5f32, -0.0, 1e-42, f32::INFINITY, -3.25];
+        for (i, &v) in payloads.iter().enumerate() {
+            let r = ((seed + 37 * i * i + 11 * i) * 97) % n;
+            let c = ((seed + 53 * i + 7) * 89) % m.ncols();
+            delta.upsert(r as u32, c as u32, v).unwrap();
+        }
+        let r = (seed * 131 + 5) % n;
+        delta.upsert(r as u32, 3, 42.0).unwrap();
+        assert!(delta.delete(r as u32, 3), "inserted edge deletes");
+        let victim = (0..n).find(|&r| m.row_ptr()[r + 1] > m.row_ptr()[r]);
+        if let Some(r) = victim {
+            let c = m.col_idx()[m.row_ptr()[r]];
+            assert!(delta.delete(r as u32, c), "base edge deletes");
+        }
+        delta
+    }
+
+    #[test]
+    fn apply_delta_repairs_shards_and_stays_bit_identical() {
+        let m = gen::uniform_random(512, 6.0, 41);
+        let b = DenseMatrix::random(512, 16, 9);
+        for kind in [KernelKind::AccSpmm, KernelKind::CusparseLike] {
+            let mut dist = DistSpmm::builder(kind, &m)
+                .shards(4)
+                .feature_dim(16)
+                .build()
+                .unwrap();
+            let delta = churn(&m, 3);
+            let report = dist.apply_delta(&delta).unwrap();
+            assert!(report.shards_repaired >= 1, "{kind:?}: churn hit shards");
+            assert!(report.edges_applied >= 2);
+            let compacted = delta.compact();
+            let expect = reference(&compacted, kind, &b);
+            let got = dist.multiply(&b).unwrap();
+            assert_eq!(bits(&got), bits(&expect), "{kind:?} after delta");
+
+            // A second round chained on the compacted operand: the
+            // repaired shard plans are the new base line.
+            let delta2 = churn(&compacted, 17);
+            dist.apply_delta(&delta2).unwrap();
+            let compacted2 = delta2.compact();
+            let expect2 = reference(&compacted2, kind, &b);
+            let got2 = dist.multiply(&b).unwrap();
+            assert_eq!(bits(&got2), bits(&expect2), "{kind:?} second delta");
+        }
+    }
+
+    #[test]
+    fn apply_delta_repairs_only_touched_windows_per_shard() {
+        let m = gen::uniform_random(768, 6.0, 43);
+        let mut dist = DistSpmm::builder(KernelKind::AccSpmm, &m)
+            .shards(4)
+            .feature_dim(16)
+            .build()
+            .unwrap();
+        // Touch exactly one row: at most one shard repairs, and within
+        // it only a sliver of the windows rebuild.
+        let mut delta = DeltaCsr::new(m.clone());
+        delta.upsert(100, 9, 2.5).unwrap();
+        let report = dist.apply_delta(&delta).unwrap();
+        assert_eq!(report.shards_repaired, 1);
+        assert!(
+            report.windows_rebuilt < report.windows_total,
+            "partial repair: {} of {} windows",
+            report.windows_rebuilt,
+            report.windows_total
+        );
+        let b = DenseMatrix::random(768, 16, 2);
+        let expect = reference(&delta.compact(), KernelKind::AccSpmm, &b);
+        assert_eq!(bits(&dist.multiply(&b).unwrap()), bits(&expect));
+    }
+
+    #[test]
+    fn halo_exchange_stays_correct_under_churn() {
+        let m = gen::clustered(
+            gen::ClusteredConfig {
+                n: 512,
+                cluster_size: 64,
+                intra_deg: 10.0,
+                inter_deg: 2.0,
+                ..Default::default()
+            },
+            13,
+        );
+        let mut dist = DistSpmm::builder(KernelKind::AccSpmm, &m)
+            .shards(4)
+            .feature_dim(8)
+            .build()
+            .unwrap();
+        // Cross-shard churn: new boundary edges appear (fresh halo
+        // columns), an old edge disappears.
+        let mut delta = DeltaCsr::new(m.clone());
+        delta.upsert(5, 500, 1.25).unwrap(); // shard 0 row -> far column
+        delta.upsert(501, 2, -0.5).unwrap(); // last shard row -> early column
+        let r0 = (0..m.nrows())
+            .find(|&r| m.row_ptr()[r + 1] > m.row_ptr()[r])
+            .unwrap();
+        assert!(delta.delete(r0 as u32, m.col_idx()[m.row_ptr()[r0]]));
+        dist.apply_delta(&delta).unwrap();
+
+        let compacted = delta.compact();
+        let h = DenseMatrix::random(512, 8, 4);
+        // Halo propagation after the delta == plain multiply on the
+        // compacted operand, bit for bit.
+        let parts = dist.split_rows(&h).unwrap();
+        let out_parts = dist.propagate_halo(&parts).unwrap();
+        let got = dist.concat_rows(&out_parts).unwrap();
+        let expect = reference(&compacted, KernelKind::AccSpmm, &h);
+        assert_eq!(bits(&got), bits(&expect));
+    }
+
+    #[test]
+    fn pinned_auto_coordinator_repairs_and_matches_scratch() {
+        let decision = DispatchDecision::Hybrid {
+            dense: KernelKind::AccSpmm,
+            sparse: KernelKind::CusparseLike,
+            threshold: 8.0,
+        };
+        let m = skewed_matrix();
+        let b = DenseMatrix::random(m.ncols(), 16, 19);
+        let mut dist = DistSpmm::builder(KernelKind::Auto, &m)
+            .shards(3)
+            .feature_dim(16)
+            .decision(decision)
+            .build()
+            .unwrap();
+        let delta = churn(&m, 7);
+        dist.apply_delta(&delta).unwrap();
+        // Scratch coordinator on the compacted operand under the SAME
+        // pinned decision (repair keeps regions and kernels pinned; a
+        // re-decide could legitimately change them).
+        let scratch = DistSpmm::builder(KernelKind::Auto, &delta.compact())
+            .shards(3)
+            .feature_dim(16)
+            .decision(decision)
+            .build()
+            .unwrap();
+        assert_eq!(
+            bits(&dist.multiply(&b).unwrap()),
+            bits(&scratch.multiply(&b).unwrap())
+        );
+    }
+
+    #[test]
+    fn apply_delta_rejects_mismatch_and_skips_clean() {
+        let m = gen::uniform_random(128, 4.0, 5);
+        let mut dist = DistSpmm::builder(KernelKind::AccSpmm, &m)
+            .shards(2)
+            .feature_dim(8)
+            .build()
+            .unwrap();
+        // Clean overlay: true no-op, pool untouched.
+        let before = dist.jobs_processed();
+        let report = dist.apply_delta(&DeltaCsr::new(m.clone())).unwrap();
+        assert_eq!(report.shards_repaired, 0);
+        assert_eq!(dist.jobs_processed(), before);
+        // Wrong shape is rejected up front.
+        let other = gen::uniform_random(64, 4.0, 6);
+        assert!(dist.apply_delta(&DeltaCsr::new(other)).is_err());
+        // Wrong base (right shape) is rejected by the per-shard
+        // fingerprint check inside repair.
+        let impostor = gen::uniform_random(128, 4.0, 99);
+        let mut delta = DeltaCsr::new(impostor);
+        delta.upsert(3, 3, 1.0).unwrap();
+        assert!(dist.apply_delta(&delta).is_err());
     }
 }

@@ -298,6 +298,36 @@ impl PlanCache {
         );
     }
 
+    /// Drop every entry (ready or in flight) keyed by the given matrix
+    /// fingerprint, and purge matching artifacts from the persistent
+    /// tier — the partial invalidation dynamic-graph updates perform
+    /// when an operand is superseded by its compacted successor. Plans
+    /// for other matrices are untouched. Returns how many in-memory
+    /// entries were dropped. An in-flight build for a dropped key
+    /// simply doesn't publish; its waiters still get the built plan.
+    pub fn invalidate_matrix(&self, fingerprint: u64) -> usize {
+        let removed = {
+            let mut inner = self.inner.lock().unwrap();
+            let victims: Vec<PlanKey> = inner
+                .map
+                .keys()
+                .filter(|k| k.fingerprint == fingerprint)
+                .copied()
+                .collect();
+            for k in &victims {
+                inner.map.remove(k);
+            }
+            victims.len()
+        };
+        if removed > 0 {
+            spmm_trace::counter_add("engine.cache_invalidations", removed as u64);
+        }
+        if let Some(store) = &self.store {
+            store.remove_matrix(fingerprint);
+        }
+        removed
+    }
+
     fn evict_to_fit(&self, inner: &mut Inner) {
         while inner.map.len() >= self.capacity {
             let victim = inner

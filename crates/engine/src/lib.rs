@@ -90,7 +90,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use spmm_common::{Result, SpmmError};
-use spmm_kernels::{AccConfig, KernelKind, PreparedKernel, Workspace};
+use spmm_kernels::{AccConfig, KernelKind, PreparedKernel, RepairReport, Workspace};
 use spmm_matrix::{CsrMatrix, DenseMatrix};
 use spmm_sim::Arch;
 
@@ -538,18 +538,6 @@ impl Engine {
         }
     }
 
-    /// Inline worker step: pop one request, coalesce its micro-batch,
-    /// execute or expire it on the calling thread. Returns the number
-    /// of requests resolved (0 when the queue was empty).
-    #[deprecated(
-        since = "0.8.0",
-        note = "renamed: use `run_until_idle` (which drains the queue) or keep \
-                single-stepping with this alias until it is removed"
-    )]
-    pub fn poll(&self) -> usize {
-        self.step()
-    }
-
     fn step(&self) -> usize {
         let Some(first) = self.shared.queue.try_pop() else {
             return 0;
@@ -700,12 +688,6 @@ pub enum SubmitOutcome {
     },
 }
 
-/// Renamed — the submission outcome is now [`SubmitOutcome`] (its
-/// `Rejected` variant gained `retry_after` and renamed `b` to
-/// `operand`).
-#[deprecated(since = "0.8.0", note = "renamed to `SubmitOutcome`")]
-pub type Submit = SubmitOutcome;
-
 impl SubmitOutcome {
     /// Collapse into a `Result`, discarding the returned operand and
     /// `retry_after` hint — convenient when rejection is just an error.
@@ -749,6 +731,42 @@ impl Session {
         self.degraded
     }
 
+    /// Apply a dynamic-graph edge delta to this session's operand:
+    /// repair the plan incrementally (reusing the reorder permutation
+    /// and all untouched format windows — see
+    /// [`ExecutionPlan::repair`](spmm_kernels::ExecutionPlan)),
+    /// invalidate the superseded matrix's plans in the shared cache and
+    /// persistent store (plans for other matrices stay resident), and
+    /// rebind the session to the repaired plan under its new
+    /// fingerprint. The repaired plan is installed in the cache (and
+    /// written through to the store as IR), so concurrent sessions on
+    /// the updated matrix share it.
+    ///
+    /// The delta's base must be the operand this session's plan was
+    /// built from. A clean delta is a no-op: nothing is invalidated,
+    /// the session keeps its plan. In-flight requests already hold an
+    /// `Arc` to the old plan and complete against it; requests
+    /// submitted after this call see the updated operand.
+    pub fn apply_delta(&mut self, delta: &spmm_delta::DeltaCsr) -> Result<RepairReport> {
+        let (repaired, report) = self.plan.execution_plan().repair(delta)?;
+        if delta.is_clean() {
+            return Ok(report);
+        }
+        let old_fingerprint = self.key.fingerprint;
+        let new_key = PlanKey {
+            fingerprint: repaired.input_fingerprint(),
+            ..self.key
+        };
+        let plan = Arc::new(PreparedKernel::from_plan(repaired));
+        self.engine.cache.invalidate_matrix(old_fingerprint);
+        self.engine.cache.install(new_key, Arc::clone(&plan));
+        self.key = new_key;
+        self.plan = plan;
+        spmm_trace::counter_add("engine.deltas_applied", 1);
+        spmm_trace::counter_add("engine.delta_edges", report.edges_applied as u64);
+        Ok(report)
+    }
+
     /// Submit a multiply with explicit QoS options — the single
     /// submission surface (priority class, tenant, deadline all ride in
     /// [`SubmitOptions`]; `SubmitOptions::new()` gives the defaults).
@@ -766,25 +784,6 @@ impl Session {
             tenant,
             deadline.or(self.engine.config.default_deadline),
         )
-    }
-
-    /// Submit with default QoS options.
-    #[deprecated(
-        since = "0.8.0",
-        note = "use `submit(b, SubmitOptions::new())` (and `.into_result()` if \
-                you only want a `Result`)"
-    )]
-    pub fn try_submit(&self, b: DenseMatrix) -> SubmitOutcome {
-        self.submit(b, SubmitOptions::new())
-    }
-
-    /// Submit with a per-request deadline overriding the engine default.
-    #[deprecated(
-        since = "0.8.0",
-        note = "use `submit(b, SubmitOptions::new().deadline(d))`"
-    )]
-    pub fn try_submit_with_deadline(&self, b: DenseMatrix, deadline: Duration) -> SubmitOutcome {
-        self.submit(b, SubmitOptions::new().deadline(deadline))
     }
 
     /// Synchronous convenience: submit with default options and wait.

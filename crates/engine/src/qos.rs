@@ -118,8 +118,7 @@ impl From<String> for Tenant {
 }
 
 /// Per-request QoS options for `Session::submit` — the one submission
-/// surface, replacing the old `submit` / `try_submit` /
-/// `try_submit_with_deadline` triplet. Builder-style:
+/// surface. Builder-style:
 ///
 /// ```
 /// use spmm_engine::{Priority, SubmitOptions};

@@ -92,6 +92,32 @@ impl PlanStore {
         self.path_for(key).exists()
     }
 
+    /// Remove every artifact whose key binds the given matrix
+    /// fingerprint, regardless of kernel/arch/feature-dim/config — the
+    /// partial-invalidation primitive dynamic-graph updates use: plans
+    /// for other matrices stay resident. Returns the number of files
+    /// removed; I/O errors on individual files are swallowed
+    /// (best-effort, like write-through).
+    pub fn remove_matrix(&self, fingerprint: u64) -> usize {
+        let prefix = format!("{fingerprint:016x}-");
+        let Ok(entries) = std::fs::read_dir(&self.dir) else {
+            return 0;
+        };
+        let mut removed = 0;
+        for e in entries.filter_map(|e| e.ok()) {
+            let path = e.path();
+            let is_plan = path.extension().is_some_and(|x| x == "plan");
+            let matches = path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with(&prefix));
+            if is_plan && matches && std::fs::remove_file(&path).is_ok() {
+                removed += 1;
+            }
+        }
+        removed
+    }
+
     /// Number of plan artifacts resident in the store.
     pub fn len(&self) -> usize {
         std::fs::read_dir(&self.dir)

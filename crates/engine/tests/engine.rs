@@ -326,29 +326,6 @@ fn builder_rejects_zero_capacities() {
 }
 
 #[test]
-#[allow(deprecated)]
-fn deprecated_shims_still_serve_for_one_release() {
-    // `try_submit`, `try_submit_with_deadline`, the `Submit` alias, and
-    // single-step `poll()` keep working until the deprecation window
-    // closes.
-    let engine = Engine::builder().workers(0).max_batch(1).build().unwrap();
-    let a = graph(128, 15);
-    let session = engine.session(&a).feature_dim(16).open().unwrap();
-    let b = DenseMatrix::random(a.ncols(), 16, 7);
-
-    let t1 = match session.try_submit(b.clone()) {
-        spmm_engine::Submit::Accepted(t) => t,
-        spmm_engine::Submit::Rejected { reason, .. } => panic!("rejected: {reason}"),
-        _ => unreachable!("non-exhaustive outcome"),
-    };
-    let _t2 = session.try_submit_with_deadline(b, Duration::from_secs(60));
-    assert_eq!(engine.poll(), 1, "poll() still single-steps");
-    assert_eq!(engine.poll(), 1);
-    assert_eq!(engine.poll(), 0);
-    t1.wait().unwrap();
-}
-
-#[test]
 fn drop_fails_leftover_tickets_instead_of_hanging() {
     let a = graph(128, 14);
     let ticket = {
@@ -364,19 +341,16 @@ fn drop_fails_leftover_tickets_instead_of_hanging() {
 }
 
 #[test]
-#[allow(deprecated)] // single-stepping via `poll()` is the point here
 fn stats_expose_queue_depth_and_in_flight() {
     let engine = Arc::new(Engine::builder().workers(0).max_batch(1).build().unwrap());
     let a = graph(768, 14);
     let session = engine.session(&a).feature_dim(64).open().unwrap();
     let b = DenseMatrix::random(a.ncols(), 64, 40);
 
-    // Zero workers: submitted requests sit in the queue until stepped.
+    // Zero workers: submitted requests sit in the queue until drained.
     let mut tickets: Vec<_> = (0..3).map(|_| submit_ok(&session, b.clone())).collect();
     assert_eq!(engine.stats().queue_depth, 3);
     assert_eq!(engine.stats().in_flight, 0);
-    assert_eq!(engine.poll(), 1);
-    assert_eq!(engine.stats().queue_depth, 2);
 
     // Sample the gauge from another thread while this thread executes:
     // in_flight must be visible mid-batch and settle back to 0.
@@ -395,7 +369,7 @@ fn stats_expose_queue_depth_and_in_flight() {
     };
     while !observer.is_finished() {
         tickets.push(submit_ok(&session, b.clone()));
-        engine.poll();
+        engine.run_until_idle();
     }
     assert!(
         observer.join().unwrap(),
@@ -596,4 +570,75 @@ fn auto_sessions_cache_and_persist_like_any_kernel() {
         "rehydrated hybrid plan must be bit-identical"
     );
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+// --- Dynamic-graph deltas --------------------------------------------------
+
+#[test]
+fn apply_delta_repairs_the_session_and_serves_bit_identically() {
+    let dir = store_dir("delta");
+    let engine = Engine::builder()
+        .workers(1)
+        .plan_store(&dir)
+        .build()
+        .unwrap();
+    let a = graph(256, 13);
+    let mut session = engine.session(&a).feature_dim(16).open().unwrap();
+    let old_key = session.key();
+
+    let mut delta = spmm_delta::DeltaCsr::new(a.clone());
+    delta.upsert(3, 200, 1.25).unwrap();
+    delta.upsert(77, 5, -2.5).unwrap();
+    let (cols, _) = a.row(130);
+    if let Some(&c) = cols.first() {
+        delta.delete(130, c);
+    }
+    let report = session.apply_delta(&delta).unwrap();
+    assert!(report.edges_applied >= 2);
+    assert!(report.windows_rebuilt > 0 && report.windows_rebuilt < report.windows_total);
+
+    // The session now serves the compacted matrix, bit-identical to a
+    // from-scratch kernel on it.
+    let compacted = delta.compact();
+    assert_eq!(session.key().fingerprint, compacted.content_fingerprint());
+    let b = DenseMatrix::random(256, 16, 9);
+    let served = session.multiply(&b).unwrap();
+    let scratch = PreparedKernel::builder(KernelKind::AccSpmm, &compacted)
+        .arch(Arch::A800)
+        .feature_dim(16)
+        .build()
+        .unwrap()
+        .execute(&b)
+        .unwrap();
+    assert_eq!(served.as_slice(), scratch.as_slice());
+
+    // Partial invalidation: the old fingerprint's plans are gone from
+    // cache and store; the repaired plan is installed under the new
+    // key, so a new session on the compacted matrix is a pure cache
+    // hit (no rebuild).
+    let builds_before = engine.stats().plan_builds;
+    engine.session(&compacted).feature_dim(16).open().unwrap();
+    assert_eq!(engine.stats().plan_builds, builds_before);
+    let store = spmm_engine::PlanStore::open(&dir).unwrap();
+    assert!(!store.contains(&old_key), "old artifact must be purged");
+    assert!(store.contains(&session.key()), "repaired plan persisted");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn clean_delta_is_a_no_op_and_mismatched_base_is_rejected() {
+    let engine = Engine::builder().workers(1).build().unwrap();
+    let a = graph(128, 21);
+    let mut session = engine.session(&a).feature_dim(8).open().unwrap();
+    let key = session.key();
+    let report = session
+        .apply_delta(&spmm_delta::DeltaCsr::new(a.clone()))
+        .unwrap();
+    assert_eq!(report.edges_applied, 0);
+    assert_eq!(session.key(), key, "clean delta keeps the binding");
+
+    let other = graph(128, 22);
+    assert!(session
+        .apply_delta(&spmm_delta::DeltaCsr::new(other))
+        .is_err());
 }

@@ -162,6 +162,113 @@ impl BitTcf {
         }
     }
 
+    /// Incremental rebuild after an edge-delta update: `m_new` is the
+    /// updated (permuted) matrix, `wp_new` its (incrementally rebuilt)
+    /// partition, and `touched[w]` marks the windows whose rows
+    /// changed. Untouched windows copy their bitmap / SparseAToB /
+    /// value spans from `self` byte-for-byte (every per-window artifact
+    /// depends only on that window's rows); touched windows re-run the
+    /// per-window converter; `TCOffset` is restitched from the bitmap
+    /// popcounts.
+    ///
+    /// The result reports [`BitTcf::is_prerounded`] `false`: when
+    /// `self` was pre-rounded its untouched spans carry TF32 bits while
+    /// touched windows carry raw values, and one idempotent
+    /// [`BitTcf::preround_values_tier`] pass re-unifies them —
+    /// byte-identical to building from scratch and pre-rounding.
+    pub fn rebuild_windows(
+        &self,
+        m_new: &CsrMatrix,
+        wp_new: &WindowPartition,
+        touched: &[bool],
+    ) -> BitTcf {
+        assert_eq!(m_new.nrows(), self.nrows, "deltas cannot change nrows");
+        assert_eq!(m_new.ncols(), self.ncols, "deltas cannot change ncols");
+        assert_eq!(wp_new.num_windows(), self.num_windows());
+        assert_eq!(touched.len(), self.num_windows(), "one flag per window");
+        let num_windows = self.num_windows();
+        let num_blocks = wp_new.num_tc_blocks();
+
+        let mut row_window_offset = Vec::with_capacity(num_windows + 1);
+        row_window_offset.push(0u32);
+        let mut sparse_a_to_b = Vec::with_capacity(num_blocks * TILE);
+        let mut tc_local_bit = Vec::with_capacity(num_blocks);
+        let mut values = Vec::with_capacity(m_new.nnz());
+        for (w, &is_touched) in touched.iter().enumerate() {
+            row_window_offset.push(wp_new.window_blocks(w).end as u32);
+            if !is_touched {
+                let blocks = self.window_blocks(w);
+                tc_local_bit.extend_from_slice(&self.tc_local_bit[blocks.clone()]);
+                sparse_a_to_b
+                    .extend_from_slice(&self.sparse_a_to_b[blocks.start * TILE..blocks.end * TILE]);
+                let span =
+                    self.tc_offset[blocks.start] as usize..self.tc_offset[blocks.end] as usize;
+                values.extend_from_slice(&self.values[span]);
+                continue;
+            }
+            // Touched window: the per-window converter from
+            // `from_partition`, run against the new matrix.
+            let blocks = wp_new.window_blocks(w);
+            let nb = blocks.len();
+            let mut cols_out = vec![PAD_COL; nb * TILE];
+            for bi in 0..nb {
+                cols_out[bi * TILE..(bi + 1) * TILE].copy_from_slice(&wp_new.block_columns(w, bi));
+            }
+            let mut bits = vec![0u64; nb];
+            let wcols = wp_new.window_columns(w);
+            let lo = w * TILE;
+            let hi = ((w + 1) * TILE).min(m_new.nrows());
+            for r in lo..hi {
+                let lr = (r - lo) as u8;
+                for &c in m_new.row(r).0 {
+                    let pos = wcols.binary_search(&c).expect("column must be in window");
+                    let lc = (pos % TILE) as u8;
+                    bits[pos / TILE] |= 1u64 << (lr * TILE as u8 + lc);
+                }
+            }
+            // Window-local value scatter: block b's values start at the
+            // popcount prefix of the blocks before it.
+            let mut cursor = Vec::with_capacity(nb);
+            let mut acc = 0usize;
+            for &b in &bits {
+                cursor.push(acc);
+                acc += b.count_ones() as usize;
+            }
+            let mut vals = vec![0f32; acc];
+            for r in lo..hi {
+                let (cols, rvals) = m_new.row(r);
+                for (&c, &v) in cols.iter().zip(rvals.iter()) {
+                    let pos = wcols.binary_search(&c).expect("column must be in window");
+                    let bi = pos / TILE;
+                    vals[cursor[bi]] = v;
+                    cursor[bi] += 1;
+                }
+            }
+            tc_local_bit.extend_from_slice(&bits);
+            sparse_a_to_b.extend_from_slice(&cols_out);
+            values.extend_from_slice(&vals);
+        }
+
+        let mut tc_offset = Vec::with_capacity(num_blocks + 1);
+        let mut acc = 0u32;
+        tc_offset.push(0u32);
+        for &bits in &tc_local_bit {
+            acc += bits.count_ones();
+            tc_offset.push(acc);
+        }
+
+        BitTcf {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            row_window_offset,
+            tc_offset,
+            sparse_a_to_b,
+            tc_local_bit,
+            values,
+            values_tf32: false,
+        }
+    }
+
     /// Round the stored values to TF32 in place, marking the format as
     /// pre-rounded so the SpMM paths skip per-block operand rounding.
     ///
@@ -833,5 +940,59 @@ mod tests {
         let via_default = t.spmm(&b).unwrap();
         let via_precision = t.spmm_with_precision(&b, Precision::Tf32).unwrap();
         assert_eq!(via_default, via_precision);
+    }
+
+    #[test]
+    fn rebuild_windows_is_byte_identical_to_full_build() {
+        let m = uniform_random(100, 5.0, 3);
+        let wp = WindowPartition::build(&m);
+        let t = BitTcf::from_partition(&m, &wp);
+        // Perturb rows 17 and 98 (windows 2 and 12), including a NaN
+        // payload so value splicing is checked at the bit level.
+        let mut coo = m.to_coo();
+        coo.push(17, 40, f32::NAN);
+        coo.push(98, 1, -0.0);
+        let m2 = CsrMatrix::from_coo(&coo);
+        let mut touched = vec![false; wp.num_windows()];
+        touched[2] = true;
+        touched[12] = true;
+        let wp2 = wp.rebuild(&m2, &touched);
+        let rebuilt = t.rebuild_windows(&m2, &wp2, &touched);
+        let scratch = BitTcf::from_partition(&m2, &wp2);
+        assert_eq!(rebuilt.tc_local_bit, scratch.tc_local_bit);
+        assert_eq!(rebuilt.sparse_a_to_b, scratch.sparse_a_to_b);
+        assert_eq!(rebuilt.tc_offset, scratch.tc_offset);
+        assert_eq!(
+            rebuilt
+                .values
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>(),
+            scratch
+                .values
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>()
+        );
+        // Pre-rounded source: one idempotent re-round re-unifies.
+        let mut tp = t.clone();
+        tp.preround_values();
+        let mut rebuilt_p = tp.rebuild_windows(&m2, &wp2, &touched);
+        assert!(!rebuilt_p.is_prerounded());
+        rebuilt_p.preround_values();
+        let mut scratch_p = scratch.clone();
+        scratch_p.preround_values();
+        assert_eq!(
+            rebuilt_p
+                .values
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>(),
+            scratch_p
+                .values
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>()
+        );
     }
 }

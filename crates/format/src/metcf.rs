@@ -115,6 +115,88 @@ impl MeTcf {
         }
     }
 
+    /// Incremental rebuild after an edge-delta update (see
+    /// [`crate::BitTcf::rebuild_windows`] for the contract): untouched
+    /// windows copy their SparseAToB / local-id / value spans from
+    /// `self`, touched windows re-run the per-window converter against
+    /// `m_new` + `wp_new`, and `TCOffset` is restitched. The result
+    /// reports [`MeTcf::is_prerounded`] `false`; one idempotent
+    /// [`MeTcf::preround_values_tier`] pass makes it byte-identical to
+    /// a pre-rounded from-scratch build.
+    pub fn rebuild_windows(
+        &self,
+        m_new: &CsrMatrix,
+        wp_new: &WindowPartition,
+        touched: &[bool],
+    ) -> MeTcf {
+        assert_eq!(m_new.nrows(), self.nrows, "deltas cannot change nrows");
+        assert_eq!(m_new.ncols(), self.ncols, "deltas cannot change ncols");
+        assert_eq!(wp_new.num_windows(), self.num_windows());
+        assert_eq!(touched.len(), self.num_windows(), "one flag per window");
+        let num_windows = self.num_windows();
+        let num_blocks = wp_new.num_tc_blocks();
+
+        let mut row_window_offset = Vec::with_capacity(num_windows + 1);
+        row_window_offset.push(0u32);
+        let mut sparse_a_to_b = Vec::with_capacity(num_blocks * TILE);
+        let mut tc_offset = Vec::with_capacity(num_blocks + 1);
+        let mut tc_local_id = Vec::with_capacity(m_new.nnz());
+        let mut values = Vec::with_capacity(m_new.nnz());
+        for (w, &is_touched) in touched.iter().enumerate() {
+            row_window_offset.push(wp_new.window_blocks(w).end as u32);
+            if !is_touched {
+                let blocks = self.window_blocks(w);
+                sparse_a_to_b
+                    .extend_from_slice(&self.sparse_a_to_b[blocks.start * TILE..blocks.end * TILE]);
+                for b in blocks.clone() {
+                    let span = self.tc_offset[b] as usize..self.tc_offset[b + 1] as usize;
+                    tc_offset.push(values.len() as u32);
+                    tc_local_id.extend_from_slice(&self.tc_local_id[span.clone()]);
+                    values.extend_from_slice(&self.values[span]);
+                }
+                continue;
+            }
+            let blocks = wp_new.window_blocks(w);
+            let nb = blocks.len();
+            for bi in 0..nb {
+                sparse_a_to_b.extend_from_slice(&wp_new.block_columns(w, bi));
+            }
+            let mut entries: Vec<Vec<(u8, f32)>> = vec![Vec::new(); nb];
+            let wcols = wp_new.window_columns(w);
+            let lo = w * TILE;
+            let hi = ((w + 1) * TILE).min(m_new.nrows());
+            for r in lo..hi {
+                let lr = (r - lo) as u8;
+                let (cols, vals) = m_new.row(r);
+                for (&c, &v) in cols.iter().zip(vals.iter()) {
+                    let pos = wcols.binary_search(&c).expect("column must be in window");
+                    let lc = (pos % TILE) as u8;
+                    entries[pos / TILE].push((lr * TILE as u8 + lc, v));
+                }
+            }
+            for block in entries.iter_mut() {
+                block.sort_unstable_by_key(|&(id, _)| id);
+                tc_offset.push(values.len() as u32);
+                for &(id, v) in block.iter() {
+                    tc_local_id.push(id);
+                    values.push(v);
+                }
+            }
+        }
+        tc_offset.push(values.len() as u32);
+
+        MeTcf {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            row_window_offset,
+            tc_offset,
+            sparse_a_to_b,
+            tc_local_id,
+            values,
+            values_tf32: false,
+        }
+    }
+
     /// Reassemble from raw arrays (used by the binary loader, which
     /// validates the invariants before calling).
     pub(crate) fn from_raw_parts(
@@ -462,5 +544,38 @@ mod tests {
         let me = MeTcf::from_csr(&m);
         let bit = BitTcf::from_csr(&m);
         assert!(me.index_bytes() > bit.index_bytes());
+    }
+
+    #[test]
+    fn rebuild_windows_is_byte_identical_to_full_build() {
+        let m = uniform_random(100, 5.0, 3);
+        let wp = WindowPartition::build(&m);
+        let t = MeTcf::from_partition(&m, &wp);
+        let mut coo = m.to_coo();
+        coo.push(17, 40, f32::NAN);
+        coo.push(98, 1, -0.0);
+        let m2 = CsrMatrix::from_coo(&coo);
+        let mut touched = vec![false; wp.num_windows()];
+        touched[2] = true;
+        touched[12] = true;
+        let wp2 = wp.rebuild(&m2, &touched);
+        let rebuilt = t.rebuild_windows(&m2, &wp2, &touched);
+        let scratch = MeTcf::from_partition(&m2, &wp2);
+        assert_eq!(rebuilt.row_window_offset, scratch.row_window_offset);
+        assert_eq!(rebuilt.tc_offset, scratch.tc_offset);
+        assert_eq!(rebuilt.sparse_a_to_b, scratch.sparse_a_to_b);
+        assert_eq!(rebuilt.tc_local_id, scratch.tc_local_id);
+        assert_eq!(
+            rebuilt
+                .values
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>(),
+            scratch
+                .values
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>()
+        );
     }
 }

@@ -30,6 +30,7 @@ pub mod acc;
 pub mod dispatch;
 pub mod ir;
 pub mod plan;
+pub mod repair;
 pub mod scalar;
 pub mod tc;
 pub mod workspace;
@@ -43,6 +44,7 @@ pub use ir::{acc_config_hash, PlanIr, PlanLoader, PLAN_IR_VERSION};
 pub use plan::{
     ExecutionPlan, FormatChoice, PlanContext, PlanStage, RegionPlan, StageSpec, StageTiming,
 };
+pub use repair::{build_then_repair, RepairReport};
 pub use workspace::{Workspace, WorkspacePool};
 
 use crate::workspace::ensure_staging;

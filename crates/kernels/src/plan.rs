@@ -524,6 +524,12 @@ impl ExecutionPlan {
         ExecutionPlan { ctx }
     }
 
+    /// The full artifact store (incremental repair reads and rewrites
+    /// it; see [`crate::repair`]).
+    pub(crate) fn context(&self) -> &PlanContext {
+        &self.ctx
+    }
+
     /// Kernel identity.
     pub fn kind(&self) -> KernelKind {
         self.ctx.kind
@@ -624,7 +630,11 @@ impl ExecutionPlan {
 /// stats). Profiling does NOT price this aggregate — regions run
 /// different pipelines, so `PreparedKernel::profile` sums per-region
 /// simulations instead.
-fn combined_trace(regions: &[RegionPlan], feature_dim: usize, isa_tier: IsaTier) -> KernelDesc {
+pub(crate) fn combined_trace(
+    regions: &[RegionPlan],
+    feature_dim: usize,
+    isa_tier: IsaTier,
+) -> KernelDesc {
     let mut tbs = Vec::new();
     let mut effective_flops = 0u64;
     let mut weighted_eff = 0.0f64;
@@ -677,7 +687,7 @@ fn record_isa_counters(tier: IsaTier) {
 /// Sum region stage timings into the four canonical stage slots, so an
 /// `Auto` plan's preprocessing cost reads the same way as any other
 /// plan's.
-fn combined_timings(regions: &[RegionPlan]) -> Vec<StageTiming> {
+pub(crate) fn combined_timings(regions: &[RegionPlan]) -> Vec<StageTiming> {
     ["reorder", "format_build", "balance", "compile"]
         .into_iter()
         .map(|stage| StageTiming {

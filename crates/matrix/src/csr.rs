@@ -5,6 +5,7 @@ use crate::coo::CooMatrix;
 use crate::dense::DenseMatrix;
 use rayon::prelude::*;
 use spmm_common::{Result, SpmmError};
+use std::sync::OnceLock;
 
 /// A CSR sparse matrix with `f32` values and `u32` column indices.
 ///
@@ -14,13 +15,30 @@ use spmm_common::{Result, SpmmError};
 ///   non-decreasing, `row_ptr[nrows] == col_idx.len() == values.len()`;
 /// * within each row, column indices are strictly increasing and
 ///   `< ncols`.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct CsrMatrix {
     nrows: usize,
     ncols: usize,
     row_ptr: Vec<usize>,
     col_idx: Vec<u32>,
     values: Vec<f32>,
+    /// Lazily computed [`CsrMatrix::content_fingerprint`]. Cloning
+    /// carries the cached value (the clone's content is identical);
+    /// in-place mutation paths must call
+    /// [`CsrMatrix::invalidate_fingerprint`].
+    fingerprint: OnceLock<u64>,
+}
+
+/// Equality is over matrix content only — the fingerprint cache is
+/// derived state and deliberately excluded.
+impl PartialEq for CsrMatrix {
+    fn eq(&self, other: &Self) -> bool {
+        self.nrows == other.nrows
+            && self.ncols == other.ncols
+            && self.row_ptr == other.row_ptr
+            && self.col_idx == other.col_idx
+            && self.values == other.values
+    }
 }
 
 impl CsrMatrix {
@@ -38,6 +56,7 @@ impl CsrMatrix {
             row_ptr,
             col_idx,
             values,
+            fingerprint: OnceLock::new(),
         };
         m.validate()?;
         Ok(m)
@@ -104,7 +123,19 @@ impl CsrMatrix {
     /// matrices fingerprint equal iff they are bit-identical CSR
     /// structures. FNV-1a over the raw arrays — deterministic across
     /// runs and platforms (unlike `DefaultHasher`, whose seed varies).
+    ///
+    /// Computed once and cached: plan-cache and plan-store lookups may
+    /// fingerprint the same operand many times per session, and repair
+    /// paths fingerprint row blocks repeatedly. In-place mutators must
+    /// call [`CsrMatrix::invalidate_fingerprint`] (the provided ones
+    /// do).
     pub fn content_fingerprint(&self) -> u64 {
+        *self
+            .fingerprint
+            .get_or_init(|| self.compute_content_fingerprint())
+    }
+
+    fn compute_content_fingerprint(&self) -> u64 {
         const OFFSET: u64 = 0xcbf29ce484222325;
         const PRIME: u64 = 0x100000001b3;
         let mut h = OFFSET;
@@ -125,6 +156,23 @@ impl CsrMatrix {
         h
     }
 
+    /// Drop the cached [`CsrMatrix::content_fingerprint`]. Every
+    /// mutation of the matrix content must route through this (the
+    /// in-place mutators below already do); constructors start with an
+    /// empty cache.
+    pub fn invalidate_fingerprint(&mut self) {
+        self.fingerprint = OnceLock::new();
+    }
+
+    /// Mutable access to the stored values (row-major, parallel to
+    /// [`CsrMatrix::col_idx`]) — the supported in-place mutation path
+    /// for value-only edits (e.g. reweighting a graph without changing
+    /// its structure). Invalidates the cached fingerprint.
+    pub fn values_mut(&mut self) -> &mut [f32] {
+        self.invalidate_fingerprint();
+        &mut self.values
+    }
+
     /// Convert from COO (duplicates are summed, entries sorted).
     pub fn from_coo(coo: &CooMatrix) -> Self {
         let mut coo = coo.clone();
@@ -142,6 +190,7 @@ impl CsrMatrix {
             row_ptr,
             col_idx: cols.to_vec(),
             values: vals.to_vec(),
+            fingerprint: OnceLock::new(),
         }
     }
 
@@ -239,6 +288,7 @@ impl CsrMatrix {
             row_ptr,
             col_idx,
             values,
+            fingerprint: OnceLock::new(),
         }
     }
 
@@ -280,6 +330,7 @@ impl CsrMatrix {
             row_ptr,
             col_idx,
             values,
+            fingerprint: OnceLock::new(),
         })
     }
 
@@ -564,6 +615,28 @@ mod tests {
             structure_perturbed.content_fingerprint(),
             0xdecb8419d7e4957f
         );
+    }
+
+    #[test]
+    fn content_fingerprint_is_cached_once_and_invalidated_on_mutation() {
+        let mut m = small();
+        assert!(m.fingerprint.get().is_none(), "constructors start cold");
+        let fp = m.content_fingerprint();
+        assert_eq!(m.fingerprint.get(), Some(&fp), "first call populates");
+        // A clone carries the cached value (same content, same print).
+        let c = m.clone();
+        assert_eq!(c.fingerprint.get(), Some(&fp));
+        assert_eq!(c.content_fingerprint(), fp);
+        // Mutating a value through the supported path recomputes.
+        m.values_mut()[0] += 1.0;
+        assert!(m.fingerprint.get().is_none(), "values_mut invalidates");
+        let fp2 = m.content_fingerprint();
+        assert_ne!(fp, fp2);
+        // Undo and the original fingerprint is recovered — the cache is
+        // derived state, never part of equality.
+        m.values_mut()[0] -= 1.0;
+        assert_eq!(m.content_fingerprint(), fp);
+        assert_eq!(m, c);
     }
 
     #[test]

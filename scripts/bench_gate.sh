@@ -22,7 +22,10 @@
 # outputs. The QoS storm scenario must keep interactive p99 completion
 # latency under its ceiling, execute zero expired requests, never
 # exceed the engine's page budget, and stay bit-identical to the
-# direct path. Wall times are machine-dependent:
+# direct path. The dynamic-graph streaming scenario must keep
+# incremental plan repair bit-identical to a full rebuild (single-node
+# and sharded) and at least 1.5x faster per ~1% churn step. Wall times
+# are machine-dependent:
 # refresh the baseline with --update-baseline when moving to different
 # hardware.
 set -euo pipefail
@@ -33,7 +36,7 @@ export CARGO_NET_OFFLINE=true
 BASELINE=results/bench_baseline.json
 THRESHOLD=${BENCH_GATE_THRESHOLD:-0.25}
 # Must match SCHEMA_VERSION in crates/bench/src/bin/perfsuite.rs.
-EXPECTED_SCHEMA=3
+EXPECTED_SCHEMA=4
 
 # One clear line on a stale or foreign artifact instead of a parser
 # error from deep inside the gate.
